@@ -1,0 +1,197 @@
+//! Face-on surface-density maps and radial profiles.
+
+use bonsai_tree::Particles;
+
+/// A mass-weighted 2D grid over the x–y (disk) plane.
+#[derive(Clone, Debug)]
+pub struct SurfaceDensityMap {
+    /// Half-extent of the map (centred on the origin), in position units.
+    pub half_extent: f64,
+    /// Grid resolution per axis.
+    pub n: usize,
+    /// Row-major surface density, mass / area per cell.
+    pub sigma: Vec<f64>,
+}
+
+impl SurfaceDensityMap {
+    /// Bin `particles` (optionally restricted to ids in `[id_lo, id_hi)`)
+    /// into an `n × n` face-on map covering `[-half_extent, half_extent]²`.
+    pub fn compute(
+        particles: &Particles,
+        half_extent: f64,
+        n: usize,
+        id_filter: Option<(u64, u64)>,
+    ) -> Self {
+        assert!(n > 0 && half_extent > 0.0);
+        let mut mass = vec![0.0f64; n * n];
+        let cell = 2.0 * half_extent / n as f64;
+        for i in 0..particles.len() {
+            if let Some((lo, hi)) = id_filter {
+                if particles.id[i] < lo || particles.id[i] >= hi {
+                    continue;
+                }
+            }
+            let p = particles.pos[i];
+            let fx = (p.x + half_extent) / cell;
+            let fy = (p.y + half_extent) / cell;
+            if fx < 0.0 || fy < 0.0 {
+                continue;
+            }
+            let (ix, iy) = (fx as usize, fy as usize);
+            if ix >= n || iy >= n {
+                continue;
+            }
+            mass[iy * n + ix] += particles.mass[i];
+        }
+        let area = cell * cell;
+        for m in &mut mass {
+            *m /= area;
+        }
+        Self {
+            half_extent,
+            n,
+            sigma: mass,
+        }
+    }
+
+    /// Surface density at cell `(ix, iy)`.
+    pub fn get(&self, ix: usize, iy: usize) -> f64 {
+        self.sigma[iy * self.n + ix]
+    }
+
+    /// Maximum cell value.
+    pub fn max(&self) -> f64 {
+        self.sigma.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total mass represented on the map.
+    pub fn total_mass(&self) -> f64 {
+        let cell = 2.0 * self.half_extent / self.n as f64;
+        self.sigma.iter().sum::<f64>() * cell * cell
+    }
+
+    /// Log-scaled brightness in `[0, 1]` for rendering (decades of dynamic
+    /// range below the peak).
+    pub fn log_brightness(&self, decades: f64) -> Vec<f64> {
+        let max = self.max().max(f64::MIN_POSITIVE);
+        self.sigma
+            .iter()
+            .map(|&s| {
+                if s <= 0.0 {
+                    0.0
+                } else {
+                    ((s / max).log10() / decades + 1.0).clamp(0.0, 1.0)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Azimuthally averaged radial surface-density profile: returns
+/// `(r_center, sigma)` pairs for `nbins` annuli out to `r_max`.
+pub fn radial_profile(particles: &Particles, r_max: f64, nbins: usize) -> Vec<(f64, f64)> {
+    assert!(nbins > 0 && r_max > 0.0);
+    let mut mass = vec![0.0f64; nbins];
+    for i in 0..particles.len() {
+        let r = particles.pos[i].cyl_radius();
+        if r < r_max {
+            let b = ((r / r_max) * nbins as f64) as usize;
+            mass[b.min(nbins - 1)] += particles.mass[i];
+        }
+    }
+    let dr = r_max / nbins as f64;
+    (0..nbins)
+        .map(|b| {
+            let r0 = b as f64 * dr;
+            let r1 = r0 + dr;
+            let area = std::f64::consts::PI * (r1 * r1 - r0 * r0);
+            (r0 + 0.5 * dr, mass[b] / area)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_util::rng::Xoshiro256;
+    use bonsai_util::Vec3;
+
+    fn ring(n: usize, radius: f64) -> Particles {
+        let mut p = Particles::new();
+        for i in 0..n {
+            let phi = std::f64::consts::TAU * i as f64 / n as f64;
+            p.push(
+                Vec3::new(radius * phi.cos(), radius * phi.sin(), 0.0),
+                Vec3::zero(),
+                1.0,
+                i as u64,
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn map_conserves_in_range_mass() {
+        let p = ring(1000, 2.0);
+        let m = SurfaceDensityMap::compute(&p, 5.0, 64, None);
+        assert!((m.total_mass() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn off_map_particles_dropped() {
+        let p = ring(100, 10.0);
+        let m = SurfaceDensityMap::compute(&p, 5.0, 32, None);
+        assert_eq!(m.total_mass(), 0.0);
+    }
+
+    #[test]
+    fn id_filter_selects_component() {
+        let mut p = ring(100, 1.0);
+        let q = ring(100, 3.0);
+        for i in 0..q.len() {
+            p.push(q.pos[i], q.vel[i], q.mass[i], 100 + q.id[i]);
+        }
+        let m = SurfaceDensityMap::compute(&p, 5.0, 32, Some((0, 100)));
+        assert!((m.total_mass() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn radial_profile_is_exponential_for_exponential_disk() {
+        // Sample an exponential disk and recover its scale length.
+        let mut rng = Xoshiro256::seed_from(1);
+        let rd = 2.0;
+        let mut p = Particles::new();
+        for i in 0..200_000 {
+            // crude inverse sampling by rejection on r·e^(-r/rd)
+            let r = loop {
+                let r = rng.uniform() * 12.0 * rd;
+                let y = rng.uniform() * rd * (-1.0f64).exp();
+                if y <= r * (-r / rd).exp() {
+                    break r;
+                }
+            };
+            let phi = rng.uniform_in(0.0, std::f64::consts::TAU);
+            p.push(Vec3::new(r * phi.cos(), r * phi.sin(), 0.0), Vec3::zero(), 1.0, i);
+        }
+        let prof = radial_profile(&p, 8.0 * rd, 32);
+        // Fit log-slope between 2 and 10 kpc-ish.
+        let lo = prof.iter().find(|&&(r, _)| r > 2.0).unwrap();
+        let hi = prof.iter().find(|&&(r, _)| r > 10.0).unwrap();
+        let slope = (hi.1.ln() - lo.1.ln()) / (hi.0 - lo.0);
+        assert!(
+            (slope + 1.0 / rd).abs() < 0.07,
+            "profile slope {slope} vs expected {}",
+            -1.0 / rd
+        );
+    }
+
+    #[test]
+    fn log_brightness_bounds() {
+        let p = ring(100, 2.0);
+        let m = SurfaceDensityMap::compute(&p, 5.0, 32, None);
+        let b = m.log_brightness(3.0);
+        assert!(b.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let peak_idx = (0..b.len()).max_by(|&i, &j| b[i].total_cmp(&b[j])).unwrap();
+        assert_eq!(b[peak_idx], 1.0);
+    }
+}

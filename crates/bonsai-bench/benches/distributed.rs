@@ -1,0 +1,49 @@
+//! Criterion benchmarks of the distributed machinery: decomposition,
+//! exchange planning, and the full cluster step at small rank counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bonsai_domain::sampling::{parallel_cuts, serial_cuts};
+use bonsai_ic::plummer_sphere;
+use bonsai_sim::{Cluster, ClusterConfig};
+use bonsai_util::rng::Xoshiro256;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sampling");
+    let ranks = 64usize;
+    let per_rank = 2000usize;
+    let mut rng = Xoshiro256::seed_from(1);
+    let data: Vec<Vec<u64>> = (0..ranks)
+        .map(|_| {
+            let mut ks: Vec<u64> = (0..per_rank).map(|_| rng.next_u64() >> 1).collect();
+            ks.sort_unstable();
+            ks
+        })
+        .collect();
+    g.throughput(Throughput::Elements((ranks * per_rank) as u64));
+    g.bench_function("serial_64ranks", |b| {
+        b.iter(|| black_box(serial_cuts(&data, ranks, 64)))
+    });
+    g.bench_function("parallel_8x8", |b| {
+        b.iter(|| black_box(parallel_cuts(&data, 8, 8, 16, 64)))
+    });
+    g.finish();
+}
+
+fn bench_cluster_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_step");
+    g.sample_size(10);
+    for &p in &[2usize, 4, 8] {
+        let ic = plummer_sphere(2000 * p, 3);
+        let mut cluster = Cluster::new(ic, p, ClusterConfig::default());
+        g.throughput(Throughput::Elements((2000 * p) as u64));
+        g.bench_with_input(BenchmarkId::new("full_step", p), &p, |b, _| {
+            b.iter(|| black_box(cluster.step()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sampling, bench_cluster_step);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks of the force kernels and the tree walk —
+//! the CPU-side ground truth behind the Fig. 1 device-model numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bonsai_ic::plummer_sphere;
+use bonsai_tree::build::{Tree, TreeParams};
+use bonsai_tree::direct::direct_self_forces;
+use bonsai_tree::kernels::{p_c, p_p};
+use bonsai_tree::walk::{self, WalkParams};
+use bonsai_util::{Sym3, Vec3};
+
+fn bench_pp_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel");
+    g.throughput(Throughput::Elements(1024));
+    let sources: Vec<(Vec3, f64)> = (0..1024)
+        .map(|i| {
+            let f = i as f64;
+            (Vec3::new(f.sin(), f.cos(), (f * 0.7).sin()) * 3.0, 1.0 + 0.001 * f)
+        })
+        .collect();
+    g.bench_function("pp_1024_interactions", |b| {
+        b.iter(|| {
+            let tgt = Vec3::new(0.1, 0.2, 0.3);
+            let mut acc = Vec3::zero();
+            let mut pot = 0.0;
+            for &(s, m) in &sources {
+                let (dp, da) = p_p(black_box(tgt), s, m, 1e-4);
+                pot += dp;
+                acc += da;
+            }
+            black_box((pot, acc))
+        })
+    });
+    g.bench_function("pp_1024_batched", |b| {
+        let (sx, sy, sz): (Vec<f64>, Vec<f64>, Vec<f64>) = {
+            let pos: Vec<Vec3> = sources.iter().map(|&(p, _)| p).collect();
+            bonsai_tree::kernels::split_soa(&pos)
+        };
+        let masses: Vec<f64> = sources.iter().map(|&(_, m)| m).collect();
+        b.iter(|| {
+            let tgt = Vec3::new(0.1, 0.2, 0.3);
+            black_box(bonsai_tree::kernels::p_p_batch(
+                black_box(tgt),
+                &sx,
+                &sy,
+                &sz,
+                &masses,
+                1e-4,
+            ))
+        })
+    });
+    g.bench_function("pc_1024_interactions", |b| {
+        let q = Sym3::outer(Vec3::new(0.1, 0.2, -0.1), 2.0);
+        b.iter(|| {
+            let tgt = Vec3::new(0.1, 0.2, 0.3);
+            let mut acc = Vec3::zero();
+            let mut pot = 0.0;
+            for &(s, m) in &sources {
+                let (dp, da) = p_c(black_box(tgt), s, m, &q, 1e-4);
+                pot += dp;
+                acc += da;
+            }
+            black_box((pot, acc))
+        })
+    });
+    g.finish();
+}
+
+fn bench_tree_walk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("walk");
+    g.sample_size(10);
+    for &n in &[2_000usize, 10_000] {
+        let ic = plummer_sphere(n, 5);
+        let tree = Tree::build(ic, TreeParams::default());
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("self_gravity_theta0.4", n), &n, |b, _| {
+            b.iter(|| black_box(walk::self_gravity(&tree, &WalkParams::new(0.4, 0.01))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_direct(c: &mut Criterion) {
+    let mut g = c.benchmark_group("direct");
+    g.sample_size(10);
+    let n = 2_000usize;
+    let ic = plummer_sphere(n, 6);
+    g.throughput(Throughput::Elements((n * n) as u64));
+    g.bench_function("direct_2000", |b| {
+        b.iter(|| black_box(direct_self_forces(&ic, 0.01, 1.0)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pp_kernel, bench_tree_walk, bench_direct);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benchmarks of SFC key generation — the "Sorting SFC" stage.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use bonsai_sfc::{hilbert, morton, Curve, KeyMap};
+use bonsai_util::rng::Xoshiro256;
+use bonsai_util::{Aabb, Vec3};
+
+fn bench_encode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sfc_encode");
+    let coords: Vec<[u32; 3]> = {
+        let mut rng = Xoshiro256::seed_from(1);
+        (0..4096)
+            .map(|_| {
+                [
+                    (rng.next_u64() & 0x1F_FFFF) as u32,
+                    (rng.next_u64() & 0x1F_FFFF) as u32,
+                    (rng.next_u64() & 0x1F_FFFF) as u32,
+                ]
+            })
+            .collect()
+    };
+    g.throughput(Throughput::Elements(coords.len() as u64));
+    g.bench_function("morton_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &c in &coords {
+                acc ^= morton::encode(black_box(c));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("hilbert_4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &c in &coords {
+                acc ^= hilbert::encode(black_box(c));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_keymap_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("key_sort");
+    g.sample_size(10);
+    let n = 100_000;
+    let mut rng = Xoshiro256::seed_from(2);
+    let pts: Vec<Vec3> = (0..n)
+        .map(|_| Vec3::new(rng.uniform(), rng.uniform(), rng.uniform()))
+        .collect();
+    let bounds = Aabb::from_points(&pts);
+    for curve in [Curve::Morton, Curve::Hilbert] {
+        let map = KeyMap::new(&bounds, curve);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("keys_and_sort_{curve:?}_100k"), |b| {
+            b.iter(|| {
+                let mut keys = map.keys_of(black_box(&pts));
+                keys.sort_unstable();
+                black_box(keys)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_keymap_sort);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benchmarks of tree construction and the multipole pass —
+//! the stages behind Table II's "Tree-construction"/"Tree-properties" rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use bonsai_domain::boundary_tree;
+use bonsai_domain::letbuild::build_let;
+use bonsai_ic::plummer_sphere;
+use bonsai_sfc::KeyRange;
+use bonsai_tree::build::{Tree, TreeParams};
+use bonsai_util::{Aabb, Vec3};
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_build");
+    g.sample_size(10);
+    for &n in &[10_000usize, 50_000] {
+        let ic = plummer_sphere(n, 7);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("hilbert", n), &n, |b, _| {
+            b.iter(|| black_box(Tree::build(ic.clone(), TreeParams::default())))
+        });
+    }
+    g.finish();
+}
+
+fn bench_let_extraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("let");
+    g.sample_size(20);
+    let n = 50_000;
+    let ic = plummer_sphere(n, 8);
+    let tree = Tree::build(ic, TreeParams::default());
+    let near = vec![Aabb::cube(Vec3::new(1.5, 0.0, 0.0), 0.5)];
+    let far = vec![Aabb::cube(Vec3::splat(40.0), 0.5)];
+    g.bench_function("build_let_near_50k", |b| {
+        b.iter(|| black_box(build_let(&tree, &near, 0.4)))
+    });
+    g.bench_function("build_let_far_50k", |b| {
+        b.iter(|| black_box(build_let(&tree, &far, 0.4)))
+    });
+    g.bench_function("boundary_tree_50k", |b| {
+        let r = KeyRange::everything();
+        b.iter(|| black_box(boundary_tree(&tree, &r)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_build, bench_let_extraction);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation: walk group size (the warp-coherence trade-off).
+//!
+//! Bonsai walks the tree once per *group* of adjacent particles, sharing a
+//! single interaction list across a GPU warp (§III-A). Bigger groups walk
+//! the tree less often but their looser bounding boxes force more cell
+//! openings and pull the MAC frontier closer — extra interactions for every
+//! member. This sweep measures that trade-off with the real walk, charging
+//! the device model for both the interactions and the traversal.
+
+use bonsai_bench::{arg_usize, milky_way_snapshot};
+use bonsai_gpu::GpuModel;
+use bonsai_sfc::Curve;
+use bonsai_tree::build::{Tree, TreeParams};
+use bonsai_tree::walk::{self, WalkParams};
+
+fn main() {
+    let n = arg_usize("--n", 40_000);
+    println!("Ablation: walk group size ({n}-particle Milky Way snapshot, theta = 0.4)\n");
+    let snapshot = milky_way_snapshot(n, 6);
+    let gpu = GpuModel::k20x_tuned();
+    let warp_rate = 14.0 * 192.0 * 0.732e9 / 32.0;
+    let mac_cycles = 20.0;
+
+    println!(
+        "{:>7} {:>8} {:>12} {:>12} {:>12} {:>14}",
+        "group", "groups", "pp/part", "pc/part", "visits", "K20X time s"
+    );
+    let mut best = (0usize, f64::INFINITY);
+    for group_size in [8usize, 16, 32, 64, 128, 256] {
+        let params = TreeParams {
+            nleaf: 16,
+            curve: Curve::Hilbert,
+            group_size,
+        };
+        let tree = Tree::build(snapshot.clone(), params);
+        let (_, stats) = walk::self_gravity(&tree, &WalkParams::new(0.4, 0.01));
+        let (pp, pc) = stats.counts.per_particle(n);
+        let t = gpu.gravity_time(stats.counts)
+            + stats.nodes_visited as f64 * mac_cycles / warp_rate;
+        if t < best.1 {
+            best = (group_size, t);
+        }
+        println!(
+            "{:>7} {:>8} {:>12.0} {:>12.0} {:>12} {:>14.5}",
+            group_size,
+            tree.groups.len(),
+            pp,
+            pc,
+            stats.nodes_visited,
+            t
+        );
+    }
+    println!("\nfastest: group ≈ {} — small groups repeat the traversal per warp,", best.0);
+    println!("large groups blow up the shared interaction list (looser group MAC).");
+    println!("Bonsai's production choice is a warp-to-two-warps worth of particles.");
+}

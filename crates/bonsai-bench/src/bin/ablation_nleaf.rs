@@ -1,0 +1,61 @@
+//! Ablation: leaf capacity NLEAF.
+//!
+//! §I (citing the Bonsai paper [9]): octants are split until fewer than 16
+//! particles remain. Small leaves push work into expensive cell interactions
+//! and deepen the tree; large leaves degrade the walk toward O(N²) p-p work.
+//! This study sweeps NLEAF on a Milky Way snapshot and reports the p-p/p-c
+//! trade-off, tree size, and simulated K20X kernel time — showing why 16 is
+//! a sensible optimum for a warp-based kernel.
+
+use bonsai_bench::{arg_usize, milky_way_snapshot};
+use bonsai_gpu::GpuModel;
+use bonsai_sfc::Curve;
+use bonsai_tree::build::{Tree, TreeParams};
+use bonsai_tree::walk::{self, WalkParams};
+
+fn main() {
+    let n = arg_usize("--n", 60_000);
+    println!("Ablation: leaf capacity NLEAF ({n}-particle Milky Way snapshot, theta = 0.4)\n");
+    let snapshot = milky_way_snapshot(n, 4);
+    let gpu = GpuModel::k20x_tuned();
+
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "NLEAF", "nodes", "pp/part", "pc/part", "visits", "Gflop total", "K20X time s"
+    );
+    // Traversal charge: every node a group visits costs one warp-level MAC
+    // evaluation + stack op, ~20 cycles on the SMX warp scheduler. This is
+    // the cost flop counting ignores and the reason tiny leaves lose on a
+    // real GPU despite their lower flop totals.
+    let warp_rate = 14.0 * 192.0 * 0.732e9 / 32.0; // warp-instruction slots/s
+    let mac_cycles = 20.0;
+    let mut best = (0usize, f64::INFINITY);
+    for nleaf in [2usize, 4, 8, 16, 32, 64, 128] {
+        let params = TreeParams {
+            nleaf,
+            curve: Curve::Hilbert,
+            group_size: 2 * nleaf,
+        };
+        let tree = Tree::build(snapshot.clone(), params);
+        let (_, stats) = walk::self_gravity(&tree, &WalkParams::new(0.4, 0.01));
+        let (pp, pc) = stats.counts.per_particle(n);
+        let t = gpu.gravity_time(stats.counts)
+            + stats.nodes_visited as f64 * mac_cycles / warp_rate;
+        if t < best.1 {
+            best = (nleaf, t);
+        }
+        println!(
+            "{:>6} {:>10} {:>12.0} {:>12.0} {:>12} {:>14.3} {:>14.5}",
+            nleaf,
+            tree.nodes.len(),
+            pp,
+            pc,
+            stats.nodes_visited,
+            stats.counts.flops() as f64 / 1e9,
+            t
+        );
+    }
+    println!("\nfastest on the K20X model (incl. traversal): NLEAF = {} (paper uses 16)", best.0);
+    println!("small NLEAF → cell-dominated work + traversal overhead explodes;");
+    println!("large NLEAF → O(N²)-like p-p work; the warp width (32) sets the sweet spot.");
+}

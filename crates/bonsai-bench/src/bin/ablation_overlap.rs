@@ -1,0 +1,51 @@
+//! Ablation: hiding LET communication behind GPU computation.
+//!
+//! §III-B2 splits each MPI process into communication/driver/compute thread
+//! groups precisely so LET traffic streams while the GPU grinds through the
+//! local tree. This study compares, at paper scale, the step time with
+//! overlap (the paper's design: only the non-hidden residue is paid) versus
+//! a bulk-synchronous variant where all LET communication is exposed on the
+//! critical path.
+
+use bonsai_net::NetworkModel;
+use bonsai_sim::ScalingModel;
+
+fn main() {
+    println!("Ablation: communication overlap at 13M particles/GPU (model)\n");
+    for model in [ScalingModel::titan(), ScalingModel::piz_daint()] {
+        let net = NetworkModel::new(model.machine);
+        println!("=== {} ===", model.machine.name);
+        println!(
+            "{:>7} {:>14} {:>14} {:>14} {:>10}",
+            "GPUs", "overlap s", "no-overlap s", "slowdown", "eff loss"
+        );
+        for p in [64u32, 256, 1024, 4096, 18600] {
+            if model.machine.name == "Piz Daint" && p > 5200 {
+                continue;
+            }
+            let b = model.predict(p, 13_000_000);
+            let with_overlap = b.total();
+            // Exposed variant: the work the paper hides inside the gravity
+            // window lands on the critical path instead — the CPU
+            // construction of ~40 dedicated LETs over the 13M-particle tree
+            // (~1 s on the Xeon, slower on the Opteron; this is what the
+            // compute threads of §III-B2 are busy with) plus the wire time
+            // of the LET exchange and the boundary allgather.
+            let cpu_let_build = 1.0 / model.machine.cpu_let_rate;
+            let let_comm = net.let_exchange_time(40.min(p - 1), 2_000_000)
+                + net.allgatherv_time(p, 70 * 176);
+            let without = with_overlap - b.non_hidden_comm + cpu_let_build + let_comm;
+            println!(
+                "{:>7} {:>14.2} {:>14.2} {:>13.1}% {:>9.1}%",
+                p,
+                with_overlap,
+                without,
+                100.0 * (without / with_overlap - 1.0),
+                100.0 * (1.0 - with_overlap / without)
+            );
+        }
+        println!();
+    }
+    println!("overlap buys back the entire LET-exchange time minus the small");
+    println!("non-hidden residue — the mechanism behind >95% weak-scaling efficiency.");
+}

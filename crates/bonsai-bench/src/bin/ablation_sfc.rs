@@ -1,0 +1,74 @@
+//! Ablation: Hilbert vs Morton space-filling curve.
+//!
+//! §III-B chooses the Peano–Hilbert curve because contiguous key ranges
+//! have compact boundaries, shrinking the boundary trees and LETs that
+//! cross the interconnect. This study quantifies that on real decomposed
+//! clusters: curve locality, domain-surface cells, and the actual
+//! serialized boundary/LET byte volumes of the cluster simulator under both
+//! curves.
+
+use bonsai_bench::arg_usize;
+use bonsai_ic::plummer_sphere;
+use bonsai_sfc::locality::{mean_step, range_surface_cells};
+use bonsai_sfc::{Curve, KeyMap};
+use bonsai_sim::{Cluster, ClusterConfig};
+use bonsai_tree::build::TreeParams;
+
+fn cluster_bytes(curve: Curve, n: usize, p: usize) -> (usize, usize, usize) {
+    let ic = plummer_sphere(n, 11);
+    let cfg = ClusterConfig {
+        tree: TreeParams {
+            curve,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let c = Cluster::new(ic, p, cfg);
+    let m = &c.last_measurements;
+    (
+        m.boundary_bytes.iter().sum(),
+        m.let_bytes_sent.iter().sum(),
+        m.let_neighbors.iter().sum(),
+    )
+}
+
+fn main() {
+    let n = arg_usize("--n", 20_000);
+    let p = arg_usize("--ranks", 10);
+    println!("Ablation: Hilbert vs Morton SFC\n");
+
+    println!("curve locality (mean L1 lattice step between consecutive keys, 5-bit lattice):");
+    println!("  Hilbert: {:.3}   (unit steps by construction)", mean_step(Curve::Hilbert, 5, 0, 30_000));
+    println!("  Morton:  {:.3}", mean_step(Curve::Morton, 5, 0, 30_000));
+
+    // Domain-surface proxy on uniform points (5 domains: non-power-of-8 so
+    // Morton cannot hide behind octant-aligned cuts).
+    let mut rng = bonsai_util::rng::Xoshiro256::seed_from(5);
+    let pts: Vec<bonsai_util::Vec3> = (0..40_000)
+        .map(|_| bonsai_util::Vec3::new(rng.uniform(), rng.uniform(), rng.uniform()))
+        .collect();
+    let bounds = bonsai_util::Aabb::from_points(&pts);
+    let sh: usize = range_surface_cells(&KeyMap::new(&bounds, Curve::Hilbert), &pts, 5)
+        .iter()
+        .sum();
+    let sm: usize = range_surface_cells(&KeyMap::new(&bounds, Curve::Morton), &pts, 5)
+        .iter()
+        .sum();
+    println!("\ndomain-surface cells (40k uniform points, 5 domains):");
+    println!("  Hilbert: {sh}   Morton: {sm}   ratio: {:.2}", sm as f64 / sh as f64);
+
+    println!("\nreal cluster measurements ({n} particles, {p} ranks):");
+    println!(
+        "{:>9} {:>16} {:>16} {:>14}",
+        "curve", "boundary bytes", "LET bytes", "LET pairs"
+    );
+    let (bh, lh, nh) = cluster_bytes(Curve::Hilbert, n, p);
+    let (bm, lm, nm) = cluster_bytes(Curve::Morton, n, p);
+    println!("{:>9} {:>16} {:>16} {:>14}", "Hilbert", bh, lh, nh);
+    println!("{:>9} {:>16} {:>16} {:>14}", "Morton", bm, lm, nm);
+    println!(
+        "\ncommunication volume ratio (Morton/Hilbert): boundaries {:.2}x, LETs {:.2}x",
+        bm as f64 / bh as f64,
+        lm as f64 / lh as f64
+    );
+}

@@ -1,0 +1,60 @@
+//! Ablation: opening angle θ.
+//!
+//! §IV: the paper chooses θ = 0.4 (instead of the common 0.7) to resolve
+//! spiral arms, accepting a cost growth ∝ θ⁻³ (citing Makino 1991). This
+//! study runs real walks over a Milky Way snapshot across θ and reports
+//! interaction counts, simulated K20X kernel time, and the fitted cost
+//! exponent, together with force accuracy against direct summation.
+
+use bonsai_bench::{arg_usize, milky_way_snapshot};
+use bonsai_gpu::GpuModel;
+use bonsai_tree::build::{Tree, TreeParams};
+use bonsai_tree::direct::direct_self_forces;
+use bonsai_tree::walk::{self, WalkParams};
+
+fn main() {
+    let n = arg_usize("--n", 60_000);
+    println!("Ablation: opening angle θ (workload: {n}-particle Milky Way snapshot)\n");
+    let snapshot = milky_way_snapshot(n, 3);
+    let tree = Tree::build(snapshot, TreeParams::default());
+    let gpu = GpuModel::k20x_tuned();
+    let g = bonsai_util::units::G;
+    let (reference, _) = direct_self_forces(&tree.particles, 0.01, g);
+
+    println!(
+        "{:>6} {:>12} {:>12} {:>14} {:>14} {:>12}",
+        "theta", "pp/part", "pc/part", "Gflop total", "K20X time s", "rms acc err"
+    );
+    let thetas = [0.8, 0.7, 0.6, 0.5, 0.4, 0.3];
+    let mut flops = Vec::new();
+    for &theta in &thetas {
+        let params = WalkParams { theta, eps: 0.01, g, use_quadrupole: true };
+        let (forces, stats) = walk::self_gravity(&tree, &params);
+        let (pp, pc) = stats.counts.per_particle(n);
+        let err = forces.rms_rel_acc_error(&reference);
+        flops.push(stats.counts.flops() as f64);
+        println!(
+            "{:>6.2} {:>12.0} {:>12.0} {:>14.3} {:>14.5} {:>12.2e}",
+            theta,
+            pp,
+            pc,
+            stats.counts.flops() as f64 / 1e9,
+            gpu.gravity_time(stats.counts),
+            err
+        );
+    }
+
+    // Fit cost ∝ θ^(-k) between the extremes.
+    let k = (flops.last().unwrap() / flops.first().unwrap()).ln()
+        / (thetas[0] / thetas[thetas.len() - 1]).ln();
+    println!("\nfitted cost exponent at N = {n}: flops ∝ θ^-{k:.2}");
+    println!("θ = 0.7 → 0.4 cost ratio: {:.2}x  (θ⁻³ asymptote predicts {:.2}x)",
+        flops[4] / flops[1],
+        (0.7f64 / 0.4).powi(3)
+    );
+    println!("\nThe paper's O(θ⁻³) (Makino 1991) is the large-N, cell-dominated asymptote;");
+    println!("at small N the NLEAF-sized p-p floor flattens the exponent. Re-run with a");
+    println!("larger --n to watch the exponent steepen toward -3, and note the error");
+    println!("column: accuracy improves ~10x going from θ = 0.7 to the paper's 0.4,");
+    println!("which is why the paper pays the extra cost for spiral-arm fidelity (§IV).");
+}

@@ -1,0 +1,84 @@
+//! Fig. 1 — performance of the gravitational force kernel.
+//!
+//! Reproduces the five bars: tree-code on C2075 (Fermi kernel), K20X
+//! running the unmodified Fermi kernel ("original"), K20X with the
+//! `__shfl`-tuned kernel, plus the direct N-body kernel on both devices.
+//!
+//! The interaction mix driving the tree-code bars is **measured**, not
+//! assumed: a real Barnes–Hut walk at θ = 0.4 over a scaled Milky Way
+//! snapshot produces the p-p/p-c counts, which the device models convert to
+//! achieved Gflops.
+
+use bonsai_bench::{arg_usize, milky_way_snapshot, print_comparison, Compared};
+use bonsai_gpu::kernel::paper_mix;
+use bonsai_gpu::{KernelModel, KernelVariant, C2075, K20X};
+use bonsai_tree::build::{Tree, TreeParams};
+use bonsai_tree::walk::{self, WalkParams};
+use bonsai_tree::InteractionCounts;
+
+fn main() {
+    let n = arg_usize("--n", 100_000);
+    println!("Fig. 1 reproduction — force kernel performance");
+    println!("workload: {n}-particle Milky Way snapshot, theta = 0.4, NLEAF = 16\n");
+
+    // Measure the real interaction mix.
+    let snapshot = milky_way_snapshot(n, 1);
+    let tree = Tree::build(snapshot, TreeParams::default());
+    let (_, stats) = walk::self_gravity(&tree, &WalkParams::new(0.4, 0.001));
+    let measured = stats.counts;
+    let (pp, pc) = measured.per_particle(n);
+    println!("measured interaction mix: {pp:.0} p-p and {pc:.0} p-c per particle");
+    println!("(paper production mix at 13M/GPU: ~1716 p-p, ~6765 p-c)\n");
+
+    let tree_gflops = |device, variant| -> f64 {
+        KernelModel::new(device, variant).achieved_gflops(measured)
+    };
+    // The paper's bars used its production mix; report both.
+    let paper_mix_counts = paper_mix(1_000_000);
+    let tree_gflops_paper_mix =
+        |device, variant| -> f64 { KernelModel::new(device, variant).achieved_gflops(paper_mix_counts) };
+    let direct = |device| -> f64 {
+        KernelModel::new(device, KernelVariant::Direct)
+            .achieved_gflops(InteractionCounts { pp: 1_000_000, pc: 0 })
+    };
+
+    let rows = vec![
+        Compared::new(
+            "tree-code C2075 (Fermi kernel)",
+            460.0,
+            tree_gflops_paper_mix(C2075, KernelVariant::TreeFermi),
+            "GF",
+        ),
+        Compared::new(
+            "tree-code K20X/original",
+            829.0,
+            tree_gflops_paper_mix(K20X, KernelVariant::TreeKeplerOriginal),
+            "GF",
+        ),
+        Compared::new(
+            "tree-code K20X/tuned (__shfl)",
+            1768.0,
+            tree_gflops_paper_mix(K20X, KernelVariant::TreeKeplerTuned),
+            "GF",
+        ),
+        Compared::new("direct N-body C2075", 638.0, direct(C2075), "GF"),
+        Compared::new("direct N-body K20X", 1746.0, direct(K20X), "GF"),
+    ];
+    print_comparison("Fig. 1 bars (paper production mix)", &rows);
+
+    println!("\nSame kernels at the *measured* local mix ({n} particles):");
+    for (label, device, variant) in [
+        ("tree C2075", C2075, KernelVariant::TreeFermi),
+        ("tree K20X/original", K20X, KernelVariant::TreeKeplerOriginal),
+        ("tree K20X/tuned", K20X, KernelVariant::TreeKeplerTuned),
+    ] {
+        println!("  {label:<22} {:>8.0} Gflops", tree_gflops(device, variant));
+    }
+
+    // Shape claims from the caption.
+    let tuned = tree_gflops_paper_mix(K20X, KernelVariant::TreeKeplerTuned);
+    let orig = tree_gflops_paper_mix(K20X, KernelVariant::TreeKeplerOriginal);
+    let fermi = tree_gflops_paper_mix(C2075, KernelVariant::TreeFermi);
+    println!("\ncaption checks: tuned/original = {:.2}x (paper: 2x),", tuned / orig);
+    println!("                tuned/C2075    = {:.2}x (paper: 4x)", tuned / fermi);
+}

@@ -1,0 +1,158 @@
+//! Fig. 3 — the Milky Way simulation: bar formation, spiral structure and
+//! the solar-neighbourhood velocity distribution.
+//!
+//! The paper evolves 51 billion particles for 6 Gyr on 4096 GPUs; this
+//! reproduction evolves a scaled model (default 60k particles, `--n` /
+//! `--steps` to change; EXPERIMENTS.md records a 200k × 2 Gyr run) and
+//! emits:
+//!
+//! * `out/fig3_density_t*.ppm` — face-on stellar surface density at three
+//!   epochs (the top row of Fig. 3);
+//! * `out/fig3_velocity.csv` — the (v_r, v_φ − v_rot) histogram of disk
+//!   stars in the 7–9 kpc "solar" annulus (bottom-left panel; the paper
+//!   uses a 500 pc sphere, which needs ≳10⁶ disk particles to populate);
+//! * `out/fig3_bar_strength.csv` — A₂(t) and bar phase: the quantitative
+//!   bar-formation record and pattern speed.
+//!
+//! Scaled-run caveats (documented in EXPERIMENTS.md): softening follows the
+//! interparticle spacing (ε ∝ N^(-1/3), anchored at 0.1 kpc for 2×10⁵
+//! particles), and with 10⁴–10⁵ particles the m = 2 instability is seeded
+//! by shot noise, so the bar forms *earlier* than in the 51G run — the
+//! paper itself notes the formation time grows with N (§IV).
+
+use bonsai_analysis::bar::{pattern_speed, BarAnalysis};
+use bonsai_analysis::ppm;
+use bonsai_analysis::velocity::cylindrical_velocity;
+use bonsai_analysis::SurfaceDensityMap;
+use bonsai_bench::{arg_usize, out_dir};
+use bonsai_core::{Simulation, SimulationConfig};
+use bonsai_ic::MilkyWayModel;
+use bonsai_util::stats::Histogram2d;
+use bonsai_util::units;
+
+fn main() {
+    let n = arg_usize("--n", 60_000);
+    let steps = arg_usize("--steps", 700);
+    let mw = MilkyWayModel::paper();
+    let (nb, nd, _) = mw.component_counts(n);
+    let stellar_ids = (0u64, (nb + nd) as u64); // bulge + disk
+    println!("Fig. 3 reproduction — Milky Way with {n} particles ({nb} bulge, {nd} disk)");
+
+    // Softening tracks the interparticle spacing: 0.1 kpc at 2e5 particles,
+    // ∝ N^(-1/3) (the paper's 1 pc corresponds to its 51G resolution).
+    let eps = 0.1 * (2.0e5 / n as f64).powf(1.0 / 3.0);
+    let dt = units::myr_to_internal(3.0);
+    println!(
+        "theta = 0.4, eps = {eps:.3} kpc, dt = 3 Myr, {steps} steps (~{:.2} Gyr)\n",
+        units::internal_to_gyr(dt * steps as f64)
+    );
+
+    let ic = mw.generate(n, 42);
+    let mut sim = Simulation::new(ic, SimulationConfig::galactic(eps, dt));
+    let e0 = sim.energy_report();
+
+    let mut bar_series: Vec<(f64, f64)> = Vec::new(); // (time, phase)
+    let mut a2_rows: Vec<Vec<f64>> = Vec::new();
+    let snap_steps = [steps / 3, 2 * steps / 3, steps];
+    let mut snap_idx = 0usize;
+
+    for s in 1..=steps {
+        sim.step();
+        if s % 10 == 0 || s == steps {
+            let bar = BarAnalysis::measure(sim.particles(), 4.0, Some(stellar_ids));
+            let t_gyr = units::internal_to_gyr(sim.time());
+            bar_series.push((sim.time(), bar.phase));
+            a2_rows.push(vec![t_gyr, bar.a2, bar.phase]);
+            if s % 100 == 0 {
+                println!("  step {s:>5}  t = {t_gyr:.2} Gyr  A2 = {:.3}", bar.a2);
+            }
+        }
+        if snap_idx < snap_steps.len() && s == snap_steps[snap_idx] {
+            let t_gyr = units::internal_to_gyr(sim.time());
+            let map = SurfaceDensityMap::compute(sim.particles(), 15.0, 256, Some(stellar_ids));
+            let img = map.log_brightness(3.0);
+            let path = out_dir().join(format!("fig3_density_t{snap_idx}.ppm"));
+            ppm::write_heatmap(&path, &img, 256).expect("write density map");
+            println!("  wrote {} (t = {t_gyr:.2} Gyr)", path.display());
+            snap_idx += 1;
+        }
+    }
+
+    // Energy audit of the full run (collisional relaxation at low N makes a
+    // ~1% drift per Gyr expected; the paper's 51G run suppresses it by mass
+    // resolution).
+    let e1 = sim.energy_report();
+    println!("\nenergy drift over the run: {:.2e}", e1.drift_from(&e0));
+
+    // Bar diagnostics.
+    let final_bar = BarAnalysis::measure(sim.particles(), 4.0, Some(stellar_ids));
+    let early_a2 = a2_rows.first().map(|r| r[1]).unwrap_or(0.0);
+    println!("bar strength A2: {early_a2:.3} (early) -> {:.3} (final)", final_bar.a2);
+    let late = &bar_series[bar_series.len().saturating_sub(12)..];
+    if late.len() >= 2 && final_bar.a2 > 0.05 {
+        // Internal time unit is kpc/(km/s), so Ω_b is already km/s/kpc.
+        let omega = pattern_speed(late);
+        println!("bar pattern speed: {omega:.1} km/s/kpc (MW estimates: 35-55)");
+    }
+    ppm::write_csv(out_dir().join("fig3_bar_strength.csv"), "t_gyr,a2,phase", &a2_rows)
+        .expect("write A2 series");
+
+    // Velocity structure of disk stars in the solar annulus (7-9 kpc).
+    let p = sim.particles();
+    let mut hist = Histogram2d::new(-80.0, 80.0, 40, -80.0, 80.0, 40);
+    let mut selected = 0usize;
+    let mut vphi_sum = 0.0;
+    let mut sel: Vec<usize> = Vec::new();
+    for i in 0..p.len() {
+        if p.id[i] < stellar_ids.0 || p.id[i] >= stellar_ids.1 {
+            continue;
+        }
+        let r = p.pos[i].cyl_radius();
+        if (7.0..9.0).contains(&r) && p.pos[i].z.abs() < 1.0 {
+            let (_, vphi) = cylindrical_velocity(p.pos[i], p.vel[i]);
+            vphi_sum += vphi;
+            sel.push(i);
+        }
+    }
+    let v_rot = if sel.is_empty() { 0.0 } else { vphi_sum / sel.len() as f64 };
+    for &i in &sel {
+        let (vr, vphi) = cylindrical_velocity(p.pos[i], p.vel[i]);
+        hist.add(vr, vphi - v_rot);
+        selected += 1;
+    }
+    println!(
+        "\nsolar annulus (7-9 kpc): {selected} disk stars, mean v_phi = {v_rot:.0} km/s"
+    );
+    let (nx, ny) = hist.shape();
+    let mut rows = Vec::new();
+    for iy in 0..ny {
+        for ix in 0..nx {
+            rows.push(vec![
+                -80.0 + 160.0 * (ix as f64 + 0.5) / nx as f64,
+                -80.0 + 160.0 * (iy as f64 + 0.5) / ny as f64,
+                hist.get(ix, iy) as f64,
+            ]);
+        }
+    }
+    ppm::write_csv(out_dir().join("fig3_velocity.csv"), "v_r,dv_phi,count", &rows)
+        .expect("write velocity histogram");
+    println!("wrote out/fig3_velocity.csv and out/fig3_bar_strength.csv");
+
+    // Moving groups (the clumps/streams of the paper's bottom-left panel).
+    let groups = bonsai_analysis::velocity::moving_group_count(&hist, 4.0, 3);
+    println!("detected velocity-plane moving groups: {groups} (≥3-cell clumps at 4σ)");
+
+    // Spiral structure: dominant m mode and pitch angle of the outer disk.
+    let spec = bonsai_analysis::spiral::mode_spectrum(p, 12.0, 24, 6, Some(stellar_ids));
+    let m_dom = spec.dominant_mode(4.0, 11.0);
+    let a_dom = spec.mean_amplitude(m_dom, 4.0, 11.0);
+    println!("dominant non-axisymmetric mode in 4-11 kpc: m = {m_dom} (amplitude {a_dom:.3})");
+    if let Some(pitch) = bonsai_analysis::spiral::pitch_angle(&spec, m_dom, 4.0, 11.0) {
+        println!("log-spiral pitch angle of the m = {m_dom} pattern: {pitch:.1} deg");
+    }
+
+    println!("\npaper comparison (shape, not scale):");
+    println!("  - m=2 bar + spiral structure develops; A2 grows               [Fig. 3 top row]");
+    println!("  - disk velocity plane shows anisotropic substructure          [Fig. 3 bottom-left]");
+    println!("  - 51G production run: 4096 GPUs, 6 Gyr, ~4.6 s/step           [§VI-C]");
+}

@@ -1,0 +1,56 @@
+//! §II — power efficiency: why the paper moved to GPU supercomputers.
+//!
+//! Reproduces the Green500-style comparison ("K computer offers 830
+//! Mflops/watt compared to 2.1 (2.7) Gflops/watt for Titan (Piz Daint)")
+//! and derives the *application-level* energy efficiency of the record run
+//! from the node power model and the modelled step breakdown.
+
+use bonsai_bench::{print_comparison, Compared};
+use bonsai_gpu::power::{K20X_NODE, K_COMPUTER, PIZ_DAINT_EFF, TITAN_EFF};
+use bonsai_sim::ScalingModel;
+
+fn main() {
+    println!("§II reproduction — energy efficiency\n");
+    println!("machine peak efficiencies (Green500 numbers quoted by the paper):");
+    for m in [K_COMPUTER, TITAN_EFF, PIZ_DAINT_EFF] {
+        println!("  {:<12} {:>6.2} Gflops/W", m.name, m.peak_gflops_per_watt);
+    }
+    println!(
+        "  GPU machines win by {:.1}-{:.1}x per watt — the paper's §II argument.\n",
+        TITAN_EFF.peak_gflops_per_watt / K_COMPUTER.peak_gflops_per_watt,
+        PIZ_DAINT_EFF.peak_gflops_per_watt / K_COMPUTER.peak_gflops_per_watt
+    );
+
+    // Application-level energy efficiency of the record run.
+    let titan = ScalingModel::titan();
+    let b = titan.predict(18600, 13_000_000);
+    let per_node_gflops = b.total_flops() / b.total() / 18600.0 / 1e9;
+    let duty = (b.gravity_local + b.gravity_lets) / b.total();
+    let node_w = K20X_NODE.node_watts(duty);
+    let eff = K20X_NODE.gflops_per_watt(per_node_gflops, duty);
+    println!("record run (242G particles, 18600 GPUs):");
+    println!("  per-node application rate: {per_node_gflops:.0} Gflops");
+    println!("  GPU duty cycle: {:.0}% of the {:.2} s step", 100.0 * duty, b.total());
+    println!("  mean node power: {node_w:.0} W  →  machine draw ≈ {:.1} MW", node_w * 18600.0 / 1e6);
+    println!("  application efficiency: {eff:.2} Gflops/W (single precision)\n");
+
+    // Ishiyama et al. comparison from §II: 4.45 Pflops on 82944 K-computer
+    // nodes (~12.7 MW machine) vs our 24.77 Pflops at ~6.8 MW.
+    let rows = vec![
+        Compared::new(
+            "K computer trillion-body run (Pflops)",
+            4.45,
+            4.45,
+            "PF",
+        ),
+        Compared::new(
+            "Bonsai application performance (Pflops)",
+            24.77,
+            b.total_flops() / b.total() / 1e15,
+            "PF",
+        ),
+    ];
+    print_comparison("sustained performance context (§II)", &rows);
+    println!("\n(the K-computer row is quoted, not simulated — shown for the §II contrast:");
+    println!(" ~5.6x the sustained flops at roughly half the machine power)");
+}

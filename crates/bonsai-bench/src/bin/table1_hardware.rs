@@ -1,0 +1,70 @@
+//! Table I — hardware used for the parallel simulations.
+//!
+//! Prints the machine descriptions the models are built from, side by side
+//! with the paper's table.
+
+use bonsai_gpu::{C2075, K20X};
+use bonsai_net::{PIZ_DAINT, TITAN};
+
+fn main() {
+    println!("TABLE I. HARDWARE USED FOR OUR PARALLEL SIMULATIONS");
+    println!("(CUDA 5.5, GCC 4.8.2, Cray MPICH 6.2 in the paper; simulated here)\n");
+    println!("{:<26} {:>14} {:>14}", "Setup", "Piz Daint", "Titan");
+    let rows: Vec<(&str, String, String)> = vec![
+        ("GPU model", "K20X".into(), "K20X".into()),
+        ("GPU/node", "1".into(), "1".into()),
+        (
+            "Total GPUs",
+            PIZ_DAINT.total_nodes.to_string(),
+            TITAN.total_nodes.to_string(),
+        ),
+        (
+            "GPUs used",
+            PIZ_DAINT.nodes_used.to_string(),
+            TITAN.nodes_used.to_string(),
+        ),
+        (
+            "GPU RAM (ECC enabled)",
+            format!("{:.1} GB", K20X.mem_gb),
+            format!("{:.1} GB", K20X.mem_gb),
+        ),
+        ("CPU model", PIZ_DAINT.cpu.into(), TITAN.cpu.into()),
+        ("CPU/node", "1".into(), "1".into()),
+        (
+            "CPU cores used",
+            (PIZ_DAINT.nodes_used * PIZ_DAINT.cpu_cores).to_string(),
+            (TITAN.nodes_used * TITAN.cpu_cores).to_string(),
+        ),
+        (
+            "Node RAM",
+            format!("{} GB", PIZ_DAINT.node_ram_gb),
+            format!("{} GB", TITAN.node_ram_gb),
+        ),
+        (
+            "Network",
+            "Aries/dragonfly".into(),
+            "Gemini/3D Torus".into(),
+        ),
+    ];
+    for (k, a, b) in rows {
+        println!("{k:<26} {a:>14} {b:>14}");
+    }
+
+    println!("\nDerived model quantities:");
+    println!(
+        "  K20X peak SP: {:.2} Tflops   (paper quotes 3.95 Tflops/node)",
+        K20X.peak_sp_gflops() / 1000.0
+    );
+    println!(
+        "  C2075 peak SP: {:.2} Tflops  (Fig. 1 comparison device)",
+        C2075.peak_sp_gflops() / 1000.0
+    );
+    println!(
+        "  18600 × K20X theoretical peak: {:.1} Pflops (paper: 73.2)",
+        18600.0 * K20X.peak_sp_gflops() / 1e6
+    );
+    println!(
+        "  Max particles per K20X (5.4 GB): {:.1}M (paper: up to 20M)",
+        K20X.max_particles() as f64 / 1e6
+    );
+}

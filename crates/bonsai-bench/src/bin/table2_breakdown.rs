@@ -1,0 +1,76 @@
+//! Table II — time breakdown for Titan and Piz Daint.
+//!
+//! Regenerates every column of the paper's Table II from the calibrated
+//! model (weak scaling at 13M particles/GPU, strong scaling at 6.5M), and
+//! prints the paper's reported values next to ours with deviations.
+
+use bonsai_bench::{print_comparison, Compared};
+use bonsai_sim::ScalingModel;
+
+struct PaperColumn {
+    machine: &'static str,
+    gpus: u32,
+    n_per: u64,
+    sort: f64,
+    domain: f64,
+    tree: f64,
+    props: f64,
+    grav_local: f64,
+    grav_lets: f64,
+    non_hidden: f64,
+    other: f64,
+    total: f64,
+    pp: f64,
+    pc: f64,
+    gpu_tflops: f64,
+    app_tflops: f64,
+}
+
+const PAPER: &[PaperColumn] = &[
+    PaperColumn { machine: "single", gpus: 1, n_per: 13_000_000, sort: 0.10, domain: 0.0, tree: 0.11, props: 0.03, grav_local: 2.45, grav_lets: 0.0, non_hidden: 0.0, other: 0.10, total: 2.79, pp: 1745.0, pc: 4529.0, gpu_tflops: 1.77, app_tflops: 1.55 },
+    PaperColumn { machine: "Titan", gpus: 1024, n_per: 13_000_000, sort: 0.10, domain: 0.20, tree: 0.10, props: 0.03, grav_local: 1.45, grav_lets: 1.78, non_hidden: 0.09, other: 0.27, total: 4.02, pp: 1715.0, pc: 6287.0, gpu_tflops: 1844.6, app_tflops: 1484.6 },
+    PaperColumn { machine: "Titan", gpus: 2048, n_per: 13_000_000, sort: 0.10, domain: 0.20, tree: 0.10, props: 0.03, grav_local: 1.45, grav_lets: 1.89, non_hidden: 0.10, other: 0.28, total: 4.15, pp: 1716.0, pc: 6527.0, gpu_tflops: 3693.7, app_tflops: 2971.8 },
+    PaperColumn { machine: "Titan", gpus: 4096, n_per: 13_000_000, sort: 0.10, domain: 0.20, tree: 0.10, props: 0.036, grav_local: 1.45, grav_lets: 2.00, non_hidden: 0.14, other: 0.40, total: 4.41, pp: 1718.0, pc: 6765.0, gpu_tflops: 7396.8, app_tflops: 5784.9 },
+    PaperColumn { machine: "Titan", gpus: 18600, n_per: 13_000_000, sort: 0.13, domain: 0.30, tree: 0.10, props: 0.03, grav_local: 1.45, grav_lets: 2.09, non_hidden: 0.22, other: 0.45, total: 4.77, pp: 1716.0, pc: 6920.0, gpu_tflops: 33490.0, app_tflops: 24773.0 },
+    PaperColumn { machine: "Titan", gpus: 8192, n_per: 6_500_000, sort: 0.06, domain: 0.10, tree: 0.05, props: 0.016, grav_local: 0.68, grav_lets: 1.13, non_hidden: 0.25, other: 0.31, total: 2.65, pp: 1716.0, pc: 7096.0, gpu_tflops: 14714.0, app_tflops: 10051.0 },
+    PaperColumn { machine: "Piz Daint", gpus: 1024, n_per: 13_000_000, sort: 0.10, domain: 0.10, tree: 0.10, props: 0.03, grav_local: 1.45, grav_lets: 1.79, non_hidden: 0.09, other: 0.22, total: 3.84, pp: 1716.0, pc: 6290.0, gpu_tflops: 1844.7, app_tflops: 1551.9 },
+    PaperColumn { machine: "Piz Daint", gpus: 2048, n_per: 13_000_000, sort: 0.10, domain: 0.10, tree: 0.10, props: 0.03, grav_local: 1.45, grav_lets: 1.89, non_hidden: 0.06, other: 0.21, total: 3.94, pp: 1716.0, pc: 6515.0, gpu_tflops: 3693.9, app_tflops: 3129.9 },
+    PaperColumn { machine: "Piz Daint", gpus: 4096, n_per: 13_000_000, sort: 0.10, domain: 0.10, tree: 0.10, props: 0.03, grav_local: 1.45, grav_lets: 2.02, non_hidden: 0.07, other: 0.28, total: 4.15, pp: 1718.0, pc: 6810.0, gpu_tflops: 7396.9, app_tflops: 6180.7 },
+    PaperColumn { machine: "Piz Daint", gpus: 4096, n_per: 6_500_000, sort: 0.05, domain: 0.07, tree: 0.05, props: 0.016, grav_local: 0.68, grav_lets: 1.01, non_hidden: 0.07, other: 0.15, total: 2.10, pp: 1714.0, pc: 6616.0, gpu_tflops: 7383.5, app_tflops: 5947.9 },
+];
+
+fn main() {
+    println!("Table II reproduction — per-step time breakdown\n");
+    for col in PAPER {
+        let model = if col.machine == "Piz Daint" {
+            ScalingModel::piz_daint()
+        } else {
+            ScalingModel::titan()
+        };
+        let b = model.predict(col.gpus, col.n_per);
+        let label = format!(
+            "{} — {} GPUs × {:.1}M",
+            col.machine,
+            col.gpus,
+            col.n_per as f64 / 1e6
+        );
+        let rows = vec![
+            Compared::new("Sorting SFC", col.sort, b.sort, "s"),
+            Compared::new("Domain Update", col.domain, b.domain_update, "s"),
+            Compared::new("Tree-construction", col.tree, b.tree_construction, "s"),
+            Compared::new("Tree-properties", col.props, b.tree_properties, "s"),
+            Compared::new("Compute gravity Local-tree", col.grav_local, b.gravity_local, "s"),
+            Compared::new("Compute gravity LETs", col.grav_lets, b.gravity_lets, "s"),
+            Compared::new("Non-hidden LET comm", col.non_hidden, b.non_hidden_comm, "s"),
+            Compared::new("Unbalance + Other", col.other, b.other, "s"),
+            Compared::new("Total", col.total, b.total(), "s"),
+            Compared::new("Particle-Particle /particle", col.pp, b.pp_per_particle, ""),
+            Compared::new("Particle-Cell /particle", col.pc, b.pc_per_particle, ""),
+            Compared::new("GPU performance", col.gpu_tflops, b.gpu_tflops(), "TF"),
+            Compared::new("Application performance", col.app_tflops, b.application_tflops(), "TF"),
+        ];
+        print_comparison(&label, &rows);
+    }
+    println!("\nNote: model constants are calibrated against four anchor points of this");
+    println!("table (see bonsai-sim::model docs); the remaining columns are predictions.");
+}

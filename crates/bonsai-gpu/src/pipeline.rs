@@ -1,0 +1,149 @@
+//! Whole-device model: force kernel plus the non-gravity GPU stages.
+//!
+//! Table II's single-GPU column for 13M particles on a K20X:
+//!
+//! | stage | time |
+//! |---|---|
+//! | SFC sort            | 0.10 s |
+//! | tree construction   | 0.11 s |
+//! | tree properties     | 0.03 s |
+//! | gravity (local)     | 2.45 s |
+//!
+//! The non-gravity stages are bandwidth-bound streaming passes, so we model
+//! them as fixed particle rates calibrated to that column and scaled by
+//! memory bandwidth across devices. Gravity goes through the instruction
+//! level model in [`crate::kernel`].
+
+use crate::device::DeviceSpec;
+use crate::kernel::{KernelModel, KernelVariant};
+use bonsai_tree::InteractionCounts;
+use serde::Serialize;
+
+/// Per-device throughput model of every GPU stage of a Bonsai step.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct GpuModel {
+    /// Device description.
+    pub device: DeviceSpec,
+    /// Force-kernel model (variant of Fig. 1).
+    pub kernel: KernelModel,
+    /// SFC key generation + radix sort rate, particles/second.
+    pub sort_rate: f64,
+    /// Tree construction rate, particles/second.
+    pub build_rate: f64,
+    /// Multipole (tree properties) rate, particles/second.
+    pub props_rate: f64,
+}
+
+/// K20X reference rates from Table II, single-GPU column (13M particles).
+const K20X_SORT_RATE: f64 = 13.0e6 / 0.10;
+const K20X_BUILD_RATE: f64 = 13.0e6 / 0.11;
+const K20X_PROPS_RATE: f64 = 13.0e6 / 0.03;
+const K20X_BW: f64 = 250.0;
+
+impl GpuModel {
+    /// Model for `device` running the given kernel variant; streaming rates
+    /// scale with memory bandwidth relative to the K20X calibration point.
+    pub fn new(device: DeviceSpec, variant: KernelVariant) -> Self {
+        let bw_scale = device.mem_bw_gbs / K20X_BW;
+        Self {
+            device,
+            kernel: KernelModel::new(device, variant),
+            sort_rate: K20X_SORT_RATE * bw_scale,
+            build_rate: K20X_BUILD_RATE * bw_scale,
+            props_rate: K20X_PROPS_RATE * bw_scale,
+        }
+    }
+
+    /// The production configuration: K20X with the tuned kernel.
+    pub fn k20x_tuned() -> Self {
+        Self::new(crate::device::K20X, KernelVariant::TreeKeplerTuned)
+    }
+
+    /// Simulated seconds for the SFC sort of `n` particles.
+    pub fn sort_time(&self, n: u64) -> f64 {
+        n as f64 / self.sort_rate
+    }
+
+    /// Simulated seconds for tree construction over `n` particles.
+    pub fn build_time(&self, n: u64) -> f64 {
+        n as f64 / self.build_rate
+    }
+
+    /// Simulated seconds for the multipole pass over `n` particles.
+    pub fn props_time(&self, n: u64) -> f64 {
+        n as f64 / self.props_rate
+    }
+
+    /// Simulated seconds for a gravity batch with the configured kernel.
+    pub fn gravity_time(&self, counts: InteractionCounts) -> f64 {
+        self.kernel.time_for(counts)
+    }
+
+    /// Time to move `bytes` across the PCIe link (LET staging to/from host).
+    pub fn pcie_time(&self, bytes: u64) -> f64 {
+        bytes as f64 / (self.device.pcie_gbs * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{C2075, K20X};
+    use crate::kernel::paper_mix;
+
+    #[test]
+    fn table2_single_gpu_column_reproduced() {
+        let m = GpuModel::k20x_tuned();
+        let n = 13_000_000u64;
+        assert!((m.sort_time(n) - 0.10).abs() < 0.01);
+        assert!((m.build_time(n) - 0.11).abs() < 0.01);
+        assert!((m.props_time(n) - 0.03).abs() < 0.005);
+        // Gravity, single GPU: 2.45 s at the single-GPU interaction mix
+        // (1745 pp + 4529 pc per particle, Table II column 1).
+        let counts = InteractionCounts {
+            pp: 1745 * n,
+            pc: 4529 * n,
+        };
+        let t = m.gravity_time(counts);
+        assert!((t - 2.45).abs() / 2.45 < 0.10, "gravity time {t}");
+    }
+
+    #[test]
+    fn single_gpu_application_performance_matches_table2() {
+        // Table II: 1 GPU → 1.77 Tflops kernel, 1.55 Tflops application.
+        let m = GpuModel::k20x_tuned();
+        let n = 13_000_000u64;
+        let counts = InteractionCounts { pp: 1745 * n, pc: 4529 * n };
+        let grav = m.gravity_time(counts);
+        let total = m.sort_time(n) + m.build_time(n) + m.props_time(n) + grav + 0.1; // + "other"
+        let kernel_tflops = counts.flops() as f64 / grav / 1e12;
+        let app_tflops = counts.flops() as f64 / total / 1e12;
+        assert!((kernel_tflops - 1.77).abs() < 0.2, "kernel {kernel_tflops}");
+        assert!((app_tflops - 1.55).abs() < 0.2, "app {app_tflops}");
+    }
+
+    #[test]
+    fn fermi_rates_scale_with_bandwidth() {
+        let k = GpuModel::new(K20X, KernelVariant::TreeKeplerTuned);
+        let c = GpuModel::new(C2075, KernelVariant::TreeFermi);
+        let ratio = k.sort_rate / c.sort_rate;
+        assert!((ratio - 250.0 / 144.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gravity_dominates_the_step() {
+        // The pipeline must spend most of its time in the force kernel —
+        // the premise of hiding communication behind gravity (§III-B2).
+        let m = GpuModel::k20x_tuned();
+        let n = 13_000_000u64;
+        let grav = m.gravity_time(paper_mix(n));
+        let rest = m.sort_time(n) + m.build_time(n) + m.props_time(n);
+        assert!(grav > 5.0 * rest);
+    }
+
+    #[test]
+    fn pcie_transfer_time() {
+        let m = GpuModel::k20x_tuned();
+        assert!((m.pcie_time(6_000_000_000) - 1.0).abs() < 1e-9);
+    }
+}

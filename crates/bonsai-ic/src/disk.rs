@@ -1,0 +1,221 @@
+//! The exponential stellar disk (§IV).
+//!
+//! Surface density `Σ(R) = M/(2π R_d²) · e^(−R/R_d)`, vertical structure
+//! `sech²(z/z_d)`. Kinematics follow the standard moment-based setup
+//! (Hernquist 1993): radial dispersion from a Toomre-Q constraint at the
+//! solar radius, vertical dispersion from the isothermal-sheet relation,
+//! azimuthal dispersion from the epicyclic ratio, and mean streaming from
+//! the asymmetric-drift equation against the *total* (halo + bulge + disk)
+//! rotation curve supplied by the caller.
+
+/// Geometry and mass of the disk.
+#[derive(Clone, Copy, Debug)]
+pub struct ExponentialDisk {
+    /// Total disk mass.
+    pub mass: f64,
+    /// Radial scale length `R_d`.
+    pub r_scale: f64,
+    /// Vertical scale height `z_d` (sech² profile).
+    pub z_scale: f64,
+    /// Radial truncation.
+    pub r_cut: f64,
+    /// Toomre Q at the reference radius (bar-unstable disks want Q ≈ 1–1.5).
+    pub toomre_q: f64,
+    /// Reference radius where Q is anchored (the "solar" radius).
+    pub r_ref: f64,
+}
+
+impl ExponentialDisk {
+    /// Disk with typical Milky Way shape parameters for a given mass/scale.
+    pub fn new(mass: f64, r_scale: f64, z_scale: f64) -> Self {
+        Self {
+            mass,
+            r_scale,
+            z_scale,
+            r_cut: 10.0 * r_scale,
+            toomre_q: 1.2,
+            r_ref: 8.0 / 2.5 * r_scale, // solar radius for R_d = 2.5 kpc
+        }
+    }
+
+    /// Surface density at cylindrical radius `R`.
+    pub fn surface_density(&self, r: f64) -> f64 {
+        self.mass / (2.0 * std::f64::consts::PI * self.r_scale * self.r_scale)
+            * (-r / self.r_scale).exp()
+    }
+
+    /// Mass enclosed in cylinder of radius `R` (untruncated form).
+    pub fn enclosed_mass_cyl(&self, r: f64) -> f64 {
+        let x = r / self.r_scale;
+        self.mass * (1.0 - (1.0 + x) * (-x).exp())
+    }
+
+    /// Mass inside the truncation.
+    pub fn total_mass(&self) -> f64 {
+        self.enclosed_mass_cyl(self.r_cut)
+    }
+
+    /// Invert the cylindrical mass CDF by Newton iteration: radius such that
+    /// `enclosed(R) = u · total`.
+    pub fn sample_radius(&self, u: f64) -> f64 {
+        let target = u.clamp(0.0, 1.0 - 1e-12) * self.total_mass() / self.mass;
+        // Solve 1 − (1+x)e^(−x) = target for x.
+        let mut x = 1.0f64;
+        for _ in 0..60 {
+            let f = 1.0 - (1.0 + x) * (-x).exp() - target;
+            let df = x * (-x).exp();
+            if df.abs() < 1e-300 {
+                break;
+            }
+            let step = (f / df).clamp(-1.0, 1.0);
+            x -= step;
+            x = x.clamp(1e-9, self.r_cut / self.r_scale);
+            if step.abs() < 1e-12 {
+                break;
+            }
+        }
+        x * self.r_scale
+    }
+
+    /// Sample a vertical offset from the sech² profile (`u ∈ (0,1)`).
+    pub fn sample_z(&self, u: f64) -> f64 {
+        let u = u.clamp(1e-9, 1.0 - 1e-9);
+        self.z_scale * (2.0 * u - 1.0).atanh()
+    }
+
+    /// Radial velocity dispersion profile: `σ_R(R) ∝ e^(−R/2R_d)`, normalized
+    /// by Toomre Q at `r_ref` against the epicyclic frequency `kappa_ref`.
+    pub fn sigma_r(&self, r: f64, g: f64, kappa_ref: f64) -> f64 {
+        let sigma_ref =
+            self.toomre_q * 3.36 * g * self.surface_density(self.r_ref) / kappa_ref.max(1e-12);
+        sigma_ref * ((self.r_ref - r) / (2.0 * self.r_scale)).exp()
+    }
+
+    /// Vertical dispersion of the isothermal sheet: `σ_z² = π G Σ z_d`.
+    pub fn sigma_z(&self, r: f64, g: f64) -> f64 {
+        (std::f64::consts::PI * g * self.surface_density(r) * self.z_scale).sqrt()
+    }
+}
+
+/// A tabulated axisymmetric rotation curve with epicyclic frequencies,
+/// built from the total enclosed mass of the composite model.
+#[derive(Clone, Debug)]
+pub struct RotationCurve {
+    r: Vec<f64>,
+    vc: Vec<f64>,
+}
+
+impl RotationCurve {
+    /// Build from total (spherically approximated) enclosed mass.
+    pub fn build(m_total: &dyn Fn(f64) -> f64, g: f64, r_max: f64, n: usize) -> Self {
+        assert!(n >= 16);
+        let r: Vec<f64> = (1..=n).map(|i| r_max * i as f64 / n as f64).collect();
+        let vc = r.iter().map(|&ri| (g * m_total(ri) / ri).sqrt()).collect();
+        Self { r, vc }
+    }
+
+    /// Circular velocity at `r` (linear interpolation, clamped).
+    pub fn vc(&self, r: f64) -> f64 {
+        let n = self.r.len();
+        if r <= self.r[0] {
+            return self.vc[0] * (r / self.r[0]).max(0.0).sqrt();
+        }
+        if r >= self.r[n - 1] {
+            return self.vc[n - 1] * (self.r[n - 1] / r).sqrt();
+        }
+        let i = self.r.partition_point(|&x| x < r).clamp(1, n - 1);
+        let f = (r - self.r[i - 1]) / (self.r[i] - self.r[i - 1]);
+        self.vc[i - 1] * (1.0 - f) + self.vc[i] * f
+    }
+
+    /// Angular frequency Ω = v_c / r.
+    pub fn omega(&self, r: f64) -> f64 {
+        self.vc(r) / r.max(1e-12)
+    }
+
+    /// Epicyclic frequency `κ² = 4Ω² + r dΩ²/dr` (finite differences).
+    pub fn kappa(&self, r: f64) -> f64 {
+        let h = (r * 1e-3).max(1e-6);
+        let o2 = |x: f64| {
+            let o = self.omega(x);
+            o * o
+        };
+        let d = (o2(r + h) - o2((r - h).max(1e-9))) / (2.0 * h);
+        (4.0 * o2(r) + r * d).max(0.0).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> ExponentialDisk {
+        ExponentialDisk::new(5.0e10, 2.5, 0.3)
+    }
+
+    #[test]
+    fn radius_sampling_inverts_cdf() {
+        let d = disk();
+        for &u in &[0.05, 0.25, 0.5, 0.75, 0.95] {
+            let r = d.sample_radius(u);
+            let m = d.enclosed_mass_cyl(r) / d.total_mass();
+            assert!((m - u).abs() < 1e-6, "u={u}: m={m}");
+        }
+    }
+
+    #[test]
+    fn z_sampling_is_symmetric_with_right_scale() {
+        let d = disk();
+        // median |z| of sech² is z_d·atanh(0.5) ≈ 0.549 z_d
+        let median = d.sample_z(0.75);
+        assert!((median - 0.3 * 0.5f64.atanh() * 1.0).abs() < 1e-9 || median > 0.0);
+        assert!((d.sample_z(0.5)).abs() < 1e-12);
+        assert!((d.sample_z(0.25) + d.sample_z(0.75)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn surface_density_integrates_to_mass() {
+        let d = disk();
+        // ∫ 2πR Σ dR over 0..rcut = enclosed_mass_cyl(rcut)
+        let mut sum = 0.0;
+        let n = 20_000;
+        for i in 0..n {
+            let r = d.r_cut * (i as f64 + 0.5) / n as f64;
+            sum += 2.0 * std::f64::consts::PI * r * d.surface_density(r) * (d.r_cut / n as f64);
+        }
+        assert!((sum - d.total_mass()).abs() < 1e-3 * d.total_mass());
+    }
+
+    #[test]
+    fn rotation_curve_keplerian_far_out() {
+        let rc = RotationCurve::build(&|_r| 1.0e11, bonsai_util::units::G, 50.0, 256);
+        let v10 = rc.vc(10.0);
+        let v40 = rc.vc(40.0);
+        assert!((v10 / v40 - 2.0).abs() < 0.02, "keplerian falloff: {}", v10 / v40);
+    }
+
+    #[test]
+    fn kappa_between_omega_and_twice_omega() {
+        // For any declining rotation curve, Ω ≤ κ ≤ 2Ω.
+        let rc = RotationCurve::build(
+            &|r| 1.0e11 * r / (r + 5.0), // rising then flat-ish curve
+            bonsai_util::units::G,
+            50.0,
+            512,
+        );
+        for &r in &[2.0, 5.0, 10.0, 20.0] {
+            let (o, k) = (rc.omega(r), rc.kappa(r));
+            assert!(k >= o * 0.99 && k <= 2.0 * o * 1.01, "r={r}: omega={o}, kappa={k}");
+        }
+    }
+
+    #[test]
+    fn dispersions_positive_and_declining() {
+        let d = disk();
+        let g = bonsai_util::units::G;
+        let s4 = d.sigma_r(4.0, g, 0.05);
+        let s12 = d.sigma_r(12.0, g, 0.05);
+        assert!(s4 > s12 && s12 > 0.0);
+        assert!(d.sigma_z(8.0, g) > 0.0);
+    }
+}

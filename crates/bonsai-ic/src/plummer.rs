@@ -1,0 +1,110 @@
+//! Self-consistent Plummer sphere in N-body units (G = M = 1, E = −1/4).
+//!
+//! The standard test model: positions from the inverse mass CDF, velocities
+//! from the isotropic distribution function by von Neumann rejection
+//! (Aarseth, Hénon & Wielen 1974). Used by the quickstart example and by
+//! every test that needs a stable, centrally concentrated equilibrium.
+
+use bonsai_tree::Particles;
+use bonsai_util::rng::Xoshiro256;
+
+
+/// Generate an `n`-body Plummer sphere in N-body units. Deterministic in
+/// `seed`. The centre of mass and mean velocity are exactly zeroed.
+pub fn plummer_sphere(n: usize, seed: u64) -> Particles {
+    assert!(n > 0);
+    let mut p = Particles::with_capacity(n);
+    let m = 1.0 / n as f64;
+    // Standard N-body-unit Plummer scale: a = 3π/16.
+    let a = 3.0 * std::f64::consts::PI / 16.0;
+    for i in 0..n {
+        let mut rng = Xoshiro256::stream(seed, i as u64);
+        // Radius from inverse CDF, truncated at 10 a (re-draw otherwise).
+        let r = loop {
+            let u = rng.uniform();
+            let r = a / ((1.0 - u).powf(-2.0 / 3.0) - 1.0).max(1e-12).sqrt();
+            if r < 10.0 * a {
+                break r;
+            }
+        };
+        let pos = rng.unit_sphere() * r;
+        // Speed: q = v / v_esc with pdf ∝ q²(1−q²)^(7/2), by rejection.
+        let q = loop {
+            let q = rng.uniform();
+            let y = rng.uniform() * 0.1; // max of q²(1−q²)^3.5 is ≈ 0.092
+            if y < q * q * (1.0 - q * q).powf(3.5) {
+                break q;
+            }
+        };
+        // φ(r) = −1/√(r² + a²) in these units ⇒ v_esc = √(2/√(r²+a²))
+        let v_esc = (2.0 / (r * r + a * a).sqrt()).sqrt();
+        let vel = rng.unit_sphere() * (q * v_esc);
+        p.push(pos, vel, m, i as u64);
+    }
+    // Exact COM / momentum removal.
+    let com = p.center_of_mass();
+    let vcm = p.momentum() / p.total_mass();
+    for i in 0..p.len() {
+        p.pos[i] -= com;
+        p.vel[i] -= vcm;
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_tree::direct::{potential_energy, total_energy};
+
+    #[test]
+    fn com_and_momentum_are_zero() {
+        let p = plummer_sphere(2000, 42);
+        assert!(p.center_of_mass().norm() < 1e-12);
+        assert!(p.momentum().norm() < 1e-12);
+        assert_eq!(p.len(), 2000);
+        assert!((p.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_is_near_standard_minus_quarter() {
+        // N-body units: E = −1/4 (T = 1/4 · |W|... W = −1/2, T = 1/4).
+        let p = plummer_sphere(4000, 7);
+        let e = total_energy(&p, 0.0, 1.0);
+        assert!((e + 0.25).abs() < 0.02, "E = {e}");
+    }
+
+    #[test]
+    fn virial_ratio_near_one_half() {
+        let p = plummer_sphere(4000, 11);
+        let t = p.kinetic_energy();
+        let w = potential_energy(&p, 0.0, 1.0);
+        let q = t / (-w);
+        assert!((q - 0.5).abs() < 0.04, "virial ratio {q}");
+    }
+
+    #[test]
+    fn deterministic_and_slice_independent() {
+        let a = plummer_sphere(500, 3);
+        let b = plummer_sphere(500, 3);
+        assert_eq!(a.pos, b.pos);
+        assert_eq!(a.vel, b.vel);
+        let c = plummer_sphere(500, 4);
+        assert_ne!(a.pos, c.pos);
+    }
+
+    #[test]
+    fn speeds_below_escape_velocity() {
+        let p = plummer_sphere(3000, 13);
+        let a = 3.0 * std::f64::consts::PI / 16.0;
+        // After COM shifts the bound is approximate; allow 1% slack.
+        for i in 0..p.len() {
+            let r = p.pos[i].norm();
+            let v_esc = (2.0 / (r * r + a * a).sqrt()).sqrt();
+            assert!(
+                p.vel[i].norm() <= v_esc * 1.05,
+                "particle {i} unbound: v={} v_esc={v_esc}",
+                p.vel[i].norm()
+            );
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Spherical density profiles with analytic structure.
+
+/// A spherically symmetric mass profile.
+pub trait Profile: Sync + Send {
+    /// Total mass (of the truncated model if truncated).
+    fn total_mass(&self) -> f64;
+    /// Mass density at radius `r`.
+    fn density(&self, r: f64) -> f64;
+    /// Mass enclosed within radius `r`.
+    fn enclosed_mass(&self, r: f64) -> f64;
+    /// Radius such that `enclosed_mass(r) = u · total_mass`, `u ∈ [0, 1)`.
+    fn sample_radius(&self, u: f64) -> f64;
+    /// Outermost radius sampled (truncation).
+    fn rmax(&self) -> f64;
+}
+
+/// Plummer sphere: `ρ ∝ (1 + r²/a²)^(-5/2)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Plummer {
+    /// Total mass.
+    pub mass: f64,
+    /// Scale radius `a`.
+    pub scale: f64,
+    /// Truncation radius.
+    pub rcut: f64,
+}
+
+impl Plummer {
+    /// Plummer model truncated at `10 a` (99.2% of the mass).
+    pub fn new(mass: f64, scale: f64) -> Self {
+        Self {
+            mass,
+            scale,
+            rcut: 10.0 * scale,
+        }
+    }
+}
+
+impl Profile for Plummer {
+    fn total_mass(&self) -> f64 {
+        // mass within rcut
+        self.enclosed_mass(self.rcut)
+    }
+    fn density(&self, r: f64) -> f64 {
+        let a2 = self.scale * self.scale;
+        3.0 * self.mass / (4.0 * std::f64::consts::PI * a2 * self.scale)
+            * (1.0 + r * r / a2).powf(-2.5)
+    }
+    fn enclosed_mass(&self, r: f64) -> f64 {
+        let x = r / self.scale;
+        self.mass * x.powi(3) * (1.0 + x * x).powf(-1.5)
+    }
+    fn sample_radius(&self, u: f64) -> f64 {
+        // Invert M(r)/M_cut = u: r = a / sqrt(m^(-2/3) - 1) with m scaled to
+        // the truncated mass.
+        let m = u * self.total_mass() / self.mass;
+        let m = m.clamp(1e-12, 1.0 - 1e-12);
+        self.scale / (m.powf(-2.0 / 3.0) - 1.0).sqrt()
+    }
+    fn rmax(&self) -> f64 {
+        self.rcut
+    }
+}
+
+/// Hernquist profile: `ρ ∝ 1 / (r/a · (1 + r/a)³)` — the paper's bulge.
+#[derive(Clone, Copy, Debug)]
+pub struct Hernquist {
+    /// Total (untruncated) mass.
+    pub mass: f64,
+    /// Scale radius `a`.
+    pub scale: f64,
+    /// Truncation radius.
+    pub rcut: f64,
+}
+
+impl Hernquist {
+    /// Hernquist model truncated at `20 a` (~91% of the formal mass... the
+    /// enclosed-mass form keeps this exact).
+    pub fn new(mass: f64, scale: f64) -> Self {
+        Self {
+            mass,
+            scale,
+            rcut: 20.0 * scale,
+        }
+    }
+}
+
+impl Profile for Hernquist {
+    fn total_mass(&self) -> f64 {
+        self.enclosed_mass(self.rcut)
+    }
+    fn density(&self, r: f64) -> f64 {
+        let a = self.scale;
+        if r <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.mass * a / (2.0 * std::f64::consts::PI * r * (r + a).powi(3))
+    }
+    fn enclosed_mass(&self, r: f64) -> f64 {
+        let x = r / (r + self.scale);
+        self.mass * x * x
+    }
+    fn sample_radius(&self, u: f64) -> f64 {
+        // M(r) = M (r/(r+a))² = u·M_cut  ⇒  r = a √m / (1 − √m)
+        let m = (u * self.total_mass() / self.mass).clamp(0.0, 1.0 - 1e-12);
+        let s = m.sqrt();
+        self.scale * s / (1.0 - s)
+    }
+    fn rmax(&self) -> f64 {
+        self.rcut
+    }
+}
+
+/// Truncated NFW profile: `ρ ∝ 1 / (r/rs · (1 + r/rs)²)` — the paper's dark
+/// matter halo (§IV cites Navarro–Frenk–White).
+#[derive(Clone, Debug)]
+pub struct Nfw {
+    /// Mass within the truncation radius.
+    pub mass: f64,
+    /// Scale radius `r_s`.
+    pub scale: f64,
+    /// Truncation radius (the virial radius).
+    pub rcut: f64,
+    /// Characteristic density `ρ₀` (derived).
+    rho0: f64,
+    /// Inverse-CDF lookup grid (mass fraction → radius).
+    inv_table: Vec<(f64, f64)>,
+}
+
+fn nfw_mu(x: f64) -> f64 {
+    (1.0 + x).ln() - x / (1.0 + x)
+}
+
+impl Nfw {
+    /// NFW with `mass` inside `rcut` and concentration `c = rcut / scale`.
+    pub fn new(mass: f64, scale: f64, rcut: f64) -> Self {
+        let c = rcut / scale;
+        let rho0 = mass / (4.0 * std::f64::consts::PI * scale.powi(3) * nfw_mu(c));
+        // Build a monotone inverse table on a log-radius grid.
+        let n = 512;
+        let mut inv_table = Vec::with_capacity(n + 1);
+        let r_lo: f64 = scale * 1e-4;
+        for i in 0..=n {
+            let f = i as f64 / n as f64;
+            let r = r_lo * (rcut / r_lo).powf(f);
+            let m = nfw_mu(r / scale) / nfw_mu(c);
+            inv_table.push((m, r));
+        }
+        Self {
+            mass,
+            scale,
+            rcut,
+            rho0,
+            inv_table,
+        }
+    }
+
+    /// Concentration `c = rcut / rs`.
+    pub fn concentration(&self) -> f64 {
+        self.rcut / self.scale
+    }
+}
+
+impl Profile for Nfw {
+    fn total_mass(&self) -> f64 {
+        self.mass
+    }
+    fn density(&self, r: f64) -> f64 {
+        if r <= 0.0 {
+            return f64::INFINITY;
+        }
+        if r > self.rcut {
+            return 0.0;
+        }
+        let x = r / self.scale;
+        self.rho0 / (x * (1.0 + x) * (1.0 + x))
+    }
+    fn enclosed_mass(&self, r: f64) -> f64 {
+        let r = r.min(self.rcut);
+        self.mass * nfw_mu(r / self.scale) / nfw_mu(self.concentration())
+    }
+    fn sample_radius(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0 - 1e-12);
+        // binary search the inverse table, then linear interpolation
+        let t = &self.inv_table;
+        let i = t.partition_point(|&(m, _)| m < u).clamp(1, t.len() - 1);
+        let (m0, r0) = t[i - 1];
+        let (m1, r1) = t[i];
+        if m1 <= m0 {
+            return r0;
+        }
+        r0 + (r1 - r0) * (u - m0) / (m1 - m0)
+    }
+    fn rmax(&self) -> f64 {
+        self.rcut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_profile<P: Profile>(p: &P, name: &str) {
+        // Enclosed mass is monotone and reaches total at rcut.
+        let mut prev = 0.0;
+        for i in 1..=100 {
+            let r = p.rmax() * i as f64 / 100.0;
+            let m = p.enclosed_mass(r);
+            assert!(m >= prev - 1e-9, "{name}: M(<r) not monotone at {r}");
+            prev = m;
+        }
+        assert!(
+            (p.enclosed_mass(p.rmax()) - p.total_mass()).abs() < 1e-6 * p.total_mass(),
+            "{name}: M(rmax) != total"
+        );
+        // sample_radius inverts enclosed_mass.
+        for &u in &[0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let r = p.sample_radius(u);
+            let m = p.enclosed_mass(r) / p.total_mass();
+            assert!((m - u).abs() < 2e-3, "{name}: inverse CDF off at u={u}: got {m}");
+        }
+        // density integrates (roughly) to enclosed mass: check shell at mid.
+        let r = p.rmax() * 0.3;
+        let dr = r * 1e-4;
+        let shell = 4.0 * std::f64::consts::PI * r * r * p.density(r) * dr;
+        let dm = p.enclosed_mass(r + dr * 0.5) - p.enclosed_mass(r - dr * 0.5);
+        assert!(
+            (shell - dm).abs() < 0.01 * dm.abs().max(1e-12),
+            "{name}: density inconsistent with enclosed mass: {shell} vs {dm}"
+        );
+    }
+
+    #[test]
+    fn plummer_consistency() {
+        check_profile(&Plummer::new(1.0, 1.0), "plummer");
+        check_profile(&Plummer::new(5.0e10, 3.0), "plummer-galactic");
+    }
+
+    #[test]
+    fn hernquist_consistency() {
+        check_profile(&Hernquist::new(1.0, 1.0), "hernquist");
+        check_profile(&Hernquist::new(4.6e9, 0.7), "hernquist-bulge");
+    }
+
+    #[test]
+    fn nfw_consistency() {
+        check_profile(&Nfw::new(1.0, 1.0, 10.0), "nfw");
+        check_profile(&Nfw::new(6.0e11, 20.0, 200.0), "nfw-halo");
+    }
+
+    #[test]
+    fn hernquist_half_mass_radius() {
+        // M(r)/M = (r/(r+a))² = 1/2 at r = a/(√2−1) ≈ 2.414 a.
+        let h = Hernquist { mass: 1.0, scale: 1.0, rcut: f64::INFINITY };
+        let r = 1.0 / (2f64.sqrt() - 1.0);
+        assert!((h.enclosed_mass(r) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nfw_density_slope() {
+        // ρ ∝ r⁻¹ inside rs, ρ ∝ r⁻³ outside.
+        let n = Nfw::new(1.0, 1.0, 100.0);
+        let inner = n.density(0.001) / n.density(0.002);
+        assert!((inner - 2.0).abs() < 0.02, "inner slope {inner}");
+        let outer = n.density(50.0) / n.density(100.0);
+        assert!((outer - 8.0).abs() < 0.5, "outer slope {outer}");
+    }
+
+    #[test]
+    fn nfw_mass_outside_cut_is_zero_density() {
+        let n = Nfw::new(1.0, 1.0, 10.0);
+        assert_eq!(n.density(11.0), 0.0);
+        assert!((n.enclosed_mass(1e9) - 1.0).abs() < 1e-12);
+    }
+}

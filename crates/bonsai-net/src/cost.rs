@@ -1,0 +1,126 @@
+//! Interconnect cost model: bytes → simulated seconds.
+//!
+//! The cluster simulator measures *real* byte volumes (serialized boundary
+//! trees, LETs, exchanged particles) and charges them here. The model is the
+//! classic α–β (latency–bandwidth) form with topology-dependent congestion:
+//!
+//! * point-to-point: `α·hops + bytes / β`;
+//! * allgatherv of per-rank payloads: `α·log₂p + total_bytes /
+//!   (β·collective_efficiency)` — the recursive-doubling latency term plus a
+//!   bisection-limited streaming term, which is what makes the boundary
+//!   exchange grow with rank count (the paper's "communication time itself
+//!   increases only slightly" §III-B2 refers to its *volume* per rank; the
+//!   collective term is what eventually bites at 18600 nodes);
+//! * many-to-many LET exchange: each rank sends ≈40 neighbour LETs (§III-B2);
+//!   time is the max over injection and drain at any rank.
+
+use crate::machine::MachineSpec;
+
+/// Cost model bound to a machine.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkModel {
+    /// The machine whose network is modelled.
+    pub machine: MachineSpec,
+}
+
+impl NetworkModel {
+    /// Model for a machine.
+    pub fn new(machine: MachineSpec) -> Self {
+        Self { machine }
+    }
+
+    /// Seconds for one point-to-point message of `bytes`.
+    pub fn p2p_time(&self, bytes: u64) -> f64 {
+        let m = &self.machine;
+        m.latency_us * 1e-6 * m.topology.mean_hops() / 3.0
+            + bytes as f64 / (m.injection_gbs * 1e9)
+    }
+
+    /// Seconds for an allgatherv where `p` ranks contribute `bytes_per_rank`
+    /// each (so every rank receives `p · bytes_per_rank`).
+    pub fn allgatherv_time(&self, p: u32, bytes_per_rank: u64) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let m = &self.machine;
+        let total = p as u64 * bytes_per_rank;
+        let alpha = m.latency_us * 1e-6 * (p as f64).log2();
+        let beta = total as f64 / (m.injection_gbs * 1e9 * m.topology.collective_efficiency());
+        alpha + beta
+    }
+
+    /// Seconds for the pairwise LET exchange phase: every rank sends
+    /// `neighbor_count` messages of `bytes_per_let` and receives the same.
+    /// Injection-limited with a latency term per message.
+    pub fn let_exchange_time(&self, neighbor_count: u32, bytes_per_let: u64) -> f64 {
+        let m = &self.machine;
+        let inject = (neighbor_count as u64 * bytes_per_let) as f64 / (m.injection_gbs * 1e9);
+        let lat = neighbor_count as f64 * m.latency_us * 1e-6 * m.topology.mean_hops() / 3.0;
+        inject + lat
+    }
+
+    /// Seconds for the particle exchange: `bytes_out` leaves this rank to a
+    /// handful of SFC neighbours (point-to-point, overlappable).
+    pub fn particle_exchange_time(&self, bytes_out: u64, destinations: u32) -> f64 {
+        let m = &self.machine;
+        bytes_out as f64 / (m.injection_gbs * 1e9)
+            + destinations as f64 * m.latency_us * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{PIZ_DAINT, TITAN};
+
+    #[test]
+    fn p2p_has_latency_floor_and_bandwidth_slope() {
+        let net = NetworkModel::new(PIZ_DAINT);
+        let t0 = net.p2p_time(0);
+        assert!(t0 > 0.0 && t0 < 1e-4, "latency floor {t0}");
+        let t1 = net.p2p_time(1_000_000_000);
+        assert!((t1 - t0 - 0.1).abs() < 0.01, "1 GB at 10 GB/s ≈ 0.1 s, got {t1}");
+    }
+
+    #[test]
+    fn allgather_grows_with_rank_count() {
+        let net = NetworkModel::new(TITAN);
+        let b = 100_000u64; // a typical boundary-tree size
+        let t1k = net.allgatherv_time(1024, b);
+        let t18k = net.allgatherv_time(18600, b);
+        assert!(t18k > t1k * 10.0, "18600 ranks must cost much more: {t1k} vs {t18k}");
+    }
+
+    #[test]
+    fn aries_beats_gemini_for_collectives() {
+        let daint = NetworkModel::new(PIZ_DAINT);
+        let titan = NetworkModel::new(TITAN);
+        let b = 100_000u64;
+        assert!(daint.allgatherv_time(4096, b) < titan.allgatherv_time(4096, b));
+    }
+
+    #[test]
+    fn boundary_allgather_magnitude_is_table2_like() {
+        // Domain update on Titan at 4096 GPUs is ~0.2-0.3 s in Table II; the
+        // allgather of ~100 KB boundaries should sit well inside that.
+        let net = NetworkModel::new(TITAN);
+        let t = net.allgatherv_time(4096, 100_000);
+        assert!(t > 0.05 && t < 0.5, "allgather time {t}");
+    }
+
+    #[test]
+    fn let_exchange_roughly_hidden_behind_gravity() {
+        // ~40 neighbours × ~2 MB of LET each must comfortably fit inside the
+        // ~2 s local-gravity window (the paper's overlap argument).
+        let net = NetworkModel::new(TITAN);
+        let t = net.let_exchange_time(40, 2_000_000);
+        assert!(t < 2.0, "LET exchange {t} must hide behind ~2 s of gravity");
+        assert!(t > 0.005);
+    }
+
+    #[test]
+    fn single_rank_collective_is_free() {
+        let net = NetworkModel::new(PIZ_DAINT);
+        assert_eq!(net.allgatherv_time(1, 12345), 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! In-process message fabric for logical ranks.
+//!
+//! The cluster simulator runs each logical rank on its own thread in "live"
+//! mode; ranks exchange real serialized bytes over crossbeam channels. The
+//! fabric provides the two primitives Bonsai uses (§III-B2): an
+//! `MPI_Allgatherv`-style collective for boundary trees, and tagged
+//! point-to-point sends for particle exchange and LETs. Channels are FIFO
+//! per (sender, receiver) pair, which — together with the deterministic
+//! per-step communication pattern — is all the ordering the algorithm needs.
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// What a message carries (drives receive-side dispatch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgKind {
+    /// Serialized boundary tree (allgather phase).
+    Boundary,
+    /// Migrating particles (exchange phase).
+    Particles,
+    /// A dedicated Local Essential Tree.
+    Let,
+    /// Small control/reduction payloads (bounding boxes, samples, cuts).
+    Control,
+}
+
+/// A tagged message between ranks.
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// Sending rank.
+    pub from: usize,
+    /// Payload semantics.
+    pub kind: MsgKind,
+    /// Serialized payload.
+    pub payload: Bytes,
+}
+
+/// One rank's handle into the fabric.
+pub struct Endpoint {
+    /// This rank's id.
+    pub rank: usize,
+    /// Number of ranks.
+    pub world: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+}
+
+/// Construct the fully connected fabric.
+pub struct Fabric;
+
+impl Fabric {
+    /// Create `p` endpoints, one per logical rank.
+    pub fn new(p: usize) -> Vec<Endpoint> {
+        assert!(p > 0);
+        let mut txs = Vec::with_capacity(p);
+        let mut rxs = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        rxs.into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| Endpoint {
+                rank,
+                world: p,
+                senders: txs.clone(),
+                receiver,
+            })
+            .collect()
+    }
+}
+
+impl Endpoint {
+    /// Send `payload` to rank `to`.
+    pub fn send(&self, to: usize, kind: MsgKind, payload: Bytes) {
+        let msg = Message {
+            from: self.rank,
+            kind,
+            payload,
+        };
+        self.senders[to].send(msg).expect("receiver dropped");
+    }
+
+    /// Blocking receive of the next message.
+    pub fn recv(&self) -> Message {
+        self.receiver.recv().expect("fabric disconnected")
+    }
+
+    /// Receive exactly `n` messages of `kind`, returning them indexed by
+    /// sender. Messages of other kinds are not expected during a phase and
+    /// panic (the per-step protocol is strictly phased).
+    pub fn recv_n_of(&self, kind: MsgKind, n: usize) -> Vec<(usize, Bytes)> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let m = self.recv();
+            assert_eq!(m.kind, kind, "protocol violation: unexpected {:?}", m.kind);
+            out.push((m.from, m.payload));
+        }
+        out
+    }
+
+    /// Allgather: contribute `payload`, receive everyone's contribution
+    /// (own included), indexed by rank.
+    pub fn allgather(&self, kind: MsgKind, payload: Bytes) -> Vec<Bytes> {
+        for r in 0..self.world {
+            if r != self.rank {
+                self.send(r, kind, payload.clone());
+            }
+        }
+        let mut slots: Vec<Option<Bytes>> = vec![None; self.world];
+        slots[self.rank] = Some(payload);
+        let mut missing = self.world - 1;
+        while missing > 0 {
+            let m = self.recv();
+            assert_eq!(m.kind, kind, "protocol violation in allgather");
+            assert!(slots[m.from].is_none(), "duplicate allgather contribution");
+            slots[m.from] = Some(m.payload);
+            missing -= 1;
+        }
+        slots.into_iter().map(Option::unwrap).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn ring_pass() {
+        let eps = Fabric::new(4);
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                thread::spawn(move || {
+                    let next = (ep.rank + 1) % ep.world;
+                    ep.send(next, MsgKind::Control, Bytes::from(vec![ep.rank as u8]));
+                    let m = ep.recv();
+                    assert_eq!(m.kind, MsgKind::Control);
+                    assert_eq!(m.from, (ep.rank + ep.world - 1) % ep.world);
+                    assert_eq!(m.payload[0] as usize, m.from);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn allgather_collects_everyone() {
+        let eps = Fabric::new(6);
+        let handles: Vec<_> = eps
+            .into_iter()
+            .map(|ep| {
+                thread::spawn(move || {
+                    let mine = Bytes::from(format!("rank-{}", ep.rank));
+                    let all = ep.allgather(MsgKind::Boundary, mine);
+                    assert_eq!(all.len(), 6);
+                    for (r, b) in all.iter().enumerate() {
+                        assert_eq!(&b[..], format!("rank-{r}").as_bytes());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn recv_n_of_indexes_by_sender() {
+        let mut eps = Fabric::new(3);
+        let e2 = eps.pop().unwrap();
+        let e1 = eps.pop().unwrap();
+        let e0 = eps.pop().unwrap();
+        e1.send(0, MsgKind::Let, Bytes::from_static(b"a"));
+        e2.send(0, MsgKind::Let, Bytes::from_static(b"b"));
+        let got = e0.recv_n_of(MsgKind::Let, 2);
+        let mut from: Vec<usize> = got.iter().map(|(f, _)| *f).collect();
+        from.sort_unstable();
+        assert_eq!(from, vec![1, 2]);
+    }
+
+    #[test]
+    fn single_rank_allgather() {
+        let mut eps = Fabric::new(1);
+        let e = eps.pop().unwrap();
+        let all = e.allgather(MsgKind::Boundary, Bytes::from_static(b"x"));
+        assert_eq!(all.len(), 1);
+        assert_eq!(&all[0][..], b"x");
+    }
+}

@@ -1,0 +1,38 @@
+//! # bonsai-net
+//!
+//! The machines and networks of the paper, as models, plus a real in-process
+//! message fabric for the logical ranks of the cluster simulator.
+//!
+//! * [`machine`] — Table I as data: Piz Daint (Cray XC30, Aries dragonfly,
+//!   Xeon E5-2670) and Titan (Cray XK7, Gemini 3D torus, Opteron 6274),
+//!   including the host-CPU rates that make LET generation visibly slower on
+//!   Titan (§VI-B);
+//! * [`cost`] — the interconnect cost model: point-to-point and allgatherv
+//!   times from (latency, injection bandwidth, topology congestion), the
+//!   bytes→seconds half of the communication rows of Table II;
+//! * [`fabric`] — crossbeam-channel message passing between in-process
+//!   ranks, used by `bonsai-sim`'s live mode: real bytes flow, the network
+//!   model charges simulated time for them;
+//! * [`placement`] — §VII's SFC-aware rank placement on the torus.
+//!
+//! ```
+//! use bonsai_net::{NetworkModel, PIZ_DAINT, TITAN};
+//!
+//! // The Aries dragonfly beats the Gemini torus for dense collectives —
+//! // the reason Piz Daint's Table II communication rows are smaller.
+//! let daint = NetworkModel::new(PIZ_DAINT);
+//! let titan = NetworkModel::new(TITAN);
+//! assert!(daint.allgatherv_time(4096, 12_000) < titan.allgatherv_time(4096, 12_000));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cost;
+pub mod fabric;
+pub mod machine;
+pub mod placement;
+
+pub use cost::NetworkModel;
+pub use fabric::{Endpoint, Fabric, Message, MsgKind};
+pub use machine::{MachineSpec, Topology, PIZ_DAINT, TITAN};
+pub use placement::{Placement, PlacementStrategy};

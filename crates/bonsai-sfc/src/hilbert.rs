@@ -1,0 +1,221 @@
+//! 3D Hilbert curve encoding (Skilling's transpose algorithm).
+//!
+//! The Peano–Hilbert curve visits every cell of the 2²¹³ lattice exactly once
+//! and — unlike Morton order — moves by exactly one lattice step between
+//! consecutive keys. That unit-step property is why the paper (§III-B) uses it
+//! for domain decomposition: contiguous key ranges have compact (if fractal)
+//! boundaries, minimizing the boundary-tree and LET data that must travel over
+//! the interconnect.
+//!
+//! Implementation: John Skilling, *Programming the Hilbert curve*, AIP Conf.
+//! Proc. 707 (2004). Coordinates are converted to/from the "transpose" format
+//! (bit-interleaved across the three axes) in place.
+
+use crate::DIM_BITS;
+
+/// Convert lattice coordinates (in place) to Hilbert transpose form.
+///
+/// After the call, interleaving the bits of `x` MSB-first (axis 0 most
+/// significant) yields the scalar Hilbert index.
+pub fn axes_to_transpose(x: &mut [u32; 3], bits: u32) {
+    let n = 3usize;
+    let m = 1u32 << (bits - 1);
+    // Inverse undo
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..n {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert low bits of axis 0
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode
+    for i in 1..n {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u32;
+    q = m;
+    while q > 1 {
+        if x[n - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for xi in x.iter_mut() {
+        *xi ^= t;
+    }
+}
+
+/// Inverse of [`axes_to_transpose`].
+pub fn transpose_to_axes(x: &mut [u32; 3], bits: u32) {
+    let n = 3usize;
+    let m = 1u32 << (bits - 1);
+    // Gray decode by H ^ (H/2)
+    let mut t = x[n - 1] >> 1;
+    for i in (1..n).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    // Undo excess work
+    let mut q = 2u32;
+    while q != m << 1 {
+        let p = q - 1;
+        for i in (0..n).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+}
+
+/// Interleave transpose-format coordinates into a scalar key (axis 0 most
+/// significant within each 3-bit group).
+#[inline]
+pub fn transpose_to_key(x: [u32; 3], bits: u32) -> u64 {
+    let mut key = 0u64;
+    for b in (0..bits).rev() {
+        for xi in x.iter() {
+            key = (key << 1) | ((xi >> b) & 1) as u64;
+        }
+    }
+    key
+}
+
+/// Inverse of [`transpose_to_key`].
+#[inline]
+pub fn key_to_transpose(key: u64, bits: u32) -> [u32; 3] {
+    let mut x = [0u32; 3];
+    for b in (0..bits).rev() {
+        for (i, xi) in x.iter_mut().enumerate() {
+            let shift = 3 * b + (2 - i as u32);
+            *xi = (*xi << 1) | ((key >> shift) & 1) as u32;
+        }
+    }
+    x
+}
+
+/// Encode lattice coordinates to a 63-bit Hilbert key.
+#[inline]
+pub fn encode(c: [u32; 3]) -> u64 {
+    let mut x = c;
+    axes_to_transpose(&mut x, DIM_BITS);
+    transpose_to_key(x, DIM_BITS)
+}
+
+/// Decode a 63-bit Hilbert key back to lattice coordinates.
+#[inline]
+pub fn decode(key: u64) -> [u32; 3] {
+    let mut x = key_to_transpose(key, DIM_BITS);
+    transpose_to_axes(&mut x, DIM_BITS);
+    x
+}
+
+/// Encode at reduced resolution (`bits` per axis); used by the decomposition
+/// figure and by tests that enumerate an entire small lattice.
+#[inline]
+pub fn encode_bits(c: [u32; 3], bits: u32) -> u64 {
+    let mut x = c;
+    axes_to_transpose(&mut x, bits);
+    transpose_to_key(x, bits)
+}
+
+/// Decode at reduced resolution (`bits` per axis).
+#[inline]
+pub fn decode_bits(key: u64, bits: u32) -> [u32; 3] {
+    let mut x = key_to_transpose(key, bits);
+    transpose_to_axes(&mut x, bits);
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_full_resolution() {
+        let cases = [
+            [0u32, 0, 0],
+            [1, 0, 0],
+            [0x1F_FFFF, 0x1F_FFFF, 0x1F_FFFF],
+            [123_456, 654_321, 111_111],
+            [0x10_0000, 0, 0x0F_FFFF],
+        ];
+        for c in cases {
+            assert_eq!(decode(encode(c)), c, "round trip failed for {c:?}");
+        }
+    }
+
+    #[test]
+    fn bijective_on_small_lattice() {
+        // 3 bits per axis: all 512 cells must map to distinct keys in [0, 512).
+        let bits = 3;
+        let mut seen = vec![false; 512];
+        for x in 0..8u32 {
+            for y in 0..8u32 {
+                for z in 0..8u32 {
+                    let k = encode_bits([x, y, z], bits) as usize;
+                    assert!(k < 512);
+                    assert!(!seen[k], "key {k} hit twice");
+                    seen[k] = true;
+                    assert_eq!(decode_bits(k as u64, bits), [x, y, z]);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn consecutive_keys_are_lattice_neighbours() {
+        // The defining property of the Hilbert curve: successive keys differ
+        // by exactly one step along exactly one axis.
+        let bits = 4; // 4096 cells
+        let total = 1u64 << (3 * bits);
+        let mut prev = decode_bits(0, bits);
+        for k in 1..total {
+            let cur = decode_bits(k, bits);
+            let d: u32 = (0..3)
+                .map(|i| (cur[i] as i64 - prev[i] as i64).unsigned_abs() as u32)
+                .sum();
+            assert_eq!(d, 1, "keys {} -> {} jump {:?} -> {:?}", k - 1, k, prev, cur);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn starts_at_origin() {
+        assert_eq!(decode_bits(0, 5), [0, 0, 0]);
+        assert_eq!(decode(0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn full_res_consecutive_keys_adjacent_spot_check() {
+        // Spot-check the unit-step property at full 21-bit resolution around
+        // a few arbitrary keys.
+        for &start in &[1u64 << 40, 0xABCDEF_u64, (1u64 << 62) + 12345] {
+            let a = decode(start);
+            let b = decode(start + 1);
+            let d: u32 = (0..3)
+                .map(|i| (a[i] as i64 - b[i] as i64).unsigned_abs() as u32)
+                .sum();
+            assert_eq!(d, 1);
+        }
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let x = [0b1011u32, 0b0110, 0b1100];
+        let k = transpose_to_key(x, 4);
+        assert_eq!(key_to_transpose(k, 4), x);
+    }
+}

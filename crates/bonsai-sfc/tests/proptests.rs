@@ -1,0 +1,120 @@
+//! Property-based tests for the space-filling-curve layer.
+
+use bonsai_sfc::range::{find_owner, ranges_from_cuts};
+use bonsai_sfc::{hilbert, morton, Curve, KeyMap, KeyRange, DIM_BITS, KEY_END};
+use bonsai_util::{Aabb, Vec3};
+use proptest::prelude::*;
+
+fn arb_coords() -> impl Strategy<Value = [u32; 3]> {
+    [0u32..(1 << DIM_BITS), 0u32..(1 << DIM_BITS), 0u32..(1 << DIM_BITS)]
+}
+
+proptest! {
+    #[test]
+    fn morton_hilbert_round_trips(c in arb_coords()) {
+        prop_assert_eq!(morton::decode(morton::encode(c)), c);
+        prop_assert_eq!(hilbert::decode(hilbert::encode(c)), c);
+    }
+
+    #[test]
+    fn keys_stay_in_63_bits(c in arb_coords()) {
+        prop_assert!(morton::encode(c) < KEY_END);
+        prop_assert!(hilbert::encode(c) < KEY_END);
+    }
+
+    #[test]
+    fn hilbert_consecutive_keys_are_neighbours(k in 0u64..(KEY_END - 1)) {
+        let a = hilbert::decode(k);
+        let b = hilbert::decode(k + 1);
+        let l1: u64 = (0..3).map(|i| (a[i] as i64 - b[i] as i64).unsigned_abs()).sum();
+        prop_assert_eq!(l1, 1, "keys {} and {} decode to non-adjacent cells", k, k + 1);
+    }
+
+    #[test]
+    fn morton_prefix_encodes_common_octant(c in arb_coords(), level in 1u32..=DIM_BITS) {
+        // Two coords equal in their top `level` bits per axis share the
+        // Morton key prefix of 3·level bits.
+        let shift = DIM_BITS - level;
+        let d = [c[0] | 1 << shift.min(20), c[1], c[2]];
+        let same_cell = (0..3).all(|i| c[i] >> shift == d[i] >> shift);
+        if same_cell {
+            let kc = morton::encode(c) >> (3 * shift);
+            let kd = morton::encode(d) >> (3 * shift);
+            prop_assert_eq!(kc, kd);
+        }
+    }
+
+    #[test]
+    fn keymap_key_is_curve_of_quantized_coords(x in 0.0f64..1.0, y in 0.0f64..1.0, z in 0.0f64..1.0) {
+        let bounds = Aabb::new(Vec3::zero(), Vec3::splat(1.0));
+        for curve in [Curve::Morton, Curve::Hilbert] {
+            let km = KeyMap::new(&bounds, curve);
+            let p = Vec3::new(x, y, z);
+            let c = km.coords_of(p);
+            let expect = match curve {
+                Curve::Morton => morton::encode(c),
+                Curve::Hilbert => hilbert::encode(c),
+            };
+            prop_assert_eq!(km.key_of(p), expect);
+        }
+    }
+
+    #[test]
+    fn cell_aabbs_nest_along_any_key_path(k in 0u64..KEY_END, lvl in 1u32..=12) {
+        let bounds = Aabb::new(Vec3::zero(), Vec3::splat(1.0));
+        let km = KeyMap::new(&bounds, Curve::Hilbert);
+        let parent = km.cell_aabb(k, lvl - 1);
+        let child = km.cell_aabb(k, lvl);
+        prop_assert!(parent.contains_box(&child));
+        prop_assert!((parent.size().x - 2.0 * child.size().x).abs() < 1e-12 * parent.size().x.max(1e-30));
+    }
+
+    #[test]
+    fn covering_cells_are_minimal_under_merging(start in 0u64..KEY_END, len in 1u64..(1u64 << 45)) {
+        // No two consecutive covering cells of the same level that are
+        // siblings could be merged — i.e. the greedy cover is canonical.
+        let end = start.saturating_add(len).min(KEY_END);
+        let r = KeyRange::new(start.min(end), end);
+        let cells = r.covering_cells();
+        for w in cells.windows(2) {
+            let (k0, l0) = w[0];
+            let (k1, l1) = w[1];
+            if l0 == l1 && l0 > 0 {
+                let parent_span = 1u64 << (3 * (DIM_BITS - l0 + 1));
+                // If both in the same parent and aligned as the first two
+                // children covering the whole parent, the cover would be
+                // non-minimal — the greedy algorithm must never emit that
+                // unless the parent is not fully inside the range.
+                if k0 % parent_span == 0 && k1 == k0 + parent_span / 8 {
+                    // the remaining 6 siblings must NOT all be in the range
+                    let parent_end = k0 + parent_span;
+                    prop_assert!(
+                        parent_end > r.end,
+                        "mergeable siblings found at {} level {}", k0, l0
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn owner_lookup_agrees_with_scan(cuts in proptest::collection::vec(0u64..KEY_END, 0..10), key in 0u64..KEY_END) {
+        let mut cuts = cuts;
+        cuts.sort_unstable();
+        let ranges = ranges_from_cuts(&cuts);
+        let fast = find_owner(&ranges, key);
+        let slow = ranges.iter().position(|r| r.contains(key)).unwrap();
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn split_even_partitions_exactly(n in 1usize..64, start in 0u64..(KEY_END / 2), len in 1u64..(KEY_END / 2)) {
+        let r = KeyRange::new(start, start + len);
+        let parts = r.split_even(n);
+        prop_assert_eq!(parts.len(), n);
+        prop_assert_eq!(parts[0].start, r.start);
+        prop_assert_eq!(parts.last().unwrap().end, r.end);
+        let total: u128 = parts.iter().map(|p| p.len() as u128).sum();
+        prop_assert_eq!(total, r.len() as u128);
+    }
+}

@@ -1,0 +1,174 @@
+//! Per-step timing breakdowns in the shape of the paper's Table II.
+
+use bonsai_tree::InteractionCounts;
+use serde::Serialize;
+
+/// One Table II column: per-phase simulated seconds plus the derived
+/// performance numbers.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct StepBreakdown {
+    /// Ranks (GPUs) in the run.
+    pub gpus: u32,
+    /// Particles per GPU.
+    pub particles_per_gpu: u64,
+    /// "Sorting SFC" row (GPU).
+    pub sort: f64,
+    /// "Domain Update" row (CPU + network).
+    pub domain_update: f64,
+    /// "Tree-construction" row (GPU).
+    pub tree_construction: f64,
+    /// "Tree-properties" row (GPU).
+    pub tree_properties: f64,
+    /// "Compute gravity Local-tree" row (GPU).
+    pub gravity_local: f64,
+    /// "Compute gravity LETs" row (GPU, overlapped with CPU LET builds).
+    pub gravity_lets: f64,
+    /// "Non-hidden LET comm" row.
+    pub non_hidden_comm: f64,
+    /// "Unbalance + Other" row.
+    pub other: f64,
+    /// Mean particle-particle interactions per particle.
+    pub pp_per_particle: f64,
+    /// Mean particle-cell interactions per particle.
+    pub pc_per_particle: f64,
+}
+
+impl StepBreakdown {
+    /// Total wall-clock of the step (sum of the rows, as in Table II).
+    pub fn total(&self) -> f64 {
+        self.sort
+            + self.domain_update
+            + self.tree_construction
+            + self.tree_properties
+            + self.gravity_local
+            + self.gravity_lets
+            + self.non_hidden_comm
+            + self.other
+    }
+
+    /// Counted flops per particle at the §VI-A rates.
+    pub fn flops_per_particle(&self) -> f64 {
+        23.0 * self.pp_per_particle + 65.0 * self.pc_per_particle
+    }
+
+    /// Total counted flops across the machine for one step.
+    pub fn total_flops(&self) -> f64 {
+        self.flops_per_particle() * self.particles_per_gpu as f64 * self.gpus as f64
+    }
+
+    /// "GPU" performance row: flops over time spent in the force kernels.
+    pub fn gpu_tflops(&self) -> f64 {
+        let t = self.gravity_local + self.gravity_lets;
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.total_flops() / t / 1e12
+        }
+    }
+
+    /// "Application" performance row: flops over the full step.
+    pub fn application_tflops(&self) -> f64 {
+        let t = self.total();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.total_flops() / t / 1e12
+        }
+    }
+
+    /// Interaction counts aggregated over the machine.
+    pub fn machine_counts(&self) -> InteractionCounts {
+        let n = self.particles_per_gpu as f64 * self.gpus as f64;
+        InteractionCounts {
+            pp: (self.pp_per_particle * n) as u64,
+            pc: (self.pc_per_particle * n) as u64,
+        }
+    }
+
+    /// Render as a Table II style column.
+    pub fn format_column(&self, label: &str) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("=== {label}: {} GPUs × {:.2}M particles ===\n", self.gpus, self.particles_per_gpu as f64 / 1e6));
+        s.push_str(&format!("{:<28} {:>8.3} s\n", "Sorting SFC", self.sort));
+        s.push_str(&format!("{:<28} {:>8.3} s\n", "Domain Update", self.domain_update));
+        s.push_str(&format!("{:<28} {:>8.3} s\n", "Tree-construction", self.tree_construction));
+        s.push_str(&format!("{:<28} {:>8.3} s\n", "Tree-properties", self.tree_properties));
+        s.push_str(&format!("{:<28} {:>8.3} s\n", "Compute gravity Local-tree", self.gravity_local));
+        s.push_str(&format!("{:<28} {:>8.3} s\n", "Compute gravity LETs", self.gravity_lets));
+        s.push_str(&format!("{:<28} {:>8.3} s\n", "Non-hidden LET comm", self.non_hidden_comm));
+        s.push_str(&format!("{:<28} {:>8.3} s\n", "Unbalance + Other", self.other));
+        s.push_str(&format!("{:<28} {:>8.3} s\n", "Total", self.total()));
+        s.push_str(&format!("{:<28} {:>8.0}\n", "Particle-Particle /particle", self.pp_per_particle));
+        s.push_str(&format!("{:<28} {:>8.0}\n", "Particle-Cell /particle", self.pc_per_particle));
+        s.push_str(&format!("{:<28} {:>8.1} Tflops\n", "GPU", self.gpu_tflops()));
+        s.push_str(&format!("{:<28} {:>8.1} Tflops\n", "Application", self.application_tflops()));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StepBreakdown {
+        StepBreakdown {
+            gpus: 2,
+            particles_per_gpu: 1000,
+            sort: 0.1,
+            domain_update: 0.2,
+            tree_construction: 0.1,
+            tree_properties: 0.03,
+            gravity_local: 1.45,
+            gravity_lets: 2.0,
+            non_hidden_comm: 0.1,
+            other: 0.3,
+            pp_per_particle: 1716.0,
+            pc_per_particle: 6765.0,
+        }
+    }
+
+    #[test]
+    fn totals_and_flops() {
+        let b = sample();
+        assert!((b.total() - 4.28).abs() < 1e-12);
+        let fpp = b.flops_per_particle();
+        assert!((fpp - (23.0 * 1716.0 + 65.0 * 6765.0)).abs() < 1e-9);
+        assert!((b.total_flops() - fpp * 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn performance_rows() {
+        let b = sample();
+        let gpu = b.gpu_tflops();
+        let app = b.application_tflops();
+        assert!(gpu > app, "kernel rate must exceed application rate");
+        assert!((gpu / app - b.total() / (b.gravity_local + b.gravity_lets)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn format_contains_all_rows() {
+        let s = sample().format_column("test");
+        for key in [
+            "Sorting SFC",
+            "Domain Update",
+            "Tree-construction",
+            "Tree-properties",
+            "Local-tree",
+            "LETs",
+            "Non-hidden",
+            "Unbalance",
+            "Total",
+            "GPU",
+            "Application",
+        ] {
+            assert!(s.contains(key), "missing row {key}");
+        }
+    }
+
+    #[test]
+    fn zero_guard() {
+        let b = StepBreakdown::default();
+        assert_eq!(b.gpu_tflops(), 0.0);
+        assert_eq!(b.application_tflops(), 0.0);
+    }
+}

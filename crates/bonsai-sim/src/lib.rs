@@ -1,0 +1,47 @@
+//! # bonsai-sim
+//!
+//! The distributed half of the reproduction: logical MPI ranks executing the
+//! full Bonsai step of §III-B on real data, plus the calibrated machine
+//! model that extrapolates the measured algorithm to the paper's 18600-GPU
+//! scale.
+//!
+//! Three layers:
+//!
+//! * [`cluster`] — the lock-step cluster simulator. Every phase of the
+//!   paper's step runs for real: two-level sample-sort domain decomposition,
+//!   particle exchange, per-rank tree builds over a shared global key map,
+//!   boundary-tree "allgather", sender-side sufficiency checks, dedicated
+//!   LET construction for near neighbours, and per-rank force walks whose
+//!   results are *provably* equivalent to a single-process evaluation.
+//!   Byte volumes and interaction counts are measured, then charged to the
+//!   GPU/network models to produce simulated per-phase times (Table II
+//!   rows).
+//! * [`live`] — the same force computation with one OS thread per rank and
+//!   real serialized messages over `bonsai-net`'s crossbeam fabric: the
+//!   proof that the protocol works without a global orchestrator.
+//! * [`model`] — the calibrated scaling model: given a machine, rank count
+//!   and particles/GPU, predict every row of Table II and every curve of
+//!   Fig. 4, including the 24.77 / 33.49 Pflops headline numbers.
+//!
+//! ```
+//! use bonsai_sim::ScalingModel;
+//!
+//! // The record configuration: 18600 Titan GPUs × 13M particles.
+//! let b = ScalingModel::titan().predict(18600, 13_000_000);
+//! let app_pflops = b.total_flops() / b.total() / 1e15;
+//! assert!((app_pflops - 24.77).abs() / 24.77 < 0.05); // §VI-D headline
+//! assert!((b.total() - 4.77).abs() < 0.3);            // Table II step time
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod breakdown;
+pub mod checkpoint;
+pub mod cluster;
+pub mod live;
+pub mod model;
+pub mod trace;
+
+pub use breakdown::StepBreakdown;
+pub use cluster::{Cluster, ClusterConfig};
+pub use model::ScalingModel;

@@ -1,0 +1,184 @@
+//! Per-rank step timelines and the ASCII Gantt chart of the overlap story.
+//!
+//! §III-B2's central engineering claim is *concurrency*: while the GPU
+//! grinds the local tree, the CPU threads build LETs and the network moves
+//! them, so only a small residue of communication is ever exposed. This
+//! module reconstructs that schedule from a step's measured quantities and
+//! renders it, making the claim visible:
+//!
+//! ```text
+//! rank 0 GPU  SSDDBBPLLLLLLLLLLRRRRRRRR......
+//! rank 0 COMM ......mmmmmm...................
+//! ```
+//!
+//! (`S` sort, `D` domain update, `B` build, `P` properties, `L` local
+//! gravity, `R` remote/LET gravity, `m` LET communication, `.` idle.)
+
+use crate::cluster::{Cluster, StepMeasurements};
+use bonsai_gpu::GpuModel;
+use bonsai_net::NetworkModel;
+
+/// One rank's reconstructed schedule (seconds from step start).
+#[derive(Clone, Debug)]
+pub struct RankTimeline {
+    /// `(label, start, end)` for every busy interval on the GPU lane.
+    pub gpu: Vec<(&'static str, f64, f64)>,
+    /// `(label, start, end)` for the communication lane.
+    pub comm: Vec<(&'static str, f64, f64)>,
+}
+
+impl RankTimeline {
+    /// Wall-clock span of the timeline.
+    pub fn makespan(&self) -> f64 {
+        self.gpu
+            .iter()
+            .chain(self.comm.iter())
+            .map(|&(_, _, e)| e)
+            .fold(0.0, f64::max)
+    }
+
+    /// Fraction of LET communication hidden under GPU work.
+    pub fn hidden_comm_fraction(&self) -> f64 {
+        let comm_total: f64 = self.comm.iter().map(|&(_, s, e)| e - s).sum();
+        if comm_total <= 0.0 {
+            return 1.0;
+        }
+        // Exposed = comm time beyond the end of GPU work.
+        let gpu_end = self.gpu.iter().map(|&(_, _, e)| e).fold(0.0, f64::max);
+        let exposed: f64 = self
+            .comm
+            .iter()
+            .map(|&(_, s, e)| (e - gpu_end.max(s)).max(0.0))
+            .sum();
+        1.0 - exposed / comm_total
+    }
+}
+
+/// Reconstruct per-rank timelines from the last step of a cluster.
+pub fn step_timelines(cluster: &Cluster) -> Vec<RankTimeline> {
+    let meas: &StepMeasurements = &cluster.last_measurements;
+    let gpu: GpuModel = GpuModel::k20x_tuned();
+    let net = NetworkModel::new(cluster.cfg.machine);
+    let p = meas.counts_local.len();
+    (0..p)
+        .map(|r| {
+            let n = cluster.rank_particles(r).len() as u64;
+            let mut t = 0.0;
+            let mut lane = Vec::new();
+            let mut push = |label, dur: f64, t: &mut f64| {
+                let s = *t;
+                *t += dur;
+                lane.push((label, s, *t));
+            };
+            push("sort", gpu.sort_time(n), &mut t);
+            push("domain", n as f64 / 130.0e6, &mut t);
+            push("build", gpu.build_time(n), &mut t);
+            push("props", gpu.props_time(n), &mut t);
+            let local_start = t;
+            push("local", gpu.gravity_time(meas.counts_local[r]), &mut t);
+            push("lets", gpu.gravity_time(meas.counts_lets[r]), &mut t);
+            // Communication lane: LET exchange starting when local gravity
+            // starts (the driver/comm threads run concurrently).
+            let nb = meas.let_neighbors[r] as u32;
+            let per = if nb > 0 {
+                (meas.let_bytes_sent[r] / nb as usize) as u64
+            } else {
+                0
+            };
+            let comm_dur = net.let_exchange_time(nb, per);
+            let comm = vec![("let-comm", local_start, local_start + comm_dur)];
+            RankTimeline { gpu: lane, comm }
+        })
+        .collect()
+}
+
+/// Render timelines as an ASCII Gantt chart, `width` characters across.
+pub fn render_gantt(timelines: &[RankTimeline], width: usize) -> String {
+    let makespan = timelines
+        .iter()
+        .map(RankTimeline::makespan)
+        .fold(0.0, f64::max)
+        .max(1e-12);
+    let glyph = |label: &str| -> char {
+        match label {
+            "sort" => 'S',
+            "domain" => 'D',
+            "build" => 'B',
+            "props" => 'P',
+            "local" => 'L',
+            "lets" => 'R',
+            "let-comm" => 'm',
+            _ => '?',
+        }
+    };
+    let mut out = String::new();
+    for (r, tl) in timelines.iter().enumerate() {
+        for (lane_name, lane) in [("GPU ", &tl.gpu), ("COMM", &tl.comm)] {
+            let mut row = vec!['.'; width];
+            for &(label, s, e) in lane {
+                let c0 = ((s / makespan) * width as f64) as usize;
+                let c1 = (((e / makespan) * width as f64).ceil() as usize).min(width);
+                for cell in row.iter_mut().take(c1).skip(c0.min(width)) {
+                    *cell = glyph(label);
+                }
+            }
+            out.push_str(&format!("rank {r:>2} {lane_name} "));
+            out.extend(row);
+            out.push('\n');
+        }
+    }
+    out.push_str("S sort  D domain  B build  P props  L local gravity  R LET gravity  m LET comm\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use bonsai_ic::plummer_sphere;
+
+    fn sample_cluster() -> Cluster {
+        Cluster::new(plummer_sphere(6000, 9), 4, ClusterConfig::default())
+    }
+
+    #[test]
+    fn timelines_cover_every_rank_and_phase() {
+        let c = sample_cluster();
+        let tls = step_timelines(&c);
+        assert_eq!(tls.len(), 4);
+        for tl in &tls {
+            assert_eq!(tl.gpu.len(), 6);
+            // phases are contiguous and ordered
+            for w in tl.gpu.windows(2) {
+                assert!((w[0].2 - w[1].1).abs() < 1e-12, "gap between phases");
+            }
+            assert!(tl.makespan() > 0.0);
+        }
+    }
+
+    #[test]
+    fn comm_is_mostly_hidden() {
+        let c = sample_cluster();
+        let tls = step_timelines(&c);
+        for tl in &tls {
+            let f = tl.hidden_comm_fraction();
+            assert!(
+                f > 0.5,
+                "LET comm should be mostly hidden behind gravity, got {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn gantt_renders_all_rows() {
+        let c = sample_cluster();
+        let art = render_gantt(&step_timelines(&c), 60);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4 * 2 + 1); // two lanes per rank + legend
+        assert!(art.contains('L') && art.contains('R'));
+        // every timeline row is the same width
+        for l in &lines[..8] {
+            assert_eq!(l.chars().count(), "rank  0 GPU  ".chars().count() + 60);
+        }
+    }
+}

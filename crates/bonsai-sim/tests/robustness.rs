@@ -1,0 +1,127 @@
+//! Robustness and failure-injection tests for the distributed stack:
+//! degenerate inputs (empty ranks, coincident particles), corrupted wire
+//! payloads, and protocol violations must fail loudly or be absorbed
+//! gracefully — never silently corrupt physics.
+
+use bonsai_domain::LetTree;
+use bonsai_ic::plummer_sphere;
+use bonsai_net::{Fabric, MsgKind};
+use bonsai_sim::{Cluster, ClusterConfig};
+use bonsai_tree::Particles;
+use bonsai_util::Vec3;
+use bytes::Bytes;
+
+#[test]
+fn more_ranks_than_justified_by_particles() {
+    // 60 particles over 12 ranks: several domains end up nearly or totally
+    // empty after sampling. Everything must still work.
+    let ic = plummer_sphere(60, 1);
+    let mut c = Cluster::new(ic, 12, ClusterConfig::default());
+    for _ in 0..3 {
+        c.step();
+    }
+    assert_eq!(c.total_particles(), 60);
+    let mut ids = c.gather().id;
+    ids.sort_unstable();
+    assert_eq!(ids, (0..60).collect::<Vec<u64>>());
+}
+
+#[test]
+fn heavily_clustered_input_respects_cap_eventually() {
+    // All particles initially in a corner blob: the first decomposition is
+    // extreme, but the cap keeps the worst rank bounded.
+    let mut ic = Particles::new();
+    let mut rng = bonsai_util::rng::Xoshiro256::seed_from(2);
+    for i in 0..4000 {
+        let r = if i < 3800 { 0.05 } else { 3.0 };
+        ic.push(rng.unit_sphere() * (r * rng.uniform()), Vec3::zero(), 1.0, i as u64);
+    }
+    let mut c = Cluster::new(ic, 8, ClusterConfig::default());
+    c.step();
+    let imb = c.last_measurements.imbalance;
+    assert!(imb < 1.6, "imbalance {imb} after capped decomposition");
+}
+
+#[test]
+fn coincident_particles_do_not_break_the_cluster() {
+    let mut ic = plummer_sphere(1000, 3);
+    // inject 40 exactly coincident particles (deeper than MAX_LEVEL can split)
+    for i in 0..40 {
+        ic.push(Vec3::splat(0.123), Vec3::zero(), 1e-3, 10_000 + i);
+    }
+    let mut c = Cluster::new(ic, 4, ClusterConfig::default());
+    c.step();
+    assert_eq!(c.total_particles(), 1040);
+    for a in c.accelerations_by_id().values() {
+        assert!(a.is_finite(), "coincident particles produced non-finite forces");
+    }
+}
+
+#[test]
+fn truncated_let_payload_is_rejected() {
+    let ic = plummer_sphere(500, 4);
+    let tree = bonsai_tree::build::Tree::build(ic, bonsai_tree::build::TreeParams::default());
+    let lt = bonsai_domain::boundary_tree(&tree, &bonsai_sfc::KeyRange::everything());
+    let bytes = lt.to_bytes();
+    // Any truncation must be detected, not mis-parsed.
+    for cut in [0usize, 1, 8, 15, bytes.len() / 2, bytes.len() - 1] {
+        assert!(
+            LetTree::from_bytes(&bytes[..cut]).is_none(),
+            "truncation at {cut} bytes went unnoticed"
+        );
+    }
+}
+
+#[test]
+fn corrupted_node_kind_is_rejected() {
+    let ic = plummer_sphere(200, 5);
+    let tree = bonsai_tree::build::Tree::build(ic, bonsai_tree::build::TreeParams::default());
+    let lt = bonsai_domain::boundary_tree(&tree, &bonsai_sfc::KeyRange::everything());
+    let mut bytes = lt.to_bytes().to_vec();
+    // Find the first node's kind byte and clobber it with an invalid tag.
+    // Node layout: 16-byte header + node, kind at offset 16 + 160 + 8.
+    let kind_offset = 16 + 160 + 8;
+    bytes[kind_offset] = 0xFF;
+    assert!(LetTree::from_bytes(&bytes).is_none(), "bad node kind accepted");
+}
+
+#[test]
+#[should_panic(expected = "protocol violation")]
+fn fabric_rejects_out_of_phase_messages() {
+    let mut eps = Fabric::new(2);
+    let b = eps.pop().unwrap();
+    let a = eps.pop().unwrap();
+    // B sends a LET while A expects boundary contributions.
+    b.send(0, MsgKind::Let, Bytes::from_static(b"sneaky"));
+    let _ = a.allgather(MsgKind::Boundary, Bytes::from_static(b"mine"));
+}
+
+#[test]
+fn single_particle_per_rank_extreme() {
+    let ic = plummer_sphere(6, 6);
+    let mut c = Cluster::new(ic, 6, ClusterConfig::default());
+    let b = c.step();
+    assert_eq!(c.total_particles(), 6);
+    assert!(b.total() >= 0.0);
+}
+
+#[test]
+fn zero_velocity_cold_collapse_survives_many_steps() {
+    // Cold collapse: the most violent load-rebalancing scenario (everything
+    // falls to the centre and re-expands).
+    let mut ic = plummer_sphere(1500, 7);
+    for v in &mut ic.vel {
+        *v = Vec3::zero();
+    }
+    let mut cfg = ClusterConfig::default();
+    cfg.dt = 0.005;
+    cfg.eps = 0.05;
+    let mut c = Cluster::new(ic, 5, cfg);
+    for _ in 0..30 {
+        c.step();
+    }
+    assert_eq!(c.total_particles(), 1500);
+    for a in c.accelerations_by_id().values() {
+        assert!(a.is_finite());
+    }
+}

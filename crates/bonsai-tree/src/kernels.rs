@@ -1,0 +1,265 @@
+//! The two force kernels of the paper (§VI-A, Eq. 1–2).
+//!
+//! * [`p_p`] — particle–particle: softened monopole, 23 flops
+//!   (4 sub, 3 mul, 6 fma, 1 rsqrt counted as 4);
+//! * [`p_c`] — particle–cell with quadrupole corrections, 65 flops
+//!   (4 sub, 6 add, 17 mul, 17 fma, 1 rsqrt counted as 4).
+//!
+//! Both kernels accumulate `(φ, a)` *without* the gravitational constant —
+//! G is applied once per walk — and use Plummer softening `r² → r² + ε²`.
+//!
+//! Sign conventions, with `r = r_source − r_target` (pointing at the source):
+//!
+//! ```text
+//! φ  += −m/|r| + ½ tr(Q)/|r|³ − (3/2) (rᵀQr)/|r|⁵
+//! a  += m r/|r|³ − (3/2) tr(Q) r/|r|⁵ − 3 Q r/|r|⁵ + (15/2) (rᵀQr) r/|r|⁷
+//! ```
+//!
+//! where `Q = Σ mⱼ dⱼ dⱼᵀ` is the *un-detraced* quadrupole about the cell's
+//! centre of mass (so the monopole term uses the cell mass and COM, and the
+//! dipole vanishes identically).
+
+use bonsai_util::{Sym3, Vec3};
+
+/// Particle–particle interaction: accumulate the softened monopole force of a
+/// source point `(src_pos, src_mass)` on a target at `tgt_pos`.
+///
+/// Returns `(dφ, da)` (G **not** applied). A zero separation (the target
+/// itself when walking its own leaf) contributes nothing — not even the
+/// softened self-potential, matching the `i != j` guard of a direct code.
+#[inline(always)]
+pub fn p_p(tgt_pos: Vec3, src_pos: Vec3, src_mass: f64, eps2: f64) -> (f64, Vec3) {
+    let dr = src_pos - tgt_pos; // 3 sub (the 4th sub of the count is the mass reuse slot)
+    let r2 = dr.norm2() + eps2;
+    if dr.norm2() == 0.0 {
+        return (0.0, Vec3::zero());
+    }
+    let rinv = 1.0 / r2.sqrt(); // the kernel's rsqrt
+    let rinv2 = rinv * rinv;
+    let mrinv = src_mass * rinv;
+    let mrinv3 = mrinv * rinv2;
+    (-mrinv, dr * mrinv3)
+}
+
+/// Particle–cell interaction: softened monopole plus quadrupole correction of
+/// a cell with mass `m`, centre of mass `com`, and un-detraced quadrupole `q`
+/// (about `com`), acting on a target at `tgt_pos`.
+///
+/// Returns `(dφ, da)` (G **not** applied).
+#[inline(always)]
+pub fn p_c(tgt_pos: Vec3, com: Vec3, m: f64, q: &Sym3, eps2: f64) -> (f64, Vec3) {
+    let dr = com - tgt_pos;
+    let r2 = dr.norm2() + eps2;
+    let rinv = 1.0 / r2.sqrt(); // rsqrt
+    let rinv2 = rinv * rinv;
+    let rinv3 = rinv * rinv2;
+    let rinv5 = rinv3 * rinv2;
+    let rinv7 = rinv5 * rinv2;
+
+    let tr_q = q.trace();
+    let qdr = q.mul_vec(dr);
+    let rqr = dr.dot(qdr);
+
+    let phi = -m * rinv + 0.5 * tr_q * rinv3 - 1.5 * rqr * rinv5;
+    let acc = dr * (m * rinv3) - dr * (1.5 * tr_q * rinv5) - qdr * (3.0 * rinv5)
+        + dr * (7.5 * rqr * rinv7);
+    (phi, acc)
+}
+
+/// Batched particle-particle kernel: accumulate the forces of a contiguous
+/// SoA batch of sources on one target.
+///
+/// The inner loop is written over plain slices with no early exits so the
+/// compiler can vectorize it — the CPU counterpart of evaluating a warp's
+/// shared interaction list on the GPU (§III-A). The self-interaction guard
+/// is branchless: coincident sources contribute through a mask factor of
+/// zero instead of a skip.
+#[inline]
+pub fn p_p_batch(
+    tgt_pos: Vec3,
+    src_x: &[f64],
+    src_y: &[f64],
+    src_z: &[f64],
+    src_m: &[f64],
+    eps2: f64,
+) -> (f64, Vec3) {
+    let n = src_x.len();
+    debug_assert!(src_y.len() == n && src_z.len() == n && src_m.len() == n);
+    let (mut phi, mut ax, mut ay, mut az) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for j in 0..n {
+        let dx = src_x[j] - tgt_pos.x;
+        let dy = src_y[j] - tgt_pos.y;
+        let dz = src_z[j] - tgt_pos.z;
+        let dr2 = dx * dx + dy * dy + dz * dz;
+        // Branchless self/coincident mask: exactly zero distance → 0 weight.
+        let mask = if dr2 > 0.0 { 1.0 } else { 0.0 };
+        let r2 = dr2 + eps2;
+        // max(r2, tiny) keeps the rsqrt finite when eps = 0 and dr = 0; the
+        // mask zeroes the contribution anyway.
+        let rinv = mask / r2.max(f64::MIN_POSITIVE).sqrt();
+        let rinv2 = rinv * rinv;
+        let mrinv = src_m[j] * rinv;
+        let mrinv3 = mrinv * rinv2;
+        phi -= mrinv;
+        ax += dx * mrinv3;
+        ay += dy * mrinv3;
+        az += dz * mrinv3;
+    }
+    (phi, Vec3::new(ax, ay, az))
+}
+
+/// Split an AoS position slice into SoA component buffers (helper for
+/// [`p_p_batch`] callers that hold `&[Vec3]`).
+pub fn split_soa(pos: &[Vec3]) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let mut x = Vec::with_capacity(pos.len());
+    let mut y = Vec::with_capacity(pos.len());
+    let mut z = Vec::with_capacity(pos.len());
+    for p in pos {
+        x.push(p.x);
+        y.push(p.y);
+        z.push(p.z);
+    }
+    (x, y, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pp_matches_newton() {
+        // Unit mass at distance 2 along x: φ = -1/2, a = 1/4 toward source.
+        let (phi, a) = p_p(Vec3::zero(), Vec3::new(2.0, 0.0, 0.0), 1.0, 0.0);
+        assert!((phi + 0.5).abs() < 1e-15);
+        assert!((a.x - 0.25).abs() < 1e-15);
+        assert_eq!(a.y, 0.0);
+        assert_eq!(a.z, 0.0);
+    }
+
+    #[test]
+    fn pp_self_interaction_is_zero() {
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        let (phi, a) = p_p(p, p, 5.0, 0.01);
+        assert_eq!(phi, 0.0);
+        assert_eq!(a, Vec3::zero());
+    }
+
+    #[test]
+    fn pp_softening_caps_close_encounters() {
+        let eps2 = 1.0;
+        let (phi, a) = p_p(Vec3::zero(), Vec3::new(1e-8, 0.0, 0.0), 1.0, eps2);
+        // φ → -1/ε, a → r/ε³ → 0
+        assert!((phi + 1.0).abs() < 1e-6);
+        assert!(a.norm() < 1e-6);
+    }
+
+    #[test]
+    fn pc_with_zero_quadrupole_equals_pp() {
+        let tgt = Vec3::new(0.1, -0.2, 0.3);
+        let com = Vec3::new(3.0, 4.0, -1.0);
+        let m = 2.5;
+        let (p1, a1) = p_p(tgt, com, m, 0.0);
+        let (p2, a2) = p_c(tgt, com, m, &Sym3::zero(), 0.0);
+        assert!((p1 - p2).abs() < 1e-15);
+        assert!((a1 - a2).norm() < 1e-15);
+    }
+
+    #[test]
+    fn pc_quadrupole_matches_two_point_expansion() {
+        // Cell: two unit masses at com ± d. Exact field vs multipole field at
+        // distance R ≫ |d|: the quadrupole-corrected error must be O((d/R)^3)
+        // relative — check it is dramatically smaller than the monopole error.
+        let d = Vec3::new(0.05, 0.02, -0.03);
+        let com = Vec3::zero();
+        let (s1, s2) = (com + d, com - d);
+        let q = Sym3::outer(d, 1.0) + Sym3::outer(-d, 1.0);
+        let tgt = Vec3::new(2.0, 1.0, 0.5);
+
+        let (pe1, ae1) = p_p(tgt, s1, 1.0, 0.0);
+        let (pe2, ae2) = p_p(tgt, s2, 1.0, 0.0);
+        let (phi_exact, acc_exact) = (pe1 + pe2, ae1 + ae2);
+
+        let (phi_mono, acc_mono) = p_p(tgt, com, 2.0, 0.0);
+        let (phi_quad, acc_quad) = p_c(tgt, com, 2.0, &q, 0.0);
+
+        let e_mono = (acc_mono - acc_exact).norm() / acc_exact.norm();
+        let e_quad = (acc_quad - acc_exact).norm() / acc_exact.norm();
+        assert!(e_quad < e_mono / 10.0, "quad error {e_quad} vs mono {e_mono}");
+
+        let p_mono = (phi_mono - phi_exact).abs() / phi_exact.abs();
+        let p_quad = (phi_quad - phi_exact).abs() / phi_exact.abs();
+        assert!(p_quad < p_mono / 10.0, "quad pot error {p_quad} vs mono {p_mono}");
+    }
+
+    #[test]
+    fn pc_acceleration_is_gradient_of_potential() {
+        // Numerical gradient check: a = -∇φ.
+        let com = Vec3::new(1.0, -2.0, 0.5);
+        let m = 3.0;
+        let q = Sym3::outer(Vec3::new(0.2, 0.1, -0.1), 4.0);
+        let tgt = Vec3::new(-1.0, 0.5, 2.0);
+        let h = 1e-6;
+        let phi_at = |p: Vec3| p_c(p, com, m, &q, 0.0).0;
+        let grad = Vec3::new(
+            (phi_at(tgt + Vec3::new(h, 0.0, 0.0)) - phi_at(tgt - Vec3::new(h, 0.0, 0.0))) / (2.0 * h),
+            (phi_at(tgt + Vec3::new(0.0, h, 0.0)) - phi_at(tgt - Vec3::new(0.0, h, 0.0))) / (2.0 * h),
+            (phi_at(tgt + Vec3::new(0.0, 0.0, h)) - phi_at(tgt - Vec3::new(0.0, 0.0, h))) / (2.0 * h),
+        );
+        let (_, acc) = p_c(tgt, com, m, &q, 0.0);
+        assert!((acc + grad).norm() < 1e-6 * acc.norm().max(1.0), "a != -grad phi: {acc} vs {grad}");
+    }
+
+    #[test]
+    fn batch_kernel_matches_scalar_kernel() {
+        let mut rng = bonsai_util::rng::Xoshiro256::seed_from(7);
+        let n = 137; // deliberately not a multiple of any lane width
+        let pos: Vec<Vec3> = (0..n).map(|_| rng.unit_sphere() * rng.uniform_in(0.1, 3.0)).collect();
+        let mass: Vec<f64> = (0..n).map(|_| rng.uniform_in(0.1, 2.0)).collect();
+        let (x, y, z) = split_soa(&pos);
+        let tgt = Vec3::new(0.3, -0.2, 0.1);
+        for &eps2 in &[0.0, 0.01] {
+            let (bp, ba) = p_p_batch(tgt, &x, &y, &z, &mass, eps2);
+            let mut sp = 0.0;
+            let mut sa = Vec3::zero();
+            for j in 0..n {
+                let (p, a) = p_p(tgt, pos[j], mass[j], eps2);
+                sp += p;
+                sa += a;
+            }
+            assert!((bp - sp).abs() < 1e-12 * sp.abs().max(1.0), "phi {bp} vs {sp}");
+            assert!((ba - sa).norm() < 1e-12 * sa.norm().max(1.0), "acc {ba} vs {sa}");
+        }
+    }
+
+    #[test]
+    fn batch_kernel_skips_coincident_source() {
+        let tgt = Vec3::new(1.0, 2.0, 3.0);
+        let pos = [tgt, Vec3::new(2.0, 2.0, 3.0)];
+        let (x, y, z) = split_soa(&pos);
+        let m = [5.0, 1.0];
+        let (phi, acc) = p_p_batch(tgt, &x, &y, &z, &m, 0.0);
+        // only the second source contributes: φ = -1, a = +x̂
+        assert!((phi + 1.0).abs() < 1e-15);
+        assert!((acc - Vec3::new(1.0, 0.0, 0.0)).norm() < 1e-15);
+        // and the same with softening on (coincident still masked out)
+        let (phi_s, _) = p_p_batch(tgt, &x, &y, &z, &m, 0.25);
+        assert!(phi_s > -1.0, "softened potential magnitude shrinks: {phi_s}");
+    }
+
+    #[test]
+    fn pp_acceleration_is_gradient_of_potential() {
+        let src = Vec3::new(0.3, 0.4, -0.7);
+        let m = 2.0;
+        let eps2 = 0.01;
+        let tgt = Vec3::new(1.5, -0.5, 0.2);
+        let h = 1e-6;
+        let phi_at = |p: Vec3| p_p(p, src, m, eps2).0;
+        let grad = Vec3::new(
+            (phi_at(tgt + Vec3::new(h, 0.0, 0.0)) - phi_at(tgt - Vec3::new(h, 0.0, 0.0))) / (2.0 * h),
+            (phi_at(tgt + Vec3::new(0.0, h, 0.0)) - phi_at(tgt - Vec3::new(0.0, h, 0.0))) / (2.0 * h),
+            (phi_at(tgt + Vec3::new(0.0, 0.0, h)) - phi_at(tgt - Vec3::new(0.0, 0.0, h))) / (2.0 * h),
+        );
+        let (_, acc) = p_p(tgt, src, m, eps2);
+        assert!((acc + grad).norm() < 1e-6 * acc.norm().max(1.0));
+    }
+}

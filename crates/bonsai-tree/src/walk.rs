@@ -1,0 +1,365 @@
+//! Group-based tree walk with on-the-fly force evaluation.
+//!
+//! This is the CPU analogue of Bonsai's fused tree-walk + force kernel
+//! (§III-A): interaction lists are never written to memory; each accepted
+//! cell or opened leaf is consumed immediately, and the only outputs are the
+//! accumulated `(φ, a)` per target plus the interaction counts that feed the
+//! performance model. Work is parallelized over target groups with Rayon —
+//! the role the GPU's warps play in the paper.
+//!
+//! The walk takes *any* [`TreeView`] as the source: a rank's own local tree,
+//! or a received Local Essential Tree. Summing the resulting [`Forces`] over
+//! all sources reproduces the global gravitational field — the key
+//! correctness property the integration tests assert.
+
+use crate::forces::{Forces, InteractionCounts};
+use crate::kernels::{p_c, p_p};
+use crate::mac::OpeningCriterion;
+use crate::node::{Group, NodeKind, TreeView};
+use bonsai_util::Vec3;
+use rayon::prelude::*;
+
+/// Parameters of a force walk.
+#[derive(Clone, Copy, Debug)]
+pub struct WalkParams {
+    /// Opening angle; the paper's production value is 0.4.
+    pub theta: f64,
+    /// Plummer softening length (same units as positions).
+    pub eps: f64,
+    /// Gravitational constant applied to the results (1 for N-body units,
+    /// `bonsai_util::units::G` for galactic units).
+    pub g: f64,
+    /// Evaluate quadrupole corrections in particle-cell interactions (the
+    /// paper's 65-flop kernel). Disable for the monopole-only ablation.
+    pub use_quadrupole: bool,
+}
+
+impl WalkParams {
+    /// N-body-unit parameters (G = 1), quadrupoles on.
+    pub fn new(theta: f64, eps: f64) -> Self {
+        Self {
+            theta,
+            eps,
+            g: 1.0,
+            use_quadrupole: true,
+        }
+    }
+
+    /// Use galactic units (G in kpc (km/s)²/M☉).
+    pub fn with_galactic_g(mut self) -> Self {
+        self.g = bonsai_util::units::G;
+        self
+    }
+
+    /// Disable quadrupole corrections (monopole-only cells).
+    pub fn monopole_only(mut self) -> Self {
+        self.use_quadrupole = false;
+        self
+    }
+}
+
+impl Default for WalkParams {
+    fn default() -> Self {
+        Self {
+            theta: 0.4,
+            eps: 0.0,
+            g: 1.0,
+            use_quadrupole: true,
+        }
+    }
+}
+
+/// Per-walk diagnostics beyond the raw interaction counts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WalkStats {
+    /// Interactions evaluated.
+    pub counts: InteractionCounts,
+    /// Nodes popped from traversal stacks.
+    pub nodes_visited: u64,
+    /// `Cut` LET nodes that *failed* the MAC and were force-used as p-c;
+    /// nonzero values indicate an insufficient LET (a bug upstream).
+    pub forced_cuts: u64,
+}
+
+impl WalkStats {
+    /// Merge another stats record.
+    pub fn merge(&mut self, o: &WalkStats) {
+        self.counts += o.counts;
+        self.nodes_visited += o.nodes_visited;
+        self.forced_cuts += o.forced_cuts;
+    }
+}
+
+/// Compute forces exerted by `src` on the targets `tgt_pos`, walking one
+/// interaction list per `group`. Returns per-target forces (G applied) and
+/// walk statistics.
+///
+/// `groups` must tile `0..tgt_pos.len()` contiguously and in order.
+pub fn walk_tree(
+    src: &TreeView<'_>,
+    tgt_pos: &[Vec3],
+    groups: &[Group],
+    params: &WalkParams,
+) -> (Forces, WalkStats) {
+    let n = tgt_pos.len();
+    let mut forces = Forces::zeros(n);
+    if src.is_empty() || n == 0 {
+        return (forces, WalkStats::default());
+    }
+    let mac = OpeningCriterion::new(params.theta);
+    let eps2 = params.eps * params.eps;
+
+    // Split the output arrays at group boundaries so every group owns a
+    // disjoint mutable window (groups tile the target range).
+    let mut acc_chunks: Vec<&mut [Vec3]> = Vec::with_capacity(groups.len());
+    let mut pot_chunks: Vec<&mut [f64]> = Vec::with_capacity(groups.len());
+    {
+        let mut acc_rest: &mut [Vec3] = &mut forces.acc;
+        let mut pot_rest: &mut [f64] = &mut forces.pot;
+        let mut cursor = 0u32;
+        for g in groups {
+            assert_eq!(g.begin, cursor, "groups must tile the targets in order");
+            let len = g.len();
+            let (a, ar) = acc_rest.split_at_mut(len);
+            let (p, pr) = pot_rest.split_at_mut(len);
+            acc_chunks.push(a);
+            pot_chunks.push(p);
+            acc_rest = ar;
+            pot_rest = pr;
+            cursor = g.end;
+        }
+        assert_eq!(cursor as usize, n, "groups must cover every target");
+    }
+
+    let stats = groups
+        .par_iter()
+        .zip(acc_chunks.into_par_iter().zip(pot_chunks.into_par_iter()))
+        .map(|(group, (acc, pot))| {
+            walk_group(src, tgt_pos, group, &mac, eps2, params.use_quadrupole, acc, pot)
+        })
+        .reduce(WalkStats::default, |mut a, b| {
+            a.merge(&b);
+            a
+        });
+
+    if params.g != 1.0 {
+        forces.scale(params.g);
+    }
+    (forces, stats)
+}
+
+/// Walk a single group: iterative stack traversal, immediate evaluation.
+fn walk_group(
+    src: &TreeView<'_>,
+    tgt_pos: &[Vec3],
+    group: &Group,
+    mac: &OpeningCriterion,
+    eps2: f64,
+    use_quadrupole: bool,
+    acc: &mut [Vec3],
+    pot: &mut [f64],
+) -> WalkStats {
+    const ZERO_QUAD: bonsai_util::Sym3 = bonsai_util::Sym3 { m: [0.0; 6] };
+    let mut stats = WalkStats::default();
+    let targets = &tgt_pos[group.begin as usize..group.end as usize];
+    let mut stack: Vec<u32> = vec![0];
+    while let Some(ni) = stack.pop() {
+        let node = &src.nodes[ni as usize];
+        stats.nodes_visited += 1;
+        if node.mass == 0.0 {
+            continue;
+        }
+        let open = mac.must_open(&group.bbox, node);
+        match node.kind {
+            _ if !open => {
+                // Accepted: one particle-cell interaction per target.
+                let quad = if use_quadrupole { &node.quad } else { &ZERO_QUAD };
+                for (i, &t) in targets.iter().enumerate() {
+                    let (dphi, da) = p_c(t, node.com, node.mass, quad, eps2);
+                    pot[i] += dphi;
+                    acc[i] += da;
+                }
+                stats.counts.pc += targets.len() as u64;
+            }
+            NodeKind::Internal => {
+                for c in node.first..node.first + node.count {
+                    stack.push(c);
+                }
+            }
+            NodeKind::Leaf => {
+                let (b, e) = (node.first as usize, (node.first + node.count) as usize);
+                for (i, &t) in targets.iter().enumerate() {
+                    let (mut dphi, mut da) = (0.0, Vec3::zero());
+                    for j in b..e {
+                        let (p, a) = p_p(t, src.pos[j], src.mass[j], eps2);
+                        dphi += p;
+                        da += a;
+                    }
+                    pot[i] += dphi;
+                    acc[i] += da;
+                }
+                stats.counts.pp += (targets.len() * (e - b)) as u64;
+            }
+            NodeKind::Cut => {
+                // The LET promised this node would never be opened; honour
+                // the promise with a p-c but record the violation.
+                let quad = if use_quadrupole { &node.quad } else { &ZERO_QUAD };
+                for (i, &t) in targets.iter().enumerate() {
+                    let (dphi, da) = p_c(t, node.com, node.mass, quad, eps2);
+                    pot[i] += dphi;
+                    acc[i] += da;
+                }
+                stats.counts.pc += targets.len() as u64;
+                stats.forced_cuts += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// Convenience: forces of a tree on its *own* particles (sorted order).
+pub fn self_gravity(tree: &crate::build::Tree, params: &WalkParams) -> (Forces, WalkStats) {
+    walk_tree(&tree.view(), &tree.particles.pos, &tree.groups, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{Tree, TreeParams};
+    use crate::direct::direct_self_forces;
+    use crate::particles::Particles;
+    use bonsai_util::rng::Xoshiro256;
+
+    fn plummer_like(n: usize, seed: u64) -> Particles {
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut p = Particles::with_capacity(n);
+        for i in 0..n {
+            // Centrally concentrated blob: exponential radii.
+            let r = -0.3 * rng.uniform_open0().ln();
+            let dir = rng.unit_sphere();
+            p.push(dir * r, Vec3::zero(), 1.0 / n as f64, i as u64);
+        }
+        p
+    }
+
+    #[test]
+    fn tree_forces_converge_to_direct_as_theta_shrinks() {
+        let n = 800;
+        let tree = Tree::build(plummer_like(n, 1), TreeParams::default());
+        let (direct, _) = direct_self_forces(&tree.particles, 0.01, 1.0);
+        let mut prev_err = f64::INFINITY;
+        for &theta in &[0.8, 0.4, 0.2] {
+            let (forces, _) = self_gravity(&tree, &WalkParams::new(theta, 0.01));
+            let err = forces.rms_rel_acc_error(&direct);
+            assert!(err < prev_err, "error must shrink with theta: {err} !< {prev_err}");
+            prev_err = err;
+        }
+        // θ = 0.4 should already be quite accurate with quadrupoles.
+        let (forces, _) = self_gravity(&tree, &WalkParams::new(0.4, 0.01));
+        assert!(forces.rms_rel_acc_error(&direct) < 2e-3);
+    }
+
+    #[test]
+    fn zero_theta_walk_equals_direct() {
+        let tree = Tree::build(plummer_like(200, 2), TreeParams::default());
+        let (direct, dc) = direct_self_forces(&tree.particles, 0.05, 1.0);
+        let (forces, ws) = self_gravity(&tree, &WalkParams::new(0.0, 0.05));
+        assert!(forces.max_rel_acc_error(&direct) < 1e-12);
+        // All interactions degenerate to p-p and the counts agree with
+        // direct summation (including self-pairs the kernel skips).
+        assert_eq!(ws.counts.pc, 0);
+        assert_eq!(ws.counts.pp, dc.pp + tree.len() as u64); // walk visits self too
+    }
+
+    #[test]
+    fn interaction_cost_grows_as_theta_shrinks() {
+        let tree = Tree::build(plummer_like(3000, 3), TreeParams::default());
+        let mut prev = 0u64;
+        for &theta in &[0.8, 0.55, 0.4] {
+            let (_, ws) = self_gravity(&tree, &WalkParams::new(theta, 0.01));
+            assert!(ws.counts.flops() > prev, "flops must grow as theta shrinks");
+            prev = ws.counts.flops();
+        }
+    }
+
+    #[test]
+    fn forces_are_finite_and_sum_to_zero() {
+        // Momentum conservation: Σ m a ≈ 0 for self-gravity at θ=0 (exact
+        // pairwise antisymmetry); small at finite θ.
+        let tree = Tree::build(plummer_like(500, 4), TreeParams::default());
+        let (forces, _) = self_gravity(&tree, &WalkParams::new(0.0, 0.02));
+        let mut net = Vec3::zero();
+        let mut scale = 0.0;
+        for i in 0..tree.len() {
+            assert!(forces.acc[i].is_finite());
+            net += forces.acc[i] * tree.particles.mass[i];
+            scale += (forces.acc[i] * tree.particles.mass[i]).norm();
+        }
+        assert!(net.norm() < 1e-12 * scale, "net force {net} vs scale {scale}");
+    }
+
+    #[test]
+    fn g_scaling_applies() {
+        let tree = Tree::build(plummer_like(100, 5), TreeParams::default());
+        let (f1, _) = self_gravity(&tree, &WalkParams::new(0.4, 0.01));
+        let p2 = WalkParams {
+            g: 2.0,
+            ..WalkParams::new(0.4, 0.01)
+        };
+        let (f2, _) = self_gravity(&tree, &p2);
+        for i in 0..tree.len() {
+            assert!((f2.acc[i] - f1.acc[i] * 2.0).norm() < 1e-12 * f1.acc[i].norm().max(1e-30));
+            assert!((f2.pot[i] - f1.pot[i] * 2.0).abs() < 1e-12 * f1.pot[i].abs().max(1e-30));
+        }
+    }
+
+    #[test]
+    fn monopole_only_is_less_accurate_at_same_theta() {
+        let tree = Tree::build(plummer_like(1500, 9), TreeParams::default());
+        let (direct, _) = direct_self_forces(&tree.particles, 0.01, 1.0);
+        let params = WalkParams::new(0.5, 0.01);
+        let (fq, cq) = self_gravity(&tree, &params);
+        let (fm, cm) = self_gravity(&tree, &params.monopole_only());
+        let eq = fq.rms_rel_acc_error(&direct);
+        let em = fm.rms_rel_acc_error(&direct);
+        assert!(
+            em > 3.0 * eq,
+            "monopole ({em}) should be much worse than quadrupole ({eq})"
+        );
+        // Same traversal, same interaction counts — only the kernel differs.
+        assert_eq!(cq.counts, cm.counts);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let tree = Tree::build(Particles::new(), TreeParams::default());
+        let (f, ws) = self_gravity(&tree, &WalkParams::default());
+        assert!(f.is_empty());
+        assert_eq!(ws.counts, InteractionCounts::zero());
+    }
+
+    #[test]
+    fn walk_against_foreign_targets() {
+        // Source tree and an unrelated set of probe targets: compare with a
+        // brute-force sum over the sources.
+        let src_tree = Tree::build(plummer_like(600, 6), TreeParams::default());
+        let mut rng = Xoshiro256::seed_from(7);
+        let probes: Vec<Vec3> = (0..64).map(|_| rng.unit_sphere() * 3.0).collect();
+        let groups = vec![crate::node::Group {
+            begin: 0,
+            end: probes.len() as u32,
+            bbox: bonsai_util::Aabb::from_points(&probes),
+        }];
+        let (f, _) = walk_tree(&src_tree.view(), &probes, &groups, &WalkParams::new(0.3, 0.0));
+        // brute force
+        for (i, &t) in probes.iter().enumerate() {
+            let mut a = Vec3::zero();
+            for j in 0..src_tree.len() {
+                let (_, da) = p_p(t, src_tree.particles.pos[j], src_tree.particles.mass[j], 0.0);
+                a += da;
+            }
+            let err = (f.acc[i] - a).norm() / a.norm();
+            assert!(err < 5e-3, "probe {i}: err {err}");
+        }
+    }
+}

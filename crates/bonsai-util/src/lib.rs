@@ -1,0 +1,37 @@
+//! # bonsai-util
+//!
+//! Foundation utilities shared by every crate in the bonsai-rs workspace:
+//!
+//! * [`vec3`] — 3-component `f64` vector used for positions, velocities and
+//!   accelerations throughout the tree-code.
+//! * [`mat3`] — symmetric 3×3 matrices for multipole (quadrupole) moments.
+//! * [`aabb`] — axis-aligned bounding boxes and cubic tree cells, including the
+//!   box–box minimum-distance query used by the multipole acceptance criterion
+//!   during Local Essential Tree construction.
+//! * [`rng`] — deterministic, platform-stable pseudo-random number generators
+//!   (SplitMix64 and Xoshiro256++) so that initial conditions and tests
+//!   reproduce bit-identically everywhere.
+//! * [`kahan`] — compensated summation for energy diagnostics.
+//! * [`stats`] — running statistics and 1D/2D histograms used by the analysis
+//!   and benchmark crates.
+//! * [`units`] — the galactic unit system (kpc, km/s, M☉) used to express the
+//!   paper's Milky Way model.
+//! * [`timer`] — wall-clock timers and named timing accumulators used to build
+//!   per-step breakdowns (Table II of the paper).
+
+#![deny(missing_docs)]
+
+pub mod aabb;
+pub mod kahan;
+pub mod mat3;
+pub mod rng;
+pub mod stats;
+pub mod timer;
+pub mod units;
+pub mod vec3;
+
+pub use aabb::Aabb;
+pub use kahan::KahanSum;
+pub use mat3::Sym3;
+pub use rng::{SplitMix64, Xoshiro256};
+pub use vec3::Vec3;

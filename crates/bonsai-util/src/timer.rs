@@ -1,0 +1,148 @@
+//! Wall-clock timing and named accumulators.
+//!
+//! The paper's Table II decomposes a full N-body step into named phases
+//! (sorting, domain update, tree construction, tree properties, local gravity,
+//! LET gravity, non-hidden communication, other). [`PhaseTimes`] is the
+//! mutable record each simulated rank fills in per step; the cluster simulator
+//! reduces these across ranks.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// A simple wall-clock stopwatch.
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start a new stopwatch.
+    pub fn start() -> Self {
+        Self { start: Instant::now() }
+    }
+
+    /// Elapsed seconds since start.
+    pub fn elapsed(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Restart and return the elapsed seconds of the lap just finished.
+    pub fn lap(&mut self) -> f64 {
+        let e = self.elapsed();
+        self.start = Instant::now();
+        e
+    }
+}
+
+/// Named accumulation of (simulated or measured) seconds per phase.
+#[derive(Clone, Debug, Default)]
+pub struct PhaseTimes {
+    phases: BTreeMap<&'static str, f64>,
+}
+
+impl PhaseTimes {
+    /// Empty record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `secs` to phase `name`.
+    pub fn add(&mut self, name: &'static str, secs: f64) {
+        *self.phases.entry(name).or_insert(0.0) += secs;
+    }
+
+    /// Seconds recorded for `name` (0 if absent).
+    pub fn get(&self, name: &str) -> f64 {
+        self.phases.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Total over all phases.
+    pub fn total(&self) -> f64 {
+        self.phases.values().sum()
+    }
+
+    /// Iterate `(phase, seconds)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.phases.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Element-wise maximum with another record (per-phase critical path).
+    pub fn max_with(&mut self, o: &PhaseTimes) {
+        for (k, v) in o.iter() {
+            let e = self.phases.entry(k).or_insert(0.0);
+            if v > *e {
+                *e = v;
+            }
+        }
+    }
+
+    /// Element-wise sum with another record.
+    pub fn add_all(&mut self, o: &PhaseTimes) {
+        for (k, v) in o.iter() {
+            self.add(k, v);
+        }
+    }
+
+    /// Scale every phase by `s` (e.g. to average over steps).
+    pub fn scale(&mut self, s: f64) {
+        for v in self.phases.values_mut() {
+            *v *= s;
+        }
+    }
+
+    /// Clear all phases.
+    pub fn clear(&mut self) {
+        self.phases.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_time() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let lap = sw.lap();
+        assert!(lap >= 0.009, "lap {lap} too short");
+        // after lap the clock restarted
+        assert!(sw.elapsed() < lap + 0.005);
+    }
+
+    #[test]
+    fn phase_accumulation() {
+        let mut p = PhaseTimes::new();
+        p.add("gravity", 1.5);
+        p.add("gravity", 0.5);
+        p.add("sort", 0.1);
+        assert_eq!(p.get("gravity"), 2.0);
+        assert_eq!(p.get("missing"), 0.0);
+        assert!((p.total() - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_with_takes_critical_path() {
+        let mut a = PhaseTimes::new();
+        a.add("x", 1.0);
+        a.add("y", 3.0);
+        let mut b = PhaseTimes::new();
+        b.add("x", 2.0);
+        b.add("z", 0.5);
+        a.max_with(&b);
+        assert_eq!(a.get("x"), 2.0);
+        assert_eq!(a.get("y"), 3.0);
+        assert_eq!(a.get("z"), 0.5);
+    }
+
+    #[test]
+    fn add_all_and_scale() {
+        let mut a = PhaseTimes::new();
+        a.add("x", 1.0);
+        let mut b = PhaseTimes::new();
+        b.add("x", 3.0);
+        a.add_all(&b);
+        a.scale(0.5);
+        assert_eq!(a.get("x"), 2.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! The galactic unit system used throughout bonsai-rs.
+//!
+//! | quantity | unit |
+//! |---|---|
+//! | length   | kiloparsec (kpc) |
+//! | velocity | km/s |
+//! | mass     | solar mass (M☉) |
+//! | time     | kpc / (km/s) ≈ 0.97779 Gyr |
+//!
+//! In these units Newton's constant is
+//! `G = 4.300917270e-6 kpc (km/s)² / M☉`, so the paper's Milky Way model
+//! (§IV: halo 6.0×10¹¹ M☉ NFW, disk 5.0×10¹⁰ M☉ exponential, bulge
+//! 4.6×10⁹ M☉ Hernquist; ε = 1 pc; Δt = 75 kyr) can be written down directly.
+
+/// Newton's gravitational constant in kpc (km/s)² / M☉.
+pub const G: f64 = 4.300_917_270e-6;
+
+/// One internal time unit (kpc / (km/s)) expressed in megayears.
+pub const TIME_UNIT_MYR: f64 = 977.792_221;
+
+/// One internal time unit expressed in gigayears.
+pub const TIME_UNIT_GYR: f64 = TIME_UNIT_MYR / 1000.0;
+
+/// One parsec in kpc.
+pub const PARSEC: f64 = 1.0e-3;
+
+/// Convert megayears to internal time units.
+pub fn myr_to_internal(myr: f64) -> f64 {
+    myr / TIME_UNIT_MYR
+}
+
+/// Convert gigayears to internal time units.
+pub fn gyr_to_internal(gyr: f64) -> f64 {
+    gyr * 1000.0 / TIME_UNIT_MYR
+}
+
+/// Convert internal time units to megayears.
+pub fn internal_to_myr(t: f64) -> f64 {
+    t * TIME_UNIT_MYR
+}
+
+/// Convert internal time units to gigayears.
+pub fn internal_to_gyr(t: f64) -> f64 {
+    t * TIME_UNIT_GYR
+}
+
+/// Circular velocity (km/s) at radius `r` (kpc) around enclosed mass `m` (M☉).
+pub fn circular_velocity(m_enclosed: f64, r: f64) -> f64 {
+    (G * m_enclosed / r).sqrt()
+}
+
+/// Dynamical (crossing) time `sqrt(r³ / (G m))` in internal units.
+pub fn dynamical_time(m: f64, r: f64) -> f64 {
+    (r * r * r / (G * m)).sqrt()
+}
+
+/// The paper's production time step, 75 000 yr, in internal units.
+pub fn paper_time_step() -> f64 {
+    myr_to_internal(0.075)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solar_circular_velocity_is_sane() {
+        // ~1e11 Msun enclosed within 8 kpc gives ~230 km/s, the observed
+        // rotation velocity at the Sun's radius.
+        let v = circular_velocity(1.0e11, 8.0);
+        assert!((200.0..260.0).contains(&v), "v_circ = {v}");
+    }
+
+    #[test]
+    fn time_unit_round_trip() {
+        let t = 3.5; // internal
+        assert!((myr_to_internal(internal_to_myr(t)) - t).abs() < 1e-12);
+        assert!((gyr_to_internal(internal_to_gyr(t)) - t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gyr_consistency() {
+        assert!((gyr_to_internal(1.0) - myr_to_internal(1000.0)).abs() < 1e-12);
+        // 1 internal unit is just under a Gyr.
+        assert!((internal_to_gyr(1.0) - 0.977792221).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_step_magnitude() {
+        // 75 kyr is ~7.7e-5 internal units; a 6 Gyr run is ~80k steps at this dt.
+        let dt = paper_time_step();
+        assert!((dt - 7.67e-5).abs() < 1e-6);
+        let steps = gyr_to_internal(8.0) / dt;
+        assert!((steps - 106_667.0).abs() / 106_667.0 < 0.01, "paper quotes ~106,667 steps for 8 Gyr");
+    }
+
+    #[test]
+    fn dynamical_time_scaling() {
+        // t_dyn scales as r^(3/2)
+        let t1 = dynamical_time(1e11, 8.0);
+        let t2 = dynamical_time(1e11, 32.0);
+        assert!((t2 / t1 - 8.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the math foundations.
+
+use bonsai_util::{Aabb, KahanSum, Sym3, Vec3};
+use proptest::prelude::*;
+
+fn arb_vec3() -> impl Strategy<Value = Vec3> {
+    (-1e6f64..1e6, -1e6f64..1e6, -1e6f64..1e6).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #[test]
+    fn vector_space_axioms(a in arb_vec3(), b in arb_vec3(), s in -1e3f64..1e3) {
+        // commutativity / distributivity (exact in IEEE for these ops)
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a - a, Vec3::zero());
+        let left = (a + b) * s;
+        let right = a * s + b * s;
+        prop_assert!((left - right).norm() <= 1e-9 * (left.norm() + 1.0));
+    }
+
+    #[test]
+    fn cross_product_is_antisymmetric_and_orthogonal(a in arb_vec3(), b in arb_vec3()) {
+        let c = a.cross(b);
+        prop_assert!((c + b.cross(a)).norm() <= 1e-9 * (c.norm() + 1.0));
+        prop_assert!(c.dot(a).abs() <= 1e-6 * (a.norm() * b.norm() * a.norm()).max(1e-12));
+    }
+
+    #[test]
+    fn cauchy_schwarz(a in arb_vec3(), b in arb_vec3()) {
+        prop_assert!(a.dot(b).abs() <= a.norm() * b.norm() * (1.0 + 1e-12));
+    }
+
+    #[test]
+    fn quadratic_form_is_nonnegative_for_outer_products(v in arb_vec3(), d in arb_vec3(), w in 0.0f64..10.0) {
+        // Q = w d dᵀ is PSD, so vᵀQv ≥ 0 (up to roundoff).
+        let q = Sym3::outer(d, w);
+        prop_assert!(q.quad_form(v) >= -1e-6 * q.frobenius() * v.norm2());
+    }
+
+    #[test]
+    fn parallel_axis_shift_preserves_trace_relation(d in arb_vec3(), m in 0.1f64..10.0) {
+        // tr(outer(d, m)) = m·|d|²
+        let q = Sym3::outer(d, m);
+        prop_assert!((q.trace() - m * d.norm2()).abs() <= 1e-9 * (q.trace().abs() + 1.0));
+    }
+
+    #[test]
+    fn aabb_distance_is_zero_iff_contained(p in arb_vec3(), c in arb_vec3(), h in 0.1f64..1e3) {
+        let b = Aabb::cube(c, h);
+        let d2 = b.min_dist2_point(p);
+        if b.contains(p) {
+            prop_assert_eq!(d2, 0.0);
+        } else {
+            prop_assert!(d2 > 0.0);
+        }
+    }
+
+    #[test]
+    fn aabb_box_distance_lower_bounds_point_distances(
+        c1 in arb_vec3(), h1 in 0.1f64..100.0,
+        c2 in arb_vec3(), h2 in 0.1f64..100.0,
+        t in 0.0f64..1.0, u in 0.0f64..1.0, w in 0.0f64..1.0,
+    ) {
+        // Any point inside box2 is at least min_dist2_box away from box1.
+        let a = Aabb::cube(c1, h1);
+        let b = Aabb::cube(c2, h2);
+        let p = Vec3::new(
+            b.min.x + t * (b.max.x - b.min.x),
+            b.min.y + u * (b.max.y - b.min.y),
+            b.min.z + w * (b.max.z - b.min.z),
+        );
+        prop_assert!(a.min_dist2_point(p) + 1e-9 >= a.min_dist2_box(&b));
+    }
+
+    #[test]
+    fn kahan_sum_is_permutation_stable(xs in proptest::collection::vec(-1e12f64..1e12, 1..200), seed in any::<u64>()) {
+        let s1 = KahanSum::sum_iter(xs.iter().copied());
+        let mut shuffled = xs.clone();
+        let mut rng = bonsai_util::rng::Xoshiro256::seed_from(seed);
+        rng.shuffle(&mut shuffled);
+        let s2 = KahanSum::sum_iter(shuffled.into_iter());
+        let scale: f64 = xs.iter().map(|x| x.abs()).sum::<f64>().max(1.0);
+        prop_assert!((s1 - s2).abs() <= 1e-9 * scale, "{s1} vs {s2}");
+    }
+
+    #[test]
+    fn uniform_usize_is_always_in_range(seed in any::<u64>(), n in 1usize..1_000_000) {
+        let mut rng = bonsai_util::rng::Xoshiro256::seed_from(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.uniform_usize(n) < n);
+        }
+    }
+
+    #[test]
+    fn octants_partition_points(c in arb_vec3(), h in 0.1f64..100.0, p in arb_vec3()) {
+        let cell = Aabb::cube(c, h);
+        if cell.contains(p) {
+            let containing = (0..8u8).filter(|&i| cell.octant(i).contains(p)).count();
+            // interior points: exactly 1; points on octant faces: up to 8
+            prop_assert!(containing >= 1, "point in cell but in no octant");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! §VII future-work feature: a massive black-hole binary inside a star
+//! cluster, integrated with the hybrid direct + tree scheme — the direct
+//! N-body core the paper proposes to run on the CPU while the tree-code
+//! owns the GPU.
+//!
+//! ```sh
+//! cargo run --release --example black_hole
+//! ```
+
+use bonsai::core::{HybridConfig, HybridSimulation, SimulationConfig};
+use bonsai::ic::plummer_sphere;
+use bonsai::util::Vec3;
+
+fn main() {
+    // Star cluster (light particles) + tight equal-mass BH binary.
+    let n_stars = 2_000;
+    let mut ic = plummer_sphere(n_stars, 17);
+    for m in &mut ic.mass {
+        *m *= 0.01;
+    }
+    let m_bh = 0.2_f64;
+    let sep = 0.02_f64;
+    let v = (m_bh / (2.0 * sep)).sqrt();
+    ic.push(Vec3::new(sep / 2.0, 0.0, 0.0), Vec3::new(0.0, v, 0.0), m_bh, 900_001);
+    ic.push(Vec3::new(-sep / 2.0, 0.0, 0.0), Vec3::new(0.0, -v, 0.0), m_bh, 900_002);
+
+    let cfg = HybridConfig {
+        base: SimulationConfig::nbody_units(0.5, 0.05, 2e-4),
+        bh_mass_threshold: 0.1,
+        direct_radius: 0.1,
+        direct_eps: 0.0,
+    };
+    println!("hybrid tree+direct run: {n_stars} stars + BH binary (sep = {sep})");
+    println!("tree softening = {} (binary UNRESOLVABLE by the tree alone)\n", cfg.base.eps);
+
+    let mut sim = HybridSimulation::new(ic, cfg);
+    let s0 = sim.last_stats();
+    println!(
+        "direct set: {} particles around {} black holes ({} exact pair evals/step)",
+        s0.direct_set, s0.black_holes, s0.direct_pp
+    );
+
+    let orbital_period = std::f64::consts::TAU * (sep / 2.0) / v;
+    println!("binary orbital period: {orbital_period:.4} N-body time units\n");
+    let steps_per_report = 100;
+    for k in 1..=6 {
+        sim.run(steps_per_report);
+        let p = sim.particles();
+        let a = p.id.iter().position(|&i| i == 900_001).unwrap();
+        let b = p.id.iter().position(|&i| i == 900_002).unwrap();
+        let d = p.pos[a].distance(p.pos[b]);
+        println!(
+            "t = {:.3} ({:>5.1} orbits): separation = {:.5}  (drift {:+.1}%)  direct set = {}",
+            sim.time(),
+            sim.time() / orbital_period,
+            d,
+            100.0 * (d - sep) / sep,
+            sim.last_stats().direct_set
+        );
+        let _ = k;
+    }
+    println!("\nthe tree's 0.05 softening alone would smear this 0.02-separation binary;");
+    println!("the embedded direct core preserves it — the paper's AMUSE-style split (§VII).");
+}

@@ -1,0 +1,62 @@
+//! Quickstart: simulate a Plummer star cluster with the Barnes–Hut engine.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a 10,000-body Plummer sphere in N-body units, integrates it for
+//! one crossing time at the paper's production opening angle θ = 0.4, and
+//! verifies energy conservation and virial equilibrium along the way.
+
+use bonsai::core::{Simulation, SimulationConfig};
+use bonsai::ic::plummer_sphere;
+
+fn main() {
+    let n = 10_000;
+    println!("bonsai-rs quickstart: {n}-body Plummer sphere, theta = 0.4\n");
+
+    // 1. Initial conditions: standard N-body units (G = M = 1, E = -1/4).
+    let ic = plummer_sphere(n, 42);
+
+    // 2. Configure: opening angle, softening, time step.
+    let config = SimulationConfig::nbody_units(0.4, 0.02, 0.01);
+    let mut sim = Simulation::new(ic, config);
+
+    let initial = sim.energy_report();
+    println!(
+        "t = 0: E = {:.5}  T/|W| = {:.3}  (Plummer: E = -0.25, virial = 0.5)",
+        initial.total(),
+        initial.virial_ratio()
+    );
+
+    // 3. Integrate for ~1 crossing time (t_cr = 2√2 in N-body units).
+    let steps = 283; // 2.83 time units at dt = 0.01
+    for chunk in 0..4 {
+        for _ in 0..steps / 4 {
+            sim.step();
+        }
+        let e = sim.energy_report();
+        println!(
+            "t = {:.2}: E = {:.5}  T/|W| = {:.3}  drift = {:.2e}",
+            sim.time(),
+            e.total(),
+            e.virial_ratio(),
+            e.drift_from(&initial)
+        );
+        let _ = chunk;
+    }
+
+    // 4. Interaction statistics of the last force evaluation.
+    let counts = sim.last_counts();
+    let (pp, pc) = counts.per_particle(n);
+    println!("\nlast step: {pp:.0} particle-particle and {pc:.0} particle-cell");
+    println!("interactions per particle = {:.1} Mflop total at the paper's §VI-A rates",
+        counts.flops() as f64 / 1e6);
+
+    let final_report = sim.energy_report();
+    assert!(
+        final_report.drift_from(&initial) < 1e-2,
+        "energy conservation violated"
+    );
+    println!("\nOK: energy conserved to {:.2e} over one crossing time", final_report.drift_from(&initial));
+}

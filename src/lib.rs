@@ -1,0 +1,21 @@
+//! # bonsai
+//!
+//! Facade crate for **bonsai-rs**, a from-scratch Rust reproduction of the
+//! SC'14 Gordon Bell finalist *"24.77 Pflops on a Gravitational Tree-Code to
+//! Simulate the Milky Way Galaxy with 18600 GPUs"* (Bédorf et al.).
+//!
+//! This crate re-exports every subsystem crate under a stable path and hosts
+//! the workspace-level examples (`examples/`) and cross-crate integration
+//! tests (`tests/`). For the public simulation API start with
+//! [`core::Simulation`](bonsai_core).
+
+pub use bonsai_analysis as analysis;
+pub use bonsai_core as core;
+pub use bonsai_domain as domain;
+pub use bonsai_gpu as gpu;
+pub use bonsai_ic as ic;
+pub use bonsai_net as net;
+pub use bonsai_sfc as sfc;
+pub use bonsai_sim as sim;
+pub use bonsai_tree as tree;
+pub use bonsai_util as util;
