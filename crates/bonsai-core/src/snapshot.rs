@@ -2,66 +2,125 @@
 //!
 //! The production runs write intermediate snapshots "for the dual purpose of
 //! restarting and detailed analysis" (§VI-C). The format here is a minimal
-//! little-endian binary layout: magic, version, count, then per-particle
-//! `pos(3×f64) vel(3×f64) mass(f64) id(u64)`.
+//! little-endian binary layout: magic, time, count, per-particle
+//! `pos(3×f64) vel(3×f64) mass(f64) id(u64)` records, and a trailing
+//! CRC-64 over everything before it. Readers validate the length against
+//! the declared count and the checksum against the content, so truncated or
+//! bit-flipped files are rejected with a descriptive [`io::Error`] instead
+//! of silently yielding garbage particles. Writes go through a temp file +
+//! atomic rename, so a torn write never leaves a half-written snapshot
+//! under the final name.
 
 use bonsai_tree::Particles;
-use bonsai_util::Vec3;
-use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use bonsai_util::{crc64, Vec3};
+use std::io;
 use std::path::Path;
 
-const MAGIC: &[u8; 8] = b"BONSAI01";
+const MAGIC: &[u8; 8] = b"BONSAI02";
+/// magic(8) + time(8) + count(8).
+const HEADER_LEN: usize = 24;
+/// pos + vel + mass + id.
+const RECORD_LEN: usize = 64;
+/// Trailing CRC-64.
+const TRAILER_LEN: usize = 8;
 
-/// Write a snapshot of `particles` at simulation `time`.
-pub fn write_snapshot<P: AsRef<Path>>(path: P, particles: &Particles, time: f64) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(MAGIC)?;
-    w.write_all(&time.to_le_bytes())?;
-    w.write_all(&(particles.len() as u64).to_le_bytes())?;
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Serialize `particles` at simulation `time` into the snapshot format.
+pub fn snapshot_to_bytes(particles: &Particles, time: f64) -> Vec<u8> {
+    let mut v = Vec::with_capacity(HEADER_LEN + particles.len() * RECORD_LEN + TRAILER_LEN);
+    v.extend_from_slice(MAGIC);
+    v.extend_from_slice(&time.to_le_bytes());
+    v.extend_from_slice(&(particles.len() as u64).to_le_bytes());
     for i in 0..particles.len() {
-        for v in [particles.pos[i], particles.vel[i]] {
-            w.write_all(&v.x.to_le_bytes())?;
-            w.write_all(&v.y.to_le_bytes())?;
-            w.write_all(&v.z.to_le_bytes())?;
+        for q in [particles.pos[i], particles.vel[i]] {
+            v.extend_from_slice(&q.x.to_le_bytes());
+            v.extend_from_slice(&q.y.to_le_bytes());
+            v.extend_from_slice(&q.z.to_le_bytes());
         }
-        w.write_all(&particles.mass[i].to_le_bytes())?;
-        w.write_all(&particles.id[i].to_le_bytes())?;
+        v.extend_from_slice(&particles.mass[i].to_le_bytes());
+        v.extend_from_slice(&particles.id[i].to_le_bytes());
     }
-    w.flush()
+    let crc = crc64(&v);
+    v.extend_from_slice(&crc.to_le_bytes());
+    v
 }
 
-fn read_f64<R: Read>(r: &mut R) -> io::Result<f64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(f64::from_le_bytes(b))
+/// Parse and strictly validate a snapshot; returns `(particles, time)`.
+///
+/// Rejects wrong magic, lengths inconsistent with the declared particle
+/// count (truncation or trailing junk), and checksum mismatches, each with
+/// an error message naming the problem.
+pub fn snapshot_from_bytes(data: &[u8]) -> io::Result<(Particles, f64)> {
+    if data.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(bad(format!(
+            "snapshot truncated: {} bytes, need at least {}",
+            data.len(),
+            HEADER_LEN + TRAILER_LEN
+        )));
+    }
+    if &data[..8] != MAGIC {
+        return Err(bad("bad snapshot magic (expected BONSAI02)".to_string()));
+    }
+    let time = f64::from_le_bytes(data[8..16].try_into().unwrap());
+    let n = u64::from_le_bytes(data[16..24].try_into().unwrap()) as usize;
+    let need = n
+        .checked_mul(RECORD_LEN)
+        .and_then(|x| x.checked_add(HEADER_LEN + TRAILER_LEN))
+        .ok_or_else(|| bad(format!("snapshot particle count {n} overflows")))?;
+    if data.len() != need {
+        return Err(bad(format!(
+            "snapshot truncated or oversized: {} bytes, expected {need} for {n} particles",
+            data.len()
+        )));
+    }
+    let body = &data[..data.len() - TRAILER_LEN];
+    let stored = u64::from_le_bytes(data[data.len() - TRAILER_LEN..].try_into().unwrap());
+    let computed = crc64(body);
+    if stored != computed {
+        return Err(bad(format!(
+            "snapshot checksum mismatch: stored {stored:#018x}, computed {computed:#018x} — \
+             the file is corrupted"
+        )));
+    }
+    let mut p = Particles::with_capacity(n);
+    let mut off = HEADER_LEN;
+    let f64_at = |off: &mut usize| {
+        let v = f64::from_le_bytes(data[*off..*off + 8].try_into().unwrap());
+        *off += 8;
+        v
+    };
+    for _ in 0..n {
+        let pos = Vec3::new(f64_at(&mut off), f64_at(&mut off), f64_at(&mut off));
+        let vel = Vec3::new(f64_at(&mut off), f64_at(&mut off), f64_at(&mut off));
+        let mass = f64_at(&mut off);
+        let id = u64::from_le_bytes(data[off..off + 8].try_into().unwrap());
+        off += 8;
+        p.push(pos, vel, mass, id);
+    }
+    Ok((p, time))
 }
 
-fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
+/// Write a snapshot of `particles` at simulation `time`, atomically: the
+/// bytes land in a sibling temp file which is then renamed over `path`.
+pub fn write_snapshot<P: AsRef<Path>>(path: P, particles: &Particles, time: f64) -> io::Result<()> {
+    let path = path.as_ref();
+    let tmp = tmp_path(path);
+    std::fs::write(&tmp, snapshot_to_bytes(particles, time))?;
+    std::fs::rename(&tmp, path)
+}
+
+fn tmp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
 }
 
 /// Read a snapshot; returns `(particles, time)`.
 pub fn read_snapshot<P: AsRef<Path>>(path: P) -> io::Result<(Particles, f64)> {
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad snapshot magic"));
-    }
-    let time = read_f64(&mut r)?;
-    let n = read_u64(&mut r)? as usize;
-    let mut p = Particles::with_capacity(n);
-    for _ in 0..n {
-        let pos = Vec3::new(read_f64(&mut r)?, read_f64(&mut r)?, read_f64(&mut r)?);
-        let vel = Vec3::new(read_f64(&mut r)?, read_f64(&mut r)?, read_f64(&mut r)?);
-        let mass = read_f64(&mut r)?;
-        let id = read_u64(&mut r)?;
-        p.push(pos, vel, mass, id);
-    }
-    Ok((p, time))
+    snapshot_from_bytes(&std::fs::read(path)?)
 }
 
 #[cfg(test)]
@@ -83,6 +142,8 @@ mod tests {
         assert_eq!(q.vel, p.vel);
         assert_eq!(q.mass, p.mass);
         assert_eq!(q.id, p.id);
+        // No temp file left behind.
+        assert!(!tmp_path(&path).exists());
     }
 
     #[test]
@@ -90,8 +151,46 @@ mod tests {
         let dir = std::env::temp_dir().join("bonsai_snap_test2");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("junk.bin");
-        std::fs::write(&path, b"NOTASNAPxxxxxxxxxxxxxxxx").unwrap();
-        assert!(read_snapshot(&path).is_err());
+        std::fs::write(&path, b"NOTASNAPxxxxxxxxxxxxxxxxyyyyyyyy").unwrap();
+        let err = read_snapshot(&path).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn truncated_snapshot_rejected_with_length_error() {
+        let p = plummer_sphere(50, 1);
+        let full = snapshot_to_bytes(&p, 0.5);
+        for cut in [0, 10, HEADER_LEN, full.len() / 2, full.len() - 1] {
+            let err = snapshot_from_bytes(&full[..cut]).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            assert!(err.to_string().contains("truncated"), "cut {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_in_body_detected() {
+        let p = plummer_sphere(8, 2);
+        let full = snapshot_to_bytes(&p, 0.25);
+        // Flip one bit in a spread of positions across the payload; the
+        // checksum (or magic/length check) must catch each one.
+        for byte in (8..full.len()).step_by(37) {
+            let mut bad = full.clone();
+            bad[byte] ^= 1 << (byte % 8);
+            assert!(
+                snapshot_from_bytes(&bad).is_err(),
+                "flip at byte {byte} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn checksum_error_is_descriptive() {
+        let p = plummer_sphere(8, 3);
+        let mut full = snapshot_to_bytes(&p, 0.25);
+        let mid = full.len() / 2;
+        full[mid] ^= 0x40;
+        let err = snapshot_from_bytes(&full).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
     }
 
     #[test]

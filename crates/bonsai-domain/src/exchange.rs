@@ -8,9 +8,76 @@
 
 use bonsai_sfc::range::{find_owner, KeyRange};
 use bonsai_tree::Particles;
+use bonsai_util::Vec3;
+use bytes::Bytes;
 
 /// Bytes a particle occupies on the wire (pos + vel + mass + id).
 pub const PARTICLE_WIRE_SIZE: usize = 3 * 8 + 3 * 8 + 8 + 8;
+
+/// Serialize a particle set for the wire: `count u64` then fixed-width
+/// little-endian records of [`PARTICLE_WIRE_SIZE`] bytes each.
+pub fn particles_to_bytes(p: &Particles) -> Bytes {
+    let mut v = Vec::with_capacity(8 + p.len() * PARTICLE_WIRE_SIZE);
+    v.extend_from_slice(&(p.len() as u64).to_le_bytes());
+    for i in 0..p.len() {
+        for f in [
+            p.pos[i].x, p.pos[i].y, p.pos[i].z, p.vel[i].x, p.vel[i].y, p.vel[i].z, p.mass[i],
+        ] {
+            v.extend_from_slice(&f.to_le_bytes());
+        }
+        v.extend_from_slice(&p.id[i].to_le_bytes());
+    }
+    Bytes::from(v)
+}
+
+/// Deserialize and strictly validate a particle payload: the length must
+/// match the declared count exactly, and every position/velocity/mass must
+/// be finite (masses non-negative). Errors name what is wrong.
+pub fn particles_from_bytes(b: &[u8]) -> Result<Particles, String> {
+    if b.len() < 8 {
+        return Err(format!(
+            "particle payload is {} bytes; need at least the 8-byte count",
+            b.len()
+        ));
+    }
+    let n = u64::from_le_bytes(b[0..8].try_into().unwrap()) as usize;
+    let need = n
+        .checked_mul(PARTICLE_WIRE_SIZE)
+        .and_then(|x| x.checked_add(8))
+        .ok_or_else(|| format!("particle count {n} overflows"))?;
+    if b.len() != need {
+        return Err(format!(
+            "particle payload length {} != expected {need} for {n} particles",
+            b.len()
+        ));
+    }
+    let mut p = Particles::with_capacity(n);
+    let mut off = 8;
+    let f64_at = |off: &mut usize| {
+        let v = f64::from_le_bytes(b[*off..*off + 8].try_into().unwrap());
+        *off += 8;
+        v
+    };
+    for i in 0..n {
+        let pos = Vec3::new(f64_at(&mut off), f64_at(&mut off), f64_at(&mut off));
+        let vel = Vec3::new(f64_at(&mut off), f64_at(&mut off), f64_at(&mut off));
+        let mass = f64_at(&mut off);
+        let id = u64::from_le_bytes(b[off..off + 8].try_into().unwrap());
+        off += 8;
+        let finite = pos.x.is_finite()
+            && pos.y.is_finite()
+            && pos.z.is_finite()
+            && vel.x.is_finite()
+            && vel.y.is_finite()
+            && vel.z.is_finite()
+            && mass.is_finite();
+        if !finite || mass < 0.0 {
+            return Err(format!("particle {i}: non-finite or negative data"));
+        }
+        p.push(pos, vel, mass, id);
+    }
+    Ok(p)
+}
 
 /// Which local particles must move to which rank.
 #[derive(Clone, Debug)]

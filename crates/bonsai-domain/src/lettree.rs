@@ -66,9 +66,20 @@ impl LetTree {
     }
 
     /// Structural invariants: child ranges valid, leaf ranges inside payload,
-    /// internal mass equals the sum of child masses.
+    /// internal mass equals the sum of child masses, every multipole and
+    /// particle value finite. Receivers run this on every tree that crosses
+    /// the wire, so a frame that passes the envelope checksum but carries
+    /// semantically broken data is still rejected.
     pub fn check_invariants(&self) -> Result<(), String> {
         for (i, n) in self.nodes.iter().enumerate() {
+            let finite = n.mass.is_finite()
+                && n.com.x.is_finite()
+                && n.com.y.is_finite()
+                && n.com.z.is_finite()
+                && n.quad.m.iter().all(|q| q.is_finite());
+            if !finite {
+                return Err(format!("node {i}: non-finite multipole data"));
+            }
             match n.kind {
                 NodeKind::Internal => {
                     let (b, e) = (n.first as usize, (n.first + n.count) as usize);
@@ -90,6 +101,11 @@ impl LetTree {
                     }
                 }
                 NodeKind::Cut => {}
+            }
+        }
+        for (i, (p, &m)) in self.pos.iter().zip(&self.mass).enumerate() {
+            if !(p.x.is_finite() && p.y.is_finite() && p.z.is_finite() && m.is_finite()) {
+                return Err(format!("particle {i}: non-finite payload data"));
             }
         }
         Ok(())

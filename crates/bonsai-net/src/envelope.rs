@@ -1,0 +1,285 @@
+//! Versioned, checksummed message framing.
+//!
+//! Every payload that crosses the fabric is sealed in a fixed 32-byte
+//! envelope carrying the message kind, sending rank, step epoch, payload
+//! length and a CRC-64 over header and payload. The receive side validates
+//! strictly: truncated frames, bad magic/version, length mismatches and
+//! checksum failures are *detected* and reported as [`EnvelopeError`]s
+//! instead of being deserialized into garbage, and stale-epoch duplicates
+//! can be discarded by comparing [`Envelope::epoch`] against the current
+//! step. This is the detection half of the fault-tolerance story; recovery
+//! (retransmission, boundary-tree fallback, checkpoint restore) is driven
+//! by the cluster on top of these errors.
+//!
+//! Wire layout (little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  "BNET"
+//!      4     2  version (currently 1)
+//!      6     1  kind    (MsgKind code)
+//!      7     1  reserved (0)
+//!      8     4  from    (sending rank)
+//!     12     8  epoch   (step epoch of the sender)
+//!     20     4  payload length
+//!     24     8  CRC-64/XZ over bytes [0, 24) ++ payload
+//!     32     …  payload
+//! ```
+
+use crate::fabric::MsgKind;
+use bonsai_util::hash::Crc64;
+use bytes::Bytes;
+
+/// Frame magic: `b"BNET"` little-endian.
+pub const ENVELOPE_MAGIC: u32 = u32::from_le_bytes(*b"BNET");
+/// Current envelope wire version.
+pub const ENVELOPE_VERSION: u16 = 1;
+/// Fixed header size in bytes.
+pub const ENVELOPE_HEADER_LEN: usize = 32;
+
+/// Why a received frame was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EnvelopeError {
+    /// Frame shorter than the declared layout.
+    Truncated {
+        /// Bytes required (header, or header + declared payload).
+        need: usize,
+        /// Bytes actually received.
+        have: usize,
+    },
+    /// First four bytes are not `b"BNET"`.
+    BadMagic(u32),
+    /// Unknown wire version.
+    BadVersion(u16),
+    /// Kind byte does not name a [`MsgKind`].
+    BadKind(u8),
+    /// Declared payload length disagrees with the frame size.
+    LengthMismatch {
+        /// Payload length declared in the header.
+        declared: usize,
+        /// Payload bytes actually present.
+        available: usize,
+    },
+    /// CRC-64 over header + payload does not match the stored checksum.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum recomputed from the received bytes.
+        computed: u64,
+    },
+}
+
+impl std::fmt::Display for EnvelopeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated { need, have } => {
+                write!(f, "truncated frame: need {need} bytes, have {have}")
+            }
+            Self::BadMagic(m) => write!(f, "bad magic {m:#010x} (expected \"BNET\")"),
+            Self::BadVersion(v) => {
+                write!(f, "unsupported envelope version {v} (expected {ENVELOPE_VERSION})")
+            }
+            Self::BadKind(k) => write!(f, "unknown message kind code {k}"),
+            Self::LengthMismatch {
+                declared,
+                available,
+            } => write!(
+                f,
+                "payload length mismatch: header declares {declared} bytes, frame carries {available}"
+            ),
+            Self::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EnvelopeError {}
+
+/// Wire code for a [`MsgKind`].
+pub fn kind_code(kind: MsgKind) -> u8 {
+    match kind {
+        MsgKind::Boundary => 0,
+        MsgKind::Particles => 1,
+        MsgKind::Let => 2,
+        MsgKind::Control => 3,
+    }
+}
+
+/// Decode a [`MsgKind`] wire code.
+pub fn kind_from_code(code: u8) -> Option<MsgKind> {
+    match code {
+        0 => Some(MsgKind::Boundary),
+        1 => Some(MsgKind::Particles),
+        2 => Some(MsgKind::Let),
+        3 => Some(MsgKind::Control),
+        _ => None,
+    }
+}
+
+/// A validated, opened envelope borrowing its payload from the frame.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Envelope<'a> {
+    /// Message kind from the header.
+    pub kind: MsgKind,
+    /// Sending rank from the header.
+    pub from: usize,
+    /// Sender's step epoch when the frame was sealed.
+    pub epoch: u64,
+    /// The validated payload bytes.
+    pub payload: &'a [u8],
+}
+
+/// Seal `payload` into a checksummed frame.
+pub fn seal(kind: MsgKind, from: usize, epoch: u64, payload: &[u8]) -> Bytes {
+    let mut frame = Vec::with_capacity(ENVELOPE_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&ENVELOPE_MAGIC.to_le_bytes());
+    frame.extend_from_slice(&ENVELOPE_VERSION.to_le_bytes());
+    frame.push(kind_code(kind));
+    frame.push(0); // reserved
+    frame.extend_from_slice(&(from as u32).to_le_bytes());
+    frame.extend_from_slice(&epoch.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let mut crc = Crc64::new();
+    crc.update(&frame[..24]);
+    crc.update(payload);
+    frame.extend_from_slice(&crc.finish().to_le_bytes());
+    frame.extend_from_slice(payload);
+    Bytes::from(frame)
+}
+
+/// Open and strictly validate a frame.
+pub fn open(frame: &[u8]) -> Result<Envelope<'_>, EnvelopeError> {
+    if frame.len() < ENVELOPE_HEADER_LEN {
+        return Err(EnvelopeError::Truncated {
+            need: ENVELOPE_HEADER_LEN,
+            have: frame.len(),
+        });
+    }
+    let magic = u32::from_le_bytes(frame[0..4].try_into().unwrap());
+    if magic != ENVELOPE_MAGIC {
+        return Err(EnvelopeError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(frame[4..6].try_into().unwrap());
+    if version != ENVELOPE_VERSION {
+        return Err(EnvelopeError::BadVersion(version));
+    }
+    let kind = kind_from_code(frame[6]).ok_or(EnvelopeError::BadKind(frame[6]))?;
+    let from = u32::from_le_bytes(frame[8..12].try_into().unwrap()) as usize;
+    let epoch = u64::from_le_bytes(frame[12..20].try_into().unwrap());
+    let declared = u32::from_le_bytes(frame[20..24].try_into().unwrap()) as usize;
+    let available = frame.len() - ENVELOPE_HEADER_LEN;
+    if declared != available {
+        // Distinguish a short (torn) frame from a trailing-garbage frame.
+        if declared > available {
+            return Err(EnvelopeError::Truncated {
+                need: ENVELOPE_HEADER_LEN + declared,
+                have: frame.len(),
+            });
+        }
+        return Err(EnvelopeError::LengthMismatch {
+            declared,
+            available,
+        });
+    }
+    let payload = &frame[ENVELOPE_HEADER_LEN..];
+    let stored = u64::from_le_bytes(frame[24..32].try_into().unwrap());
+    let mut crc = Crc64::new();
+    crc.update(&frame[..24]);
+    crc.update(payload);
+    let computed = crc.finish();
+    if stored != computed {
+        return Err(EnvelopeError::ChecksumMismatch { stored, computed });
+    }
+    Ok(Envelope {
+        kind,
+        from,
+        epoch,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let frame = seal(MsgKind::Let, 7, 42, b"let tree bytes");
+        let env = open(&frame).unwrap();
+        assert_eq!(env.kind, MsgKind::Let);
+        assert_eq!(env.from, 7);
+        assert_eq!(env.epoch, 42);
+        assert_eq!(env.payload, b"let tree bytes");
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let frame = seal(MsgKind::Control, 0, 1, b"");
+        let env = open(&frame).unwrap();
+        assert_eq!(env.payload, b"");
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for kind in [
+            MsgKind::Boundary,
+            MsgKind::Particles,
+            MsgKind::Let,
+            MsgKind::Control,
+        ] {
+            assert_eq!(kind_from_code(kind_code(kind)), Some(kind));
+        }
+        assert_eq!(kind_from_code(200), None);
+    }
+
+    #[test]
+    fn truncation_detected_at_every_cut() {
+        let frame = seal(MsgKind::Boundary, 3, 9, &[0xAA; 100]);
+        for cut in [0, 1, 16, 31, 32, 80, frame.len() - 1] {
+            let err = open(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, EnvelopeError::Truncated { .. }),
+                "cut {cut}: got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_detected() {
+        let frame = seal(MsgKind::Particles, 2, 5, b"sixteen particles");
+        for i in 0..frame.len() {
+            for bit in 0..8 {
+                let mut bad = frame.to_vec();
+                bad[i] ^= 1 << bit;
+                assert!(
+                    open(&bad).is_err(),
+                    "flip at byte {i} bit {bit} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_detected() {
+        let mut frame = seal(MsgKind::Control, 1, 2, b"abc").to_vec();
+        frame.extend_from_slice(b"junk");
+        let err = open(&frame).unwrap_err();
+        assert!(matches!(err, EnvelopeError::LengthMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let err = open(&[0u8; 8]).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("truncated") && msg.contains('8'), "{msg}");
+
+        let frame = seal(MsgKind::Let, 0, 0, b"x");
+        let mut bad = frame.to_vec();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        let msg = open(&bad).unwrap_err().to_string();
+        assert!(msg.contains("checksum mismatch"), "{msg}");
+    }
+}

@@ -7,9 +7,19 @@
 //! point-to-point sends for particle exchange and LETs. Channels are FIFO
 //! per (sender, receiver) pair, which — together with the deterministic
 //! per-step communication pattern — is all the ordering the algorithm needs.
+//!
+//! Ranks are *not* barrier-synchronized between phases: a fast rank may
+//! finish the boundary allgather and already be sending dedicated LETs
+//! while a slow rank is still collecting boundaries. Phased receives
+//! therefore defer messages of other kinds to a pending queue instead of
+//! treating them as protocol violations; the deferred frames are delivered
+//! by the next receive that asks for their kind, so no message is ever
+//! lost to phase skew.
 
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::cell::RefCell;
+use std::collections::VecDeque;
 
 /// What a message carries (drives receive-side dispatch).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,6 +53,10 @@ pub struct Endpoint {
     pub world: usize,
     senders: Vec<Sender<Message>>,
     receiver: Receiver<Message>,
+    /// Messages that arrived ahead of their phase (e.g. a LET while this
+    /// rank was still collecting boundaries), kept for the receive that
+    /// asks for their kind.
+    pending: RefCell<VecDeque<Message>>,
 }
 
 /// Construct the fully connected fabric.
@@ -66,6 +80,7 @@ impl Fabric {
                 world: p,
                 senders: txs.clone(),
                 receiver,
+                pending: RefCell::new(VecDeque::new()),
             })
             .collect()
     }
@@ -82,19 +97,50 @@ impl Endpoint {
         self.senders[to].send(msg).expect("receiver dropped");
     }
 
-    /// Blocking receive of the next message.
+    /// Blocking receive of the next message (deferred frames first).
     pub fn recv(&self) -> Message {
+        if let Some(m) = self.pending.borrow_mut().pop_front() {
+            return m;
+        }
         self.receiver.recv().expect("fabric disconnected")
     }
 
+    /// Non-blocking receive: the next message if one is queued (deferred
+    /// frames first).
+    pub fn try_recv(&self) -> Option<Message> {
+        if let Some(m) = self.pending.borrow_mut().pop_front() {
+            return Some(m);
+        }
+        self.receiver.try_recv().ok()
+    }
+
+    /// Blocking receive of the next message of `kind`. Messages of other
+    /// kinds were sent by ranks already past this phase; they are deferred
+    /// (in arrival order) for the receive that asks for them.
+    pub fn recv_of(&self, kind: MsgKind) -> Message {
+        let pos = self
+            .pending
+            .borrow()
+            .iter()
+            .position(|m| m.kind == kind);
+        if let Some(pos) = pos {
+            return self.pending.borrow_mut().remove(pos).expect("pending frame");
+        }
+        loop {
+            let m = self.receiver.recv().expect("fabric disconnected");
+            if m.kind == kind {
+                return m;
+            }
+            self.pending.borrow_mut().push_back(m);
+        }
+    }
+
     /// Receive exactly `n` messages of `kind`, returning them indexed by
-    /// sender. Messages of other kinds are not expected during a phase and
-    /// panic (the per-step protocol is strictly phased).
+    /// sender. Messages of other kinds are deferred, not dropped.
     pub fn recv_n_of(&self, kind: MsgKind, n: usize) -> Vec<(usize, Bytes)> {
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
-            let m = self.recv();
-            assert_eq!(m.kind, kind, "protocol violation: unexpected {:?}", m.kind);
+            let m = self.recv_of(kind);
             out.push((m.from, m.payload));
         }
         out
@@ -112,8 +158,7 @@ impl Endpoint {
         slots[self.rank] = Some(payload);
         let mut missing = self.world - 1;
         while missing > 0 {
-            let m = self.recv();
-            assert_eq!(m.kind, kind, "protocol violation in allgather");
+            let m = self.recv_of(kind);
             assert!(slots[m.from].is_none(), "duplicate allgather contribution");
             slots[m.from] = Some(m.payload);
             missing -= 1;
@@ -181,6 +226,22 @@ mod tests {
         let mut from: Vec<usize> = got.iter().map(|(f, _)| *f).collect();
         from.sort_unstable();
         assert_eq!(from, vec![1, 2]);
+    }
+
+    #[test]
+    fn early_next_phase_messages_are_deferred() {
+        let mut eps = Fabric::new(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        // Rank 1 races ahead: its dedicated LET lands before its boundary.
+        b.send(0, MsgKind::Let, Bytes::from_static(b"early-let"));
+        b.send(0, MsgKind::Boundary, Bytes::from_static(b"boundary"));
+        let all = a.allgather(MsgKind::Boundary, Bytes::from_static(b"mine"));
+        assert_eq!(&all[1][..], b"boundary");
+        // The early LET was deferred, not lost.
+        let lets = a.recv_n_of(MsgKind::Let, 1);
+        assert_eq!(lets[0].0, 1);
+        assert_eq!(&lets[0].1[..], b"early-let");
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //! * [`fabric`] — crossbeam-channel message passing between in-process
 //!   ranks, used by `bonsai-sim`'s live mode: real bytes flow, the network
 //!   model charges simulated time for them;
+//! * [`envelope`] — versioned, CRC-64-checksummed framing for every payload
+//!   that crosses the fabric, so corruption and truncation are detected
+//!   instead of deserialized;
+//! * [`fault`] — deterministic, seeded fault injection ([`FaultPlan`]) and
+//!   the audit log of injected faults and recovery actions ([`FaultLog`]);
 //! * [`placement`] — §VII's SFC-aware rank placement on the torus.
 //!
 //! ```
@@ -28,11 +33,18 @@
 #![deny(missing_docs)]
 
 pub mod cost;
+pub mod envelope;
 pub mod fabric;
+pub mod fault;
 pub mod machine;
 pub mod placement;
 
 pub use cost::NetworkModel;
+pub use envelope::{Envelope, EnvelopeError};
 pub use fabric::{Endpoint, Fabric, Message, MsgKind};
+pub use fault::{
+    FaultEvent, FaultKind, FaultLog, FaultPlan, FaultyEndpoint, Injection, RecoveryAction,
+    RecoveryEvent, SharedFaultLog,
+};
 pub use machine::{MachineSpec, Topology, PIZ_DAINT, TITAN};
 pub use placement::{Placement, PlacementStrategy};

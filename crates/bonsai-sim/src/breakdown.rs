@@ -25,6 +25,8 @@ pub struct StepBreakdown {
     pub gravity_lets: f64,
     /// "Non-hidden LET comm" row.
     pub non_hidden_comm: f64,
+    /// "Recovery" row: retransmissions and fault handling (0 in clean runs).
+    pub recovery: f64,
     /// "Unbalance + Other" row.
     pub other: f64,
     /// Mean particle-particle interactions per particle.
@@ -43,6 +45,7 @@ impl StepBreakdown {
             + self.gravity_local
             + self.gravity_lets
             + self.non_hidden_comm
+            + self.recovery
             + self.other
     }
 
@@ -96,6 +99,9 @@ impl StepBreakdown {
         s.push_str(&format!("{:<28} {:>8.3} s\n", "Compute gravity Local-tree", self.gravity_local));
         s.push_str(&format!("{:<28} {:>8.3} s\n", "Compute gravity LETs", self.gravity_lets));
         s.push_str(&format!("{:<28} {:>8.3} s\n", "Non-hidden LET comm", self.non_hidden_comm));
+        if self.recovery > 0.0 {
+            s.push_str(&format!("{:<28} {:>8.3} s\n", "Recovery", self.recovery));
+        }
         s.push_str(&format!("{:<28} {:>8.3} s\n", "Unbalance + Other", self.other));
         s.push_str(&format!("{:<28} {:>8.3} s\n", "Total", self.total()));
         s.push_str(&format!("{:<28} {:>8.0}\n", "Particle-Particle /particle", self.pp_per_particle));
@@ -121,6 +127,7 @@ mod tests {
             gravity_local: 1.45,
             gravity_lets: 2.0,
             non_hidden_comm: 0.1,
+            recovery: 0.0,
             other: 0.3,
             pp_per_particle: 1716.0,
             pc_per_particle: 6765.0,

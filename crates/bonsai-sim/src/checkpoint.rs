@@ -7,54 +7,164 @@
 //! restart the shards are read back and the cluster rebuilt — rank count
 //! may even *change* between runs, since the first decomposition rebalances
 //! everything anyway.
+//!
+//! The format is built to survive faults: every file is written to a temp
+//! name and atomically renamed (a torn write never corrupts an existing
+//! checkpoint), the manifest is written *last* so it only ever names shards
+//! that are fully on disk, and it records each shard's particle count and
+//! CRC-64 so any torn, truncated or bit-flipped shard is detected at read
+//! time with an error naming the exact file and field.
 
 use crate::cluster::{Cluster, ClusterConfig};
-use bonsai_core::snapshot::{read_snapshot, write_snapshot};
+use bonsai_core::snapshot::{snapshot_from_bytes, snapshot_to_bytes};
 use bonsai_tree::Particles;
+use bonsai_util::crc64;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Write a per-rank sharded checkpoint under `dir`.
-///
-/// Layout: `dir/manifest.txt` + `dir/shard_<rank>.bin`.
-pub fn write_checkpoint(cluster: &Cluster, dir: &Path) -> io::Result<()> {
-    std::fs::create_dir_all(dir)?;
-    let p = cluster.rank_count();
-    let mut manifest = format!("bonsai-checkpoint v1\nranks {p}\ntime {}\nsteps {}\n", cluster.time(), cluster.step_count());
-    for r in 0..p {
-        let shard = shard_path(dir, r);
-        let particles = cluster.rank_particles(r);
-        write_snapshot(&shard, particles, cluster.time())?;
-        manifest.push_str(&format!("shard_{r}.bin {}\n", particles.len()));
-    }
-    std::fs::write(dir.join("manifest.txt"), manifest)
+const MANIFEST_HEADER: &str = "bonsai-checkpoint v2";
+
+/// Everything a checkpoint restores.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// All particles, concatenated across shards.
+    pub particles: Particles,
+    /// Simulation time at the checkpoint.
+    pub time: f64,
+    /// Completed steps at the checkpoint.
+    pub steps: u64,
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn shard_name(rank: usize) -> String {
+    format!("shard_{rank}.bin")
 }
 
 fn shard_path(dir: &Path, rank: usize) -> PathBuf {
-    dir.join(format!("shard_{rank}.bin"))
+    dir.join(shard_name(rank))
+}
+
+/// Write `bytes` to `path` atomically (temp file + rename).
+fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    let tmp = path.with_file_name(name);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Write a per-rank sharded checkpoint under `dir`.
+///
+/// Layout: `dir/manifest.txt` + `dir/shard_<rank>.bin`. Shards land first,
+/// the manifest last; each manifest shard line carries the particle count
+/// and CRC-64 of the shard's bytes.
+pub fn write_checkpoint(cluster: &Cluster, dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let p = cluster.rank_count();
+    let mut manifest = format!(
+        "{MANIFEST_HEADER}\nranks {p}\ntime {}\nsteps {}\n",
+        cluster.time(),
+        cluster.step_count()
+    );
+    for r in 0..p {
+        let particles = cluster.rank_particles(r);
+        let bytes = snapshot_to_bytes(particles, cluster.time());
+        let crc = crc64(&bytes);
+        write_atomic(&shard_path(dir, r), &bytes)?;
+        manifest.push_str(&format!(
+            "{} {} {crc:016x}\n",
+            shard_name(r),
+            particles.len()
+        ));
+    }
+    write_atomic(&dir.join("manifest.txt"), manifest.as_bytes())
+}
+
+/// Parse one `key value` manifest line, reporting which field is missing or
+/// malformed.
+fn parse_field<T: std::str::FromStr>(line: Option<&str>, key: &str) -> io::Result<T> {
+    let l = line.ok_or_else(|| bad(format!("manifest truncated: missing '{key}' line")))?;
+    let v = l
+        .strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix(' '))
+        .ok_or_else(|| bad(format!("manifest field '{key}': malformed line '{l}'")))?;
+    v.trim()
+        .parse()
+        .map_err(|_| bad(format!("manifest field '{key}': invalid value '{v}'")))
+}
+
+/// Read and validate a sharded checkpoint.
+///
+/// Every shard's bytes are checked against the manifest's CRC-64 and
+/// particle count before the snapshot itself is parsed (which re-validates
+/// length and its own checksum), so torn or corrupted shards surface as
+/// descriptive errors rather than bad particle data.
+pub fn read_checkpoint_full(dir: &Path) -> io::Result<Checkpoint> {
+    let manifest = std::fs::read_to_string(dir.join("manifest.txt"))?;
+    let mut lines = manifest.lines();
+    let header = lines.next().unwrap_or("");
+    if header != MANIFEST_HEADER {
+        return Err(bad(format!(
+            "bad manifest header '{header}' (expected '{MANIFEST_HEADER}')"
+        )));
+    }
+    let ranks: usize = parse_field(lines.next(), "ranks")?;
+    let time: f64 = parse_field(lines.next(), "time")?;
+    let steps: u64 = parse_field(lines.next(), "steps")?;
+    let mut all = Particles::new();
+    for r in 0..ranks {
+        let line = lines
+            .next()
+            .ok_or_else(|| bad(format!("manifest truncated: missing shard line {r}")))?;
+        let mut parts = line.split_whitespace();
+        let (name, count, crc_hex) = match (parts.next(), parts.next(), parts.next(), parts.next())
+        {
+            (Some(n), Some(c), Some(x), None) => (n, c, x),
+            _ => return Err(bad(format!("manifest shard line {r} malformed: '{line}'"))),
+        };
+        if name != shard_name(r) {
+            return Err(bad(format!(
+                "manifest shard line {r}: unexpected file '{name}' (expected '{}')",
+                shard_name(r)
+            )));
+        }
+        let count: usize = count
+            .parse()
+            .map_err(|_| bad(format!("shard {name}: invalid particle count '{count}'")))?;
+        let stated = u64::from_str_radix(crc_hex, 16)
+            .map_err(|_| bad(format!("shard {name}: invalid checksum '{crc_hex}'")))?;
+        let bytes = std::fs::read(shard_path(dir, r))?;
+        let actual = crc64(&bytes);
+        if actual != stated {
+            return Err(bad(format!(
+                "shard {name}: checksum mismatch (manifest {stated:016x}, file {actual:016x}) — \
+                 torn or corrupted write"
+            )));
+        }
+        let (shard, _t) = snapshot_from_bytes(&bytes)
+            .map_err(|e| bad(format!("shard {name}: {e}")))?;
+        if shard.len() != count {
+            return Err(bad(format!(
+                "shard {name}: {} particles, manifest declares {count}",
+                shard.len()
+            )));
+        }
+        all.extend_from(&shard);
+    }
+    Ok(Checkpoint {
+        particles: all,
+        time,
+        steps,
+    })
 }
 
 /// Read a sharded checkpoint back into `(particles, time)`.
 pub fn read_checkpoint(dir: &Path) -> io::Result<(Particles, f64)> {
-    let manifest = std::fs::read_to_string(dir.join("manifest.txt"))?;
-    let mut lines = manifest.lines();
-    let header = lines.next().unwrap_or("");
-    if header != "bonsai-checkpoint v1" {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad manifest header"));
-    }
-    let ranks: usize = lines
-        .next()
-        .and_then(|l| l.strip_prefix("ranks "))
-        .and_then(|v| v.parse().ok())
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad rank count"))?;
-    let mut all = Particles::new();
-    let mut time = 0.0;
-    for r in 0..ranks {
-        let (shard, t) = read_snapshot(shard_path(dir, r))?;
-        all.extend_from(&shard);
-        time = t;
-    }
-    Ok((all, time))
+    let ck = read_checkpoint_full(dir)?;
+    Ok((ck.particles, ck.time))
 }
 
 /// Restore a cluster from a checkpoint with a (possibly different) rank
@@ -98,13 +208,22 @@ mod tests {
         c.step();
         let dir = tmp("round_trip");
         write_checkpoint(&c, &dir).unwrap();
-        let (all, time) = read_checkpoint(&dir).unwrap();
-        assert_eq!(all.len(), 1200);
-        assert!((time - c.time()).abs() < 1e-15);
-        let mut ids = all.id.clone();
+        let ck = read_checkpoint_full(&dir).unwrap();
+        assert_eq!(ck.particles.len(), 1200);
+        assert!((ck.time - c.time()).abs() < 1e-15);
+        assert_eq!(ck.steps, 2);
+        let mut ids = ck.particles.id.clone();
         ids.sort_unstable();
         assert_eq!(ids, (0..1200).collect::<Vec<u64>>());
-        assert!((all.total_mass() - 1.0).abs() < 1e-9);
+        assert!((ck.particles.total_mass() - 1.0).abs() < 1e-9);
+        // Atomic writes leave no temp files behind.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                !name.to_string_lossy().ends_with(".tmp"),
+                "stray temp file {name:?}"
+            );
+        }
     }
 
     #[test]
@@ -169,7 +288,61 @@ mod tests {
         let dir = tmp("bad");
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("manifest.txt"), "not a checkpoint").unwrap();
-        assert!(read_checkpoint(&dir).is_err());
+        let err = read_checkpoint(&dir).unwrap_err();
+        assert!(err.to_string().contains("manifest header"), "{err}");
+    }
+
+    #[test]
+    fn manifest_field_errors_name_the_field() {
+        let dir = tmp("fields");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cases = [
+            ("bonsai-checkpoint v2\n", "ranks"),
+            ("bonsai-checkpoint v2\nranks two\n", "ranks"),
+            ("bonsai-checkpoint v2\nranks 1\ntime soon\n", "time"),
+            ("bonsai-checkpoint v2\nranks 1\ntime 0.5\nsteps -3\n", "steps"),
+        ];
+        for (content, field) in cases {
+            std::fs::write(dir.join("manifest.txt"), content).unwrap();
+            let err = read_checkpoint(&dir).unwrap_err();
+            assert!(
+                err.to_string().contains(field),
+                "manifest {content:?}: error '{err}' does not name '{field}'"
+            );
+        }
+    }
+
+    #[test]
+    fn torn_shard_write_detected() {
+        let ic = plummer_sphere(400, 5);
+        let mut c = Cluster::new(ic, 3, ClusterConfig::default());
+        c.step();
+        let dir = tmp("torn");
+        write_checkpoint(&c, &dir).unwrap();
+        // Simulate a torn write: shard 1 loses its tail.
+        let shard = dir.join("shard_1.bin");
+        let bytes = std::fs::read(&shard).unwrap();
+        std::fs::write(&shard, &bytes[..bytes.len() - 17]).unwrap();
+        let err = read_checkpoint(&dir).unwrap_err();
+        assert!(
+            err.to_string().contains("shard_1.bin") && err.to_string().contains("checksum"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn bit_flipped_shard_detected() {
+        let ic = plummer_sphere(300, 6);
+        let c = Cluster::new(ic, 2, ClusterConfig::default());
+        let dir = tmp("flip");
+        write_checkpoint(&c, &dir).unwrap();
+        let shard = dir.join("shard_0.bin");
+        let mut bytes = std::fs::read(&shard).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        std::fs::write(&shard, bytes).unwrap();
+        let err = read_checkpoint(&dir).unwrap_err();
+        assert!(err.to_string().contains("shard_0.bin"), "{err}");
     }
 
     #[test]

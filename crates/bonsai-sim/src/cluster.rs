@@ -9,6 +9,17 @@
 //! (`bonsai-net`) of the configured machine, yielding a Table II style
 //! [`StepBreakdown`] per step.
 //!
+//! Every inter-rank payload crosses the real message fabric inside a
+//! checksummed envelope, through a [`FaultyEndpoint`] that can inject a
+//! seeded [`FaultPlan`]: drops, duplicates, reorders, delays, truncation,
+//! bit flips, rank stalls and hard crashes. The step survives them —
+//! invalid frames are discarded and retransmitted with bounded attempts,
+//! lost dedicated LETs degrade gracefully to walking the already-held
+//! boundary tree, and a crashed rank is detected via missing heartbeats and
+//! replaced by rolling the cluster back to its last checkpoint. Every
+//! injected fault and every recovery action lands in the [`FaultLog`], so
+//! a chaos run can be audited end to end.
+//!
 //! The result is provably faithful: tests assert the distributed forces
 //! agree with a direct-summation reference at the MAC-bounded error level,
 //! that ranks respect the 30% load cap, and that distant ranks reuse the
@@ -16,19 +27,38 @@
 //! dedicated ones — the communication-avoidance core of the paper.
 
 use crate::breakdown::StepBreakdown;
-use bonsai_domain::exchange::{ExchangePlan, PARTICLE_WIRE_SIZE};
+use crate::checkpoint;
+use bonsai_domain::exchange::{particles_from_bytes, particles_to_bytes, ExchangePlan};
 use bonsai_domain::letbuild::{boundary_sufficient_for, build_let};
 use bonsai_domain::load::enforce_particle_cap;
 use bonsai_domain::sampling::parallel_cuts;
 use bonsai_domain::{boundary_tree, LetTree};
 use bonsai_gpu::{GpuModel, KernelVariant, K20X};
-use bonsai_net::{MachineSpec, NetworkModel, PIZ_DAINT};
+use bonsai_net::envelope;
+use bonsai_net::fault::{
+    FaultEvent, FaultKind, FaultLog, FaultPlan, FaultyEndpoint, RecoveryAction, RecoveryEvent,
+    SharedFaultLog,
+};
+use bonsai_net::{Fabric, MachineSpec, MsgKind, NetworkModel, PIZ_DAINT};
 use bonsai_sfc::{KeyMap, KeyRange};
 use bonsai_tree::build::{Tree, TreeParams};
 use bonsai_tree::walk::{self, WalkParams};
 use bonsai_tree::{Forces, InteractionCounts, Particles};
 use bonsai_util::{Aabb, Vec3};
+use bytes::Bytes;
 use rayon::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Retransmission attempts for exchanges that must complete (heartbeat /
+/// bounds, particle migration, boundary allgather). A peer that stays
+/// silent through every attempt is declared dead.
+const MAX_RETRIES_HARD: u32 = 4;
+
+/// Retransmission attempts for dedicated LETs. Cheaper to give up early:
+/// the receiver already holds the sender's boundary tree and can walk that
+/// instead (graceful degradation, counted per step).
+const MAX_RETRIES_LET: u32 = 2;
 
 /// Configuration of a cluster run.
 #[derive(Clone, Debug)]
@@ -69,11 +99,22 @@ impl Default for ClusterConfig {
     }
 }
 
+/// Where (and how often) the cluster checkpoints itself so a crashed rank
+/// can be recovered by rollback.
+#[derive(Clone, Debug)]
+pub struct RecoveryConfig {
+    /// Directory checkpoints are written to (created if missing).
+    pub dir: PathBuf,
+    /// Checkpoint every `every` completed steps (0 = only the initial one).
+    pub every: u64,
+}
+
 /// How a target rank covers one remote source.
 enum RemoteSource {
-    /// The broadcast boundary tree of rank `i` suffices.
+    /// The already-held boundary tree of rank `i` suffices (or serves as
+    /// the fallback for a lost dedicated LET).
     Boundary,
-    /// A dedicated LET was shipped.
+    /// A dedicated LET arrived and is walked.
     Dedicated(LetTree),
 }
 
@@ -96,6 +137,13 @@ pub struct StepMeasurements {
     pub forced_cuts: u64,
     /// Max/mean particle imbalance after the exchange.
     pub imbalance: f64,
+    /// Bytes retransmitted to recover lost or invalid frames.
+    pub retransmit_bytes: usize,
+    /// Dedicated LETs that never arrived and degraded to a boundary walk.
+    pub degraded_lets: usize,
+    /// Faults injected and recovery actions taken during the successful
+    /// gravity epoch (failed epochs live in [`Cluster::fault_log`]).
+    pub faults: FaultLog,
 }
 
 /// A cluster of logical ranks executing Bonsai's distributed step.
@@ -116,6 +164,17 @@ pub struct Cluster {
     weights: Vec<f64>,
     time: f64,
     steps: u64,
+    /// One fabric endpoint per rank, with the fault plan applied on sends.
+    endpoints: Vec<FaultyEndpoint>,
+    plan: Arc<FaultPlan>,
+    fault_log: SharedFaultLog,
+    /// Monotonic gravity-phase counter. Never rewinds — a checkpoint
+    /// rollback keeps advancing it, which is what makes stale frames from
+    /// failed epochs detectable and scheduled crashes fire exactly once.
+    epoch: u64,
+    /// Ranks currently considered dead (crashed, awaiting recovery).
+    dead: Vec<bool>,
+    recovery: Option<RecoveryConfig>,
     /// Measurements of the most recent gravity phase.
     pub last_measurements: StepMeasurements,
 }
@@ -123,22 +182,34 @@ pub struct Cluster {
 impl Cluster {
     /// Distribute `all` particles over `p` ranks and evaluate initial forces.
     pub fn new(all: Particles, p: usize, cfg: ClusterConfig) -> Self {
+        Self::with_faults(all, p, cfg, FaultPlan::new(0), None)
+    }
+
+    /// Like [`Cluster::new`], but with a fault-injection plan and an
+    /// optional checkpoint-based recovery configuration. With an empty plan
+    /// the endpoints are transparent (framed) pass-throughs and the step is
+    /// byte-for-byte the fault-free algorithm.
+    ///
+    /// Crash faults require `recovery`: a rank death is survived by rolling
+    /// back to the last checkpoint, so without one the step panics when a
+    /// rank dies. Rank-level faults need `p > 1` to be observable.
+    pub fn with_faults(
+        all: Particles,
+        p: usize,
+        cfg: ClusterConfig,
+        plan: FaultPlan,
+        recovery: Option<RecoveryConfig>,
+    ) -> Self {
         assert!(p > 0 && !all.is_empty());
         let gpu = GpuModel::new(K20X, KernelVariant::TreeKeplerTuned);
         let net = NetworkModel::new(cfg.machine);
-        // Initial split: even counts along the SFC.
-        let keymap = KeyMap::new(&all.bounds(), cfg.tree.curve);
-        let mut keys: Vec<u64> = all.pos.iter().map(|&q| keymap.key_of(q)).collect();
-        let mut sorted = keys.clone();
-        sorted.sort_unstable();
-        let cuts: Vec<u64> = (1..p).map(|i| sorted[i * all.len() / p]).collect();
-        let domains = bonsai_sfc::range::ranges_from_cuts(&cuts);
-        let mut ranks: Vec<Particles> = (0..p).map(|_| Particles::new()).collect();
-        for i in 0..all.len() {
-            let r = bonsai_sfc::range::find_owner(&domains, keys[i]);
-            ranks[r].push(all.pos[i], all.vel[i], all.mass[i], all.id[i]);
-        }
-        keys.clear();
+        let (ranks, domains) = seed_decomposition(&all, p, &cfg);
+        let plan = Arc::new(plan);
+        let fault_log = SharedFaultLog::new();
+        let endpoints: Vec<FaultyEndpoint> = Fabric::new(p)
+            .into_iter()
+            .map(|ep| FaultyEndpoint::new(ep, plan.clone(), fault_log.clone()))
+            .collect();
         let mut cluster = Self {
             cfg,
             gpu,
@@ -150,9 +221,20 @@ impl Cluster {
             weights: vec![1.0; p],
             time: 0.0,
             steps: 0,
+            endpoints,
+            plan,
+            fault_log,
+            epoch: 0,
+            dead: vec![false; p],
+            recovery,
             last_measurements: StepMeasurements::default(),
         };
-        cluster.gravity_phase();
+        // Checkpoint the initial conditions *before* the first force
+        // computation: a rank can die (or be falsely declared dead under
+        // extreme fault rates) in the very first gravity epoch, and
+        // recovery needs something to roll back to.
+        cluster.write_recovery_checkpoint();
+        cluster.compute_forces_with_recovery();
         cluster
     }
 
@@ -179,6 +261,18 @@ impl Cluster {
     /// Completed steps.
     pub fn step_count(&self) -> u64 {
         self.steps
+    }
+
+    /// Gravity epochs executed so far (≥ `step_count() + 1`; recovery
+    /// rollbacks consume extra epochs).
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Full audit log of injected faults and recovery actions since
+    /// construction.
+    pub fn fault_log(&self) -> FaultLog {
+        self.fault_log.snapshot()
     }
 
     /// Borrow one rank's particle shard (checkpointing, inspection).
@@ -234,33 +328,143 @@ impl Cluster {
     /// One full kick–drift–(rebuild + force)–kick step. Returns the
     /// Table II style breakdown with simulated times for the configured
     /// machine.
+    ///
+    /// If a rank crashes mid-step the cluster rolls back to its last
+    /// checkpoint and the whole step is re-executed from the restored
+    /// state, so a returned breakdown always describes a completed step.
     pub fn step(&mut self) -> StepBreakdown {
         let half = 0.5 * self.cfg.dt;
         let dt = self.cfg.dt;
-        for (rank, acc) in self.ranks.iter_mut().zip(&self.acc) {
-            for i in 0..rank.len() {
-                rank.vel[i] += acc[i] * half;
-                let v = rank.vel[i];
-                rank.pos[i] += v * dt;
+        loop {
+            for (rank, acc) in self.ranks.iter_mut().zip(&self.acc) {
+                for i in 0..rank.len() {
+                    rank.vel[i] += acc[i] * half;
+                    let v = rank.vel[i];
+                    rank.pos[i] += v * dt;
+                }
             }
-        }
-        let breakdown = self.gravity_phase();
-        for (rank, acc) in self.ranks.iter_mut().zip(&self.acc) {
-            for i in 0..rank.len() {
-                rank.vel[i] += acc[i] * half;
+            let (breakdown, restored) = self.compute_forces_with_recovery();
+            if restored {
+                // The rollback landed us on a step boundary with fresh
+                // forces; redo the kick–drift from there.
+                continue;
             }
+            for (rank, acc) in self.ranks.iter_mut().zip(&self.acc) {
+                for i in 0..rank.len() {
+                    rank.vel[i] += acc[i] * half;
+                }
+            }
+            self.time += dt;
+            self.steps += 1;
+            if let Some(rec) = &self.recovery {
+                if rec.every > 0 && self.steps % rec.every == 0 {
+                    self.write_recovery_checkpoint();
+                }
+            }
+            return breakdown;
         }
-        self.time += dt;
-        self.steps += 1;
-        breakdown
     }
 
-    /// The distributed force computation: domain update, exchange, tree
-    /// builds, boundary allgather, sufficiency checks, LET construction,
-    /// walks. Populates `self.acc` and returns the breakdown.
-    fn gravity_phase(&mut self) -> StepBreakdown {
+    fn write_recovery_checkpoint(&self) {
+        if let Some(rec) = &self.recovery {
+            checkpoint::write_checkpoint(self, &rec.dir).expect("checkpoint write failed");
+        }
+    }
+
+    /// Run gravity epochs until one completes, rolling back to the last
+    /// checkpoint when a rank dies. Returns the successful breakdown and
+    /// whether any rollback happened (the caller must then redo its step).
+    fn compute_forces_with_recovery(&mut self) -> (StepBreakdown, bool) {
+        let p = self.ranks.len();
+        let mut restored = false;
+        loop {
+            self.epoch += 1;
+            // Frames held back by Delay/Stall surface now, carrying their
+            // old epoch — receive-side validation discards them as stale.
+            for ep in &mut self.endpoints {
+                ep.flush_delayed();
+            }
+            if p > 1 {
+                if let Some(r) = self.plan.crashed_rank(self.epoch) {
+                    // Hard crash: the rank's in-memory state is gone and it
+                    // sends nothing from here on.
+                    self.fault_log.record_fault(FaultEvent {
+                        epoch: self.epoch,
+                        from: r,
+                        to: r,
+                        kind: MsgKind::Control,
+                        fault: FaultKind::Crash,
+                        attempt: 0,
+                    });
+                    self.dead[r] = true;
+                    self.ranks[r] = Particles::new();
+                    self.acc[r].clear();
+                    self.pot[r].clear();
+                }
+            }
+            match self.try_gravity_phase() {
+                Ok(breakdown) => return (breakdown, restored),
+                Err(dead) => {
+                    self.restore_from_checkpoint(dead);
+                    restored = true;
+                }
+            }
+        }
+    }
+
+    /// Declare `dead` dead and roll the whole cluster back to the last
+    /// checkpoint (the paper-scale recovery path: restart from the most
+    /// recent snapshot, §VI-C). The epoch keeps advancing.
+    fn restore_from_checkpoint(&mut self, dead: usize) {
+        self.fault_log.record_recovery(RecoveryEvent {
+            epoch: self.epoch,
+            rank: dead,
+            peer: None,
+            kind: None,
+            action: RecoveryAction::DeclareDead,
+            detail: format!("rank {dead} missed every retry window"),
+        });
+        let rec = self.recovery.clone().unwrap_or_else(|| {
+            panic!(
+                "rank {dead} declared dead at epoch {} but no recovery checkpoint is \
+                 configured; construct with Cluster::with_faults(.., Some(RecoveryConfig)) \
+                 to survive crashes",
+                self.epoch
+            )
+        });
+        let ck = checkpoint::read_checkpoint_full(&rec.dir)
+            .expect("checkpoint unreadable during crash recovery");
+        let p = self.dead.len();
+        let (ranks, domains) = seed_decomposition(&ck.particles, p, &self.cfg);
+        self.ranks = ranks;
+        self.domains = domains;
+        self.acc = vec![Vec::new(); p];
+        self.pot = vec![Vec::new(); p];
+        self.weights = vec![1.0; p];
+        self.time = ck.time;
+        self.steps = ck.steps;
+        self.dead = vec![false; p];
+        self.fault_log.record_recovery(RecoveryEvent {
+            epoch: self.epoch,
+            rank: dead,
+            peer: None,
+            kind: None,
+            action: RecoveryAction::RestoreCheckpoint,
+            detail: format!("rolled back to step {} (t = {})", ck.steps, ck.time),
+        });
+    }
+
+    /// The distributed force computation: heartbeat + bounds, domain
+    /// update, particle exchange, tree builds, boundary allgather,
+    /// sufficiency checks, LET exchange, walks — with every inter-rank
+    /// payload crossing the (possibly faulty) fabric in validated
+    /// envelopes. Populates `self.acc` and returns the breakdown, or
+    /// `Err(rank)` when a rank stayed silent through every retry and must
+    /// be treated as crashed.
+    fn try_gravity_phase(&mut self) -> Result<StepBreakdown, usize> {
         let p = self.ranks.len();
         let cfg = self.cfg.clone();
+        let epoch = self.epoch;
         let mut meas = StepMeasurements {
             boundary_bytes: vec![0; p],
             let_bytes_sent: vec![0; p],
@@ -268,16 +472,58 @@ impl Cluster {
             exchange_bytes: vec![0; p],
             counts_local: vec![InteractionCounts::zero(); p],
             counts_lets: vec![InteractionCounts::zero(); p],
-            forced_cuts: 0,
-            imbalance: 0.0,
+            ..StepMeasurements::default()
         };
 
-        // --- 1. Global bounding box → shared key map (an allreduce). ------
+        // --- 1. Heartbeat + global bounding box (an allreduce). ------------
+        // Every alive rank broadcasts its local bounds as a Control frame;
+        // this doubles as the liveness probe: a rank missing from every
+        // retry round is reported dead.
         let mut bounds = Aabb::empty();
-        for r in &self.ranks {
-            if !r.is_empty() {
-                bounds.merge(&r.bounds());
+        if p > 1 {
+            let mut payloads: Vec<Vec<Option<Bytes>>> = vec![vec![None; p]; p];
+            for r in 0..p {
+                if self.dead[r] {
+                    continue;
+                }
+                let local = if self.ranks[r].is_empty() {
+                    Aabb::empty()
+                } else {
+                    self.ranks[r].bounds()
+                };
+                let enc = Bytes::from(aabb_to_bytes(&local));
+                for to in 0..p {
+                    if to != r {
+                        payloads[r][to] = Some(enc.clone());
+                    }
+                }
             }
+            let expected = all_pairs_expected(p);
+            let (got, missing) = exchange_validated(
+                &mut self.endpoints,
+                &self.fault_log,
+                MsgKind::Control,
+                epoch,
+                &payloads,
+                &expected,
+                MAX_RETRIES_HARD,
+                &mut meas.retransmit_bytes,
+                |_, _, b| aabb_from_bytes(b),
+            );
+            if let Some(&(_, from)) = missing.first() {
+                return Err(from);
+            }
+            // Every rank derives the same global box; use rank 0's view.
+            if !self.ranks[0].is_empty() {
+                bounds.merge(&self.ranks[0].bounds());
+            }
+            for from in 1..p {
+                if let Some(b) = &got[0][from] {
+                    bounds.merge(b);
+                }
+            }
+        } else if !self.ranks[0].is_empty() {
+            bounds.merge(&self.ranks[0].bounds());
         }
         let keymap = KeyMap::new(&bounds, cfg.tree.curve);
 
@@ -311,30 +557,43 @@ impl Cluster {
             domains = enforce_particle_cap(&domains, &all_keys, cfg.cap);
             self.domains = domains;
 
-            // --- 3. Particle exchange. -------------------------------------
-            let plans: Vec<ExchangePlan> = self
-                .ranks
-                .iter()
-                .enumerate()
-                .map(|(me, r)| {
-                    let ks = keymap.keys_of(&r.pos);
-                    ExchangePlan::plan(me, &ks, &self.domains)
-                })
-                .collect();
-            let mut inboxes: Vec<Particles> = (0..p).map(|_| Particles::new()).collect();
-            for (me, plan) in plans.iter().enumerate() {
+            // --- 3. Particle exchange through the fabric. ------------------
+            // Every pair exchanges a (possibly empty) migrant payload, so
+            // the receive side knows exactly what to expect.
+            let mut payloads: Vec<Vec<Option<Bytes>>> = vec![vec![None; p]; p];
+            for me in 0..p {
+                let ks = keymap.keys_of(&self.ranks[me].pos);
+                let plan = ExchangePlan::plan(me, &ks, &self.domains);
                 meas.exchange_bytes[me] = plan.wire_bytes();
                 let shipped = plan.apply(&mut self.ranks[me]);
                 for (dest, pk) in shipped.into_iter().enumerate() {
-                    if !pk.is_empty() {
-                        inboxes[dest].extend_from(&pk);
+                    if dest != me {
+                        payloads[me][dest] = Some(particles_to_bytes(&pk));
                     }
                 }
             }
-            for (rank, inbox) in self.ranks.iter_mut().zip(&inboxes) {
-                rank.extend_from(inbox);
+            let expected = all_pairs_expected(p);
+            let (got, missing) = exchange_validated(
+                &mut self.endpoints,
+                &self.fault_log,
+                MsgKind::Particles,
+                epoch,
+                &payloads,
+                &expected,
+                MAX_RETRIES_HARD,
+                &mut meas.retransmit_bytes,
+                |_, _, b| particles_from_bytes(b),
+            );
+            if let Some(&(_, from)) = missing.first() {
+                return Err(from);
             }
-            let _ = PARTICLE_WIRE_SIZE;
+            for (to, row) in got.into_iter().enumerate() {
+                for pk in row.into_iter().flatten() {
+                    if !pk.is_empty() {
+                        self.ranks[to].extend_from(&pk);
+                    }
+                }
+            }
         }
 
         // Imbalance after the exchange.
@@ -350,53 +609,152 @@ impl Cluster {
             .map(|pr| Tree::build_with_keymap(pr, keymap.clone(), tree_params))
             .collect();
 
-        // --- 5. Boundary trees, serialized (allgather payloads). -----------
+        // --- 5. Boundary allgather through the fabric. ----------------------
         let boundaries: Vec<LetTree> = trees
             .par_iter()
             .zip(self.domains.par_iter())
-            .map(|(t, d)| {
-                let b = boundary_tree(t, d);
-                // Round-trip through the wire format, as a receiver would.
-                LetTree::from_bytes(&b.to_bytes()).expect("boundary codec")
-            })
+            .map(|(t, d)| boundary_tree(t, d))
             .collect();
         for (i, b) in boundaries.iter().enumerate() {
             meas.boundary_bytes[i] = b.wire_size();
         }
-        let frontier_geoms: Vec<Vec<Aabb>> = boundaries.iter().map(LetTree::frontier_boxes).collect();
+        // held[j][i]: rank j's validated wire copy of rank i's boundary.
+        let mut held: Vec<Vec<Option<LetTree>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+        if p > 1 {
+            let mut payloads: Vec<Vec<Option<Bytes>>> = vec![vec![None; p]; p];
+            for from in 0..p {
+                let enc = boundaries[from].to_bytes();
+                for to in 0..p {
+                    if to != from {
+                        payloads[from][to] = Some(enc.clone());
+                    }
+                }
+            }
+            let expected = all_pairs_expected(p);
+            let (got, missing) = exchange_validated(
+                &mut self.endpoints,
+                &self.fault_log,
+                MsgKind::Boundary,
+                epoch,
+                &payloads,
+                &expected,
+                MAX_RETRIES_HARD,
+                &mut meas.retransmit_bytes,
+                |_, _, b| parse_let_tree(b, "boundary"),
+            );
+            if let Some(&(_, from)) = missing.first() {
+                return Err(from);
+            }
+            held = got;
+        }
 
-        // --- 6. Sufficiency checks + dedicated LETs (sender side). ---------
-        // sources[j] = what rank j walks for each remote rank i.
-        let sources: Vec<Vec<(usize, RemoteSource)>> = (0..p)
+        // Each rank's own frontier geometry (walk targets for senders).
+        let own_geoms: Vec<Vec<Aabb>> = boundaries.iter().map(LetTree::frontier_boxes).collect();
+
+        // --- 6. Sufficiency checks + dedicated LETs (sender side). ----------
+        // Sender i decides from its *received* copy of j's boundary; the
+        // receiver re-derives the same decision from its own data, so both
+        // sides agree on which LETs are in flight without extra messages.
+        let let_builds: Vec<Vec<(usize, LetTree)>> = (0..p)
             .into_par_iter()
-            .map(|j| {
-                let mut list = Vec::with_capacity(p - 1);
-                for i in 0..p {
-                    if i == j || trees[i].is_empty() {
+            .map(|i| {
+                let mut out = Vec::new();
+                if boundaries[i].is_empty() {
+                    return out;
+                }
+                for j in 0..p {
+                    if j == i {
                         continue;
                     }
-                    let geom_j = &frontier_geoms[j];
-                    if boundary_sufficient_for(&boundaries[i], geom_j, cfg.theta) {
-                        list.push((i, RemoteSource::Boundary));
-                    } else {
-                        let lt = build_let(&trees[i], geom_j, cfg.theta);
-                        let lt = LetTree::from_bytes(&lt.to_bytes()).expect("LET codec");
-                        list.push((i, RemoteSource::Dedicated(lt)));
+                    let geom_j: Vec<Aabb> = held[i][j]
+                        .as_ref()
+                        .map(LetTree::frontier_boxes)
+                        .unwrap_or_default();
+                    if geom_j.is_empty() {
+                        continue;
+                    }
+                    if !boundary_sufficient_for(&boundaries[i], &geom_j, cfg.theta) {
+                        out.push((j, build_let(&trees[i], &geom_j, cfg.theta)));
+                    }
+                }
+                out
+            })
+            .collect();
+        let mut let_payloads: Vec<Vec<Option<Bytes>>> = vec![vec![None; p]; p];
+        for (i, builds) in let_builds.iter().enumerate() {
+            for (j, lt) in builds {
+                meas.let_bytes_sent[i] += lt.wire_size();
+                meas.let_neighbors[i] += 1;
+                let_payloads[i][*j] = Some(lt.to_bytes());
+            }
+        }
+        let expected_let: Vec<Vec<usize>> = (0..p)
+            .map(|j| {
+                (0..p)
+                    .filter(|&i| i != j)
+                    .filter(|&i| match &held[j][i] {
+                        Some(bi) => {
+                            !bi.is_empty()
+                                && !own_geoms[j].is_empty()
+                                && !boundary_sufficient_for(bi, &own_geoms[j], cfg.theta)
+                        }
+                        None => false,
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut got_lets: Vec<Vec<Option<LetTree>>> =
+            (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+        if p > 1 {
+            let (got, missing) = exchange_validated(
+                &mut self.endpoints,
+                &self.fault_log,
+                MsgKind::Let,
+                epoch,
+                &let_payloads,
+                &expected_let,
+                MAX_RETRIES_LET,
+                &mut meas.retransmit_bytes,
+                |_, _, b| parse_let_tree(b, "LET"),
+            );
+            got_lets = got;
+            // A LET that never made it is not fatal: the receiver walks the
+            // sender's boundary tree it already holds. Coarser MAC
+            // acceptance shows up as forced cuts, which the step counts.
+            for &(j, i) in &missing {
+                self.fault_log.record_recovery(RecoveryEvent {
+                    epoch,
+                    rank: j,
+                    peer: Some(i),
+                    kind: Some(MsgKind::Let),
+                    action: RecoveryAction::BoundaryFallback,
+                    detail: "dedicated LET lost; walking held boundary tree".to_string(),
+                });
+                meas.degraded_lets += 1;
+            }
+        }
+
+        // sources[j] = what rank j walks for each remote rank i.
+        let sources: Vec<Vec<(usize, RemoteSource)>> = (0..p)
+            .map(|j| {
+                let mut list = Vec::with_capacity(p.saturating_sub(1));
+                for i in 0..p {
+                    if i == j {
+                        continue;
+                    }
+                    let Some(bi) = &held[j][i] else { continue };
+                    if bi.is_empty() {
+                        continue;
+                    }
+                    match got_lets[j][i].take() {
+                        Some(lt) => list.push((i, RemoteSource::Dedicated(lt))),
+                        None => list.push((i, RemoteSource::Boundary)),
                     }
                 }
                 list
             })
             .collect();
-        for (j, list) in sources.iter().enumerate() {
-            for (i, src) in list {
-                if let RemoteSource::Dedicated(lt) = src {
-                    // Rank *i* sends this LET to j.
-                    meas.let_bytes_sent[*i] += lt.wire_size();
-                    meas.let_neighbors[*i] += 1;
-                    let _ = j;
-                }
-            }
-        }
 
         // --- 7. Force walks: local tree + every remote source. -------------
         let params = WalkParams {
@@ -411,16 +769,18 @@ impl Cluster {
             lets: InteractionCounts,
             forced: u64,
         }
-        let results: Vec<RankForces> = trees
-            .par_iter()
-            .zip(sources.par_iter())
-            .map(|(tree, srcs)| {
+        let results: Vec<RankForces> = (0..p)
+            .into_par_iter()
+            .map(|j| {
+                let tree = &trees[j];
                 let (mut forces, st_local) = walk::self_gravity(tree, &params);
                 let mut lets = InteractionCounts::zero();
                 let mut forced = st_local.forced_cuts;
-                for (i, src) in srcs {
+                for (i, src) in &sources[j] {
                     let view = match src {
-                        RemoteSource::Boundary => boundaries[*i].view(),
+                        RemoteSource::Boundary => {
+                            held[j][*i].as_ref().expect("held boundary").view()
+                        }
                         RemoteSource::Dedicated(lt) => lt.view(),
                     };
                     let (f, st) =
@@ -450,9 +810,10 @@ impl Cluster {
             self.weights[i] = flops / self.ranks[i].len().max(1) as f64;
         }
 
+        meas.faults = self.fault_log.snapshot().for_epoch(epoch);
         let breakdown = self.assemble_breakdown(&meas);
         self.last_measurements = meas;
-        breakdown
+        Ok(breakdown)
     }
 
     /// Charge the measured quantities to the machine models.
@@ -502,6 +863,15 @@ impl Cluster {
             .fold(0.0, f64::max);
         let non_hidden_comm = (let_comm - gravity_local).max(0.0);
 
+        // Recovery traffic: retransmissions are extra injection-bandwidth
+        // time that nothing overlaps (they happen after the phase's normal
+        // window has closed).
+        let recovery = if meas.retransmit_bytes > 0 {
+            self.net.let_exchange_time(1, meas.retransmit_bytes as u64)
+        } else {
+            0.0
+        };
+
         // Unbalance + other: straggler gap in total gravity plus a fixed
         // housekeeping cost.
         let totals: Vec<f64> = meas
@@ -533,9 +903,198 @@ impl Cluster {
             gravity_local,
             gravity_lets,
             non_hidden_comm,
+            recovery,
             other,
             pp_per_particle: pp_pp,
             pc_per_particle: pc_pp,
+        }
+    }
+}
+
+/// Initial decomposition: even counts along the SFC (also used to
+/// re-scatter a checkpoint during crash recovery).
+fn seed_decomposition(
+    all: &Particles,
+    p: usize,
+    cfg: &ClusterConfig,
+) -> (Vec<Particles>, Vec<KeyRange>) {
+    let keymap = KeyMap::new(&all.bounds(), cfg.tree.curve);
+    let keys: Vec<u64> = all.pos.iter().map(|&q| keymap.key_of(q)).collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    let cuts: Vec<u64> = (1..p).map(|i| sorted[i * all.len() / p]).collect();
+    let domains = bonsai_sfc::range::ranges_from_cuts(&cuts);
+    let mut ranks: Vec<Particles> = (0..p).map(|_| Particles::new()).collect();
+    for i in 0..all.len() {
+        let r = bonsai_sfc::range::find_owner(&domains, keys[i]);
+        ranks[r].push(all.pos[i], all.vel[i], all.mass[i], all.id[i]);
+    }
+    (ranks, domains)
+}
+
+/// `expected[to]` = every other rank (the all-pairs exchanges).
+fn all_pairs_expected(p: usize) -> Vec<Vec<usize>> {
+    (0..p)
+        .map(|to| (0..p).filter(|&f| f != to).collect())
+        .collect()
+}
+
+fn aabb_to_bytes(b: &Aabb) -> Vec<u8> {
+    let mut v = Vec::with_capacity(48);
+    for f in [b.min.x, b.min.y, b.min.z, b.max.x, b.max.y, b.max.z] {
+        v.extend_from_slice(&f.to_le_bytes());
+    }
+    v
+}
+
+fn aabb_from_bytes(d: &[u8]) -> Result<Aabb, String> {
+    if d.len() != 48 {
+        return Err(format!("bounds payload is {} bytes, expected 48", d.len()));
+    }
+    let f = |i: usize| f64::from_le_bytes(d[i * 8..i * 8 + 8].try_into().unwrap());
+    for k in 0..6 {
+        if f(k).is_nan() {
+            return Err("bounds contain NaN".to_string());
+        }
+    }
+    Ok(Aabb {
+        min: Vec3::new(f(0), f(1), f(2)),
+        max: Vec3::new(f(3), f(4), f(5)),
+    })
+}
+
+fn parse_let_tree(b: &[u8], what: &str) -> Result<LetTree, String> {
+    let lt = LetTree::from_bytes(b).ok_or_else(|| format!("{what} wire decode failed"))?;
+    lt.check_invariants()
+        .map_err(|e| format!("{what} invariants: {e}"))?;
+    Ok(lt)
+}
+
+/// One all-to-all exchange over the (possibly faulty) fabric with strict
+/// receive-side validation and bounded retransmission.
+///
+/// `payloads[from][to]` is what `from` owes `to` (`None` = nothing);
+/// `expected[to]` lists the senders `to` waits for. Frames failing envelope
+/// validation, carrying a stale epoch or the wrong kind, arriving twice, or
+/// failing semantic `parse` are discarded (and logged); missing slots are
+/// re-requested up to `max_retries` times, with retransmitted bytes counted
+/// into `retransmit_bytes`. Returns the validated values plus the `(to,
+/// from)` pairs still missing after the final attempt — the caller decides
+/// whether that means degradation or a dead rank.
+///
+/// Every send and drain runs on the caller's thread in rank order, so the
+/// resulting [`FaultLog`] is deterministic for a given plan.
+#[allow(clippy::too_many_arguments)]
+fn exchange_validated<T>(
+    endpoints: &mut [FaultyEndpoint],
+    log: &SharedFaultLog,
+    kind: MsgKind,
+    epoch: u64,
+    payloads: &[Vec<Option<Bytes>>],
+    expected: &[Vec<usize>],
+    max_retries: u32,
+    retransmit_bytes: &mut usize,
+    parse: impl Fn(usize, usize, &[u8]) -> Result<T, String>,
+) -> (Vec<Vec<Option<T>>>, Vec<(usize, usize)>) {
+    let p = endpoints.len();
+    for from in 0..p {
+        for to in 0..p {
+            if let Some(pl) = &payloads[from][to] {
+                endpoints[from].send_framed(to, kind, epoch, 0, pl);
+            }
+        }
+        endpoints[from].flush_reordered();
+    }
+    let mut got: Vec<Vec<Option<T>>> = (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+    let mut attempt = 0u32;
+    loop {
+        for to in 0..p {
+            while let Some(msg) = endpoints[to].try_recv() {
+                let discard = |action: RecoveryAction, peer: Option<usize>, detail: String| {
+                    log.record_recovery(RecoveryEvent {
+                        epoch,
+                        rank: to,
+                        peer,
+                        kind: Some(kind),
+                        action,
+                        detail,
+                    });
+                };
+                let env = match envelope::open(&msg.payload) {
+                    Ok(env) => env,
+                    Err(e) => {
+                        discard(RecoveryAction::DiscardCorrupt, Some(msg.from), e.to_string());
+                        continue;
+                    }
+                };
+                let from = env.from;
+                if env.epoch != epoch {
+                    discard(
+                        RecoveryAction::DiscardStale,
+                        Some(from),
+                        format!("frame from epoch {}", env.epoch),
+                    );
+                    continue;
+                }
+                if env.kind != kind {
+                    discard(
+                        RecoveryAction::DiscardStale,
+                        Some(from),
+                        format!("late {:?} frame during {kind:?} phase", env.kind),
+                    );
+                    continue;
+                }
+                if from >= p || !expected[to].contains(&from) {
+                    discard(
+                        RecoveryAction::DiscardStale,
+                        Some(from),
+                        "unexpected sender".to_string(),
+                    );
+                    continue;
+                }
+                if got[to][from].is_some() {
+                    discard(
+                        RecoveryAction::DiscardDuplicate,
+                        Some(from),
+                        "extra copy discarded".to_string(),
+                    );
+                    continue;
+                }
+                match parse(to, from, env.payload) {
+                    Ok(v) => got[to][from] = Some(v),
+                    Err(why) => discard(RecoveryAction::DiscardCorrupt, Some(from), why),
+                }
+            }
+        }
+        let missing: Vec<(usize, usize)> = (0..p)
+            .flat_map(|to| {
+                expected[to]
+                    .iter()
+                    .filter(|&&f| got[to][f].is_none())
+                    .map(move |&f| (to, f))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        if missing.is_empty() || attempt >= max_retries {
+            return (got, missing);
+        }
+        attempt += 1;
+        for &(to, from) in &missing {
+            if let Some(pl) = &payloads[from][to] {
+                log.record_recovery(RecoveryEvent {
+                    epoch,
+                    rank: to,
+                    peer: Some(from),
+                    kind: Some(kind),
+                    action: RecoveryAction::Retransmit,
+                    detail: format!("attempt {attempt}"),
+                });
+                *retransmit_bytes += pl.len();
+                endpoints[from].send_framed(to, kind, epoch, attempt, pl);
+            }
+        }
+        for ep in endpoints.iter_mut() {
+            ep.flush_reordered();
         }
     }
 }
@@ -579,6 +1138,18 @@ mod tests {
         let mut ids: Vec<u64> = c.gather().id;
         ids.sort_unstable();
         assert_eq!(ids, (0..4000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn fault_free_runs_have_clean_logs() {
+        let mut c = small_cluster(2000, 5, 9);
+        for _ in 0..2 {
+            c.step();
+        }
+        assert!(c.fault_log().is_clean());
+        assert_eq!(c.last_measurements.retransmit_bytes, 0);
+        assert_eq!(c.last_measurements.degraded_lets, 0);
+        assert!(c.last_measurements.faults.is_clean());
     }
 
     #[test]
@@ -727,6 +1298,7 @@ mod tests {
         assert!(b.gravity_lets > 0.0);
         assert!(b.pp_per_particle > 0.0 && b.pc_per_particle > 0.0);
         assert!(b.total() > 0.0);
+        assert_eq!(b.recovery, 0.0, "no recovery cost without faults");
         // At small N the GPU model still makes gravity the dominant phase
         // relative to tree build.
         assert!(b.gravity_local + b.gravity_lets > b.tree_construction);

@@ -19,6 +19,13 @@
 //! * [`live`] — the same force computation with one OS thread per rank and
 //!   real serialized messages over `bonsai-net`'s crossbeam fabric: the
 //!   proof that the protocol works without a global orchestrator.
+//!
+//! Every cluster payload crosses the fabric in checksummed envelopes, and
+//! [`Cluster::with_faults`] accepts a seeded `bonsai-net` fault plan: the
+//! step detects and recovers from dropped, duplicated, reordered, delayed,
+//! truncated and bit-flipped messages, degrades gracefully when dedicated
+//! LETs are lost, and rolls back to the last [`checkpoint`] when a rank
+//! crashes — with every event recorded in an auditable fault log.
 //! * [`model`] — the calibrated scaling model: given a machine, rank count
 //!   and particles/GPU, predict every row of Table II and every curve of
 //!   Fig. 4, including the 24.77 / 33.49 Pflops headline numbers.
@@ -43,5 +50,6 @@ pub mod model;
 pub mod trace;
 
 pub use breakdown::StepBreakdown;
-pub use cluster::{Cluster, ClusterConfig};
+pub use checkpoint::Checkpoint;
+pub use cluster::{Cluster, ClusterConfig, RecoveryConfig};
 pub use model::ScalingModel;

@@ -161,6 +161,7 @@ impl ScalingModel {
             gravity_local,
             gravity_lets,
             non_hidden_comm,
+            recovery: 0.0,
             other,
             pp_per_particle: pp,
             pc_per_particle: pc_tot,

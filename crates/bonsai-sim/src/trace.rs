@@ -16,7 +16,7 @@
 
 use crate::cluster::{Cluster, StepMeasurements};
 use bonsai_gpu::GpuModel;
-use bonsai_net::NetworkModel;
+use bonsai_net::{FaultKind, NetworkModel, RecoveryAction};
 
 /// One rank's reconstructed schedule (seconds from step start).
 #[derive(Clone, Debug)]
@@ -131,6 +131,56 @@ pub fn render_gantt(timelines: &[RankTimeline], width: usize) -> String {
     out
 }
 
+/// Summarize the fault activity of a step's measurements: headline counts,
+/// per-kind / per-action tallies, then the chronological event log from the
+/// step's [`bonsai_net::FaultLog`] slice.
+pub fn render_fault_summary(meas: &StepMeasurements) -> String {
+    let log = &meas.faults;
+    if log.is_clean() && meas.retransmit_bytes == 0 && meas.degraded_lets == 0 {
+        return "faults: clean step (nothing injected, nothing recovered)\n".to_string();
+    }
+    let mut out = format!(
+        "faults: {} injected, {} recovery actions, {} B retransmitted, {} degraded LET walks\n",
+        log.injected.len(),
+        log.recoveries.len(),
+        meas.retransmit_bytes,
+        meas.degraded_lets
+    );
+    const KINDS: [FaultKind; 8] = [
+        FaultKind::Drop,
+        FaultKind::Duplicate,
+        FaultKind::Reorder,
+        FaultKind::Delay,
+        FaultKind::Truncate,
+        FaultKind::Corrupt,
+        FaultKind::Stall,
+        FaultKind::Crash,
+    ];
+    for kind in KINDS {
+        let n = log.injected_of(kind);
+        if n > 0 {
+            out.push_str(&format!("  injected {kind:<10} × {n}\n"));
+        }
+    }
+    const ACTIONS: [RecoveryAction; 7] = [
+        RecoveryAction::Retransmit,
+        RecoveryAction::DiscardCorrupt,
+        RecoveryAction::DiscardDuplicate,
+        RecoveryAction::DiscardStale,
+        RecoveryAction::BoundaryFallback,
+        RecoveryAction::DeclareDead,
+        RecoveryAction::RestoreCheckpoint,
+    ];
+    for action in ACTIONS {
+        let n = log.recoveries_of(action);
+        if n > 0 {
+            out.push_str(&format!("  recovery {action:<18} × {n}\n"));
+        }
+    }
+    out.push_str(&log.render());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +217,39 @@ mod tests {
                 "LET comm should be mostly hidden behind gravity, got {f}"
             );
         }
+    }
+
+    #[test]
+    fn fault_summary_clean_step() {
+        let c = sample_cluster();
+        let s = render_fault_summary(&c.last_measurements);
+        assert!(s.contains("clean step"), "{s}");
+    }
+
+    #[test]
+    fn fault_summary_lists_injections_and_recoveries() {
+        use bonsai_net::{FaultPlan, Injection, MsgKind};
+        // Force one boundary-frame drop in the first stepped epoch; the
+        // receiver must retransmit-recover and the summary must say so.
+        let plan = FaultPlan::new(42).with_injection(Injection {
+            epoch: 2,
+            from: Some(0),
+            to: Some(1),
+            kind: Some(MsgKind::Boundary),
+            fault: FaultKind::Drop,
+        });
+        let mut c = Cluster::with_faults(
+            plummer_sphere(1200, 5),
+            3,
+            ClusterConfig::default(),
+            plan,
+            None,
+        );
+        c.step();
+        let s = render_fault_summary(&c.last_measurements);
+        assert!(s.contains("injected drop"), "{s}");
+        assert!(s.contains("recovery retransmit"), "{s}");
+        assert!(s.contains("inject"), "{s}");
     }
 
     #[test]

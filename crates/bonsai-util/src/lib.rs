@@ -11,6 +11,9 @@
 //! * [`rng`] — deterministic, platform-stable pseudo-random number generators
 //!   (SplitMix64 and Xoshiro256++) so that initial conditions and tests
 //!   reproduce bit-identically everywhere.
+//! * [`hash`] — CRC-64 checksums and mixing functions backing message-envelope
+//!   and snapshot integrity checks, plus the deterministic fault-injection
+//!   schedule.
 //! * [`kahan`] — compensated summation for energy diagnostics.
 //! * [`stats`] — running statistics and 1D/2D histograms used by the analysis
 //!   and benchmark crates.
@@ -22,6 +25,7 @@
 #![deny(missing_docs)]
 
 pub mod aabb;
+pub mod hash;
 pub mod kahan;
 pub mod mat3;
 pub mod rng;
@@ -31,6 +35,7 @@ pub mod units;
 pub mod vec3;
 
 pub use aabb::Aabb;
+pub use hash::{crc64, mix64, mix_many};
 pub use kahan::KahanSum;
 pub use mat3::Sym3;
 pub use rng::{SplitMix64, Xoshiro256};

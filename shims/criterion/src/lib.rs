@@ -1,0 +1,200 @@
+//! Offline shim for [criterion](https://crates.io/crates/criterion).
+//!
+//! Provides the API subset the workspace's benches use (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Throughput`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`) backed by a simple wall-clock
+//! timer: per benchmark it runs a short warmup, then reports the median of a
+//! fixed number of timed iterations to stdout. No statistics, no plots —
+//! enough to compare hot paths locally without crates.io access.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Throughput annotation (reported alongside the time).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier with a parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter only.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Per-iteration timer handle passed to benchmark closures.
+pub struct Bencher {
+    /// Median seconds per iteration, filled by `iter`.
+    last_secs: f64,
+    iters: usize,
+}
+
+impl Bencher {
+    /// Time `f`, storing the median over a fixed number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warmup
+        let mut samples = Vec::with_capacity(self.iters);
+        for _ in 0..self.iters {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            samples.push(t.elapsed().as_secs_f64());
+        }
+        samples.sort_by(f64::total_cmp);
+        self.last_secs = samples[samples.len() / 2];
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    samples: usize,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Annotate throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, label: String, mut f: F) {
+        let mut b = Bencher {
+            last_secs: 0.0,
+            iters: self.samples,
+        };
+        f(&mut b);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.last_secs > 0.0 => {
+                format!("  {:.3} Melem/s", n as f64 / b.last_secs / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if b.last_secs > 0.0 => {
+                format!("  {:.3} MiB/s", n as f64 / b.last_secs / (1024.0 * 1024.0))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {:.6} ms/iter{}",
+            self.name,
+            label,
+            b.last_secs * 1e3,
+            rate
+        );
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, f: F) -> &mut Self {
+        self.run(label.to_string(), f);
+        self
+    }
+
+    /// Benchmark a closure against an input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.run(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op; printing is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            samples: 10,
+            _c: self,
+        }
+    }
+
+    /// Benchmark a closure without a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, label: &str, f: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(label, f);
+        self
+    }
+}
+
+/// Re-export for code that uses `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Collect benchmark functions into a runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running the groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        let mut ran = 0u32;
+        g.bench_function("count", |b| b.iter(|| ran += 1));
+        g.bench_with_input(BenchmarkId::new("with_input", 4), &4u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert!(ran >= 3);
+    }
+}

@@ -1,0 +1,110 @@
+//! Offline shim for [crossbeam](https://crates.io/crates/crossbeam).
+//!
+//! Only `crossbeam::channel`'s unbounded MPSC channel is used by this
+//! workspace; it is backed by `std::sync::mpsc` here. The `Sender` is
+//! clonable and `Send`, the `Receiver` is owned by one rank thread — exactly
+//! the fabric's usage pattern.
+
+/// MPSC channels, API-compatible with `crossbeam::channel` for the subset
+/// used by the fabric.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Error returned when the receiving half is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when the channel is empty/disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error for non-blocking receives.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty.
+        Empty,
+        /// All senders dropped.
+        Disconnected,
+    }
+
+    /// Error for bounded-wait receives.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Timed out with no message.
+        Timeout,
+        /// All senders dropped.
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        /// Send a value; fails only if the receiver is gone.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            self.0.send(t).map_err(|mpsc::SendError(t)| SendError(t))
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Receive with a timeout.
+        pub fn recv_timeout(&self, d: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(d).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        std::thread::spawn(move || tx2.send(42u32).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn try_recv_empty_then_value() {
+        let (tx, rx) = channel::unbounded();
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        tx.send(1u8).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+    }
+}

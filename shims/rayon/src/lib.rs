@@ -1,0 +1,163 @@
+//! Offline shim for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build container has no access to crates.io, so this workspace vendors
+//! a minimal, *sequential* implementation of the rayon API subset it uses:
+//! `par_iter` / `par_iter_mut` / `into_par_iter` with `map`, `zip`,
+//! `enumerate`, `for_each`, `collect`, `reduce`, plus `rayon::join`.
+//!
+//! Everything runs on the calling thread. Results are bit-identical to the
+//! parallel execution for the patterns used here (disjoint outputs, order-
+//! preserving collects), which is exactly what the deterministic tests want.
+
+/// A "parallel" iterator: a newtype over a standard iterator so that
+/// rayon-specific method signatures (`reduce` with an identity, `zip` taking
+/// another parallel iterator) resolve without clashing with `std::iter`.
+pub struct Par<I>(pub I);
+
+impl<I: Iterator> Par<I> {
+    /// Map each item.
+    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> Par<std::iter::Map<I, F>> {
+        Par(self.0.map(f))
+    }
+
+    /// Zip with another parallel iterator.
+    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<std::iter::Zip<I, J>> {
+        Par(self.0.zip(other.0))
+    }
+
+    /// Enumerate items.
+    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
+        Par(self.0.enumerate())
+    }
+
+    /// Filter items.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
+        Par(self.0.filter(f))
+    }
+
+    /// Consume with a side effect.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Collect into a container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Rayon-style reduce: fold from an identity with an associative op.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+}
+
+/// Conversion of owned collections into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Underlying sequential iterator.
+    type Iter: Iterator;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Par<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Iter = T::IntoIter;
+    fn into_par_iter(self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter` on shared references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Underlying sequential iterator.
+    type Iter: Iterator;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Par<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+    fn par_iter(&'a self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// `par_iter_mut` on exclusive references.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Underlying sequential iterator.
+    type Iter: Iterator;
+    /// Mutably borrowing parallel iterator.
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoIterator,
+{
+    type Iter = <&'a mut C as IntoIterator>::IntoIter;
+    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
+        Par(self.into_iter())
+    }
+}
+
+/// Run two closures "in parallel" (sequentially here) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The rayon prelude: traits that add the `par_*` methods.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, Par,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_serial() {
+        let v = vec![1u32, 2, 3];
+        let out: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn reduce_with_identity() {
+        let v = vec![1u32, 2, 3, 4];
+        let s = v.into_par_iter().reduce(|| 0, |a, b| a + b);
+        assert_eq!(s, 10);
+    }
+
+    #[test]
+    fn zip_enumerate_for_each() {
+        let mut a = vec![0i64; 3];
+        let b = vec![10i64, 20, 30];
+        a.par_iter_mut()
+            .zip(b.par_iter())
+            .enumerate()
+            .for_each(|(i, (x, y))| *x = *y + i as i64);
+        assert_eq!(a, vec![10, 21, 32]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+    }
+}

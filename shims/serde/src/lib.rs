@@ -1,0 +1,15 @@
+//! Offline shim for [serde](https://crates.io/crates/serde).
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of config
+//! and report structs but never drives an actual serde serializer (snapshots
+//! and wire formats are explicit little-endian codecs). This shim provides
+//! the two marker traits and re-exports no-op derive macros of the same
+//! names, which is all the code needs to compile offline.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

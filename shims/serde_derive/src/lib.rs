@@ -1,0 +1,18 @@
+//! Offline shim for `serde_derive`: the workspace only uses
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` as inert markers (no
+//! serde-based serialization is performed anywhere), so the derives expand to
+//! nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
