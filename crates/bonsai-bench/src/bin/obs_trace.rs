@@ -1,0 +1,115 @@
+//! Unified observability artefacts for one distributed step.
+//!
+//! Runs one step of the cluster simulator on a fixed-seed Plummer sphere,
+//! then exports the full observability surface:
+//!
+//! * `out/trace_step.json` — Chrome trace-event JSON, loadable in
+//!   [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`: one process
+//!   per rank with GPU and COMM lanes, spans for every Table II phase,
+//!   fault/recovery instants on the COMM track;
+//! * `out/folded_step.txt` — folded stacks for flamegraph tooling;
+//! * `out/metrics_step.prom` — Prometheus text exposition of the registry;
+//! * `BENCH_step.json` (working directory, i.e. the repo root) — the bench
+//!   trajectory record: per-phase seconds, Gflops, hidden-comm fraction and
+//!   bytes moved.
+//!
+//! Every output is deterministic: a fixed seed yields byte-identical files
+//! run over run, so the artefacts can be diffed across commits.
+
+use bonsai_bench::{arg_usize, out_dir};
+use bonsai_ic::plummer_sphere;
+use bonsai_obs::json::fmt_f64;
+use bonsai_obs::{chrome, folded, prom};
+use bonsai_sim::trace::{render_gantt, step_timelines};
+use bonsai_sim::{Cluster, ClusterConfig};
+
+fn main() {
+    let n = arg_usize("--n", 8_000);
+    let p = arg_usize("--ranks", 4);
+    let seed = arg_usize("--seed", 42) as u64;
+
+    let mut cluster = Cluster::new(plummer_sphere(n, seed), p, ClusterConfig::default());
+    let b = cluster.step();
+
+    // The registry reduction must reproduce the returned breakdown exactly
+    // — instrumentation changes observation, not physics or timing.
+    let reduced = cluster.breakdown_from_metrics();
+    assert_eq!(
+        reduced.total(),
+        b.total(),
+        "registry reduction diverged from the step breakdown"
+    );
+
+    let dir = out_dir();
+    let trace_json = chrome::chrome_trace_json(cluster.trace());
+    std::fs::write(dir.join("trace_step.json"), &trace_json).expect("write trace_step.json");
+    std::fs::write(
+        dir.join("folded_step.txt"),
+        folded::folded_stacks(cluster.trace()),
+    )
+    .expect("write folded_step.txt");
+    std::fs::write(
+        dir.join("metrics_step.prom"),
+        prom::prometheus_text(cluster.metrics()),
+    )
+    .expect("write metrics_step.prom");
+
+    let timelines = step_timelines(&cluster);
+    let hidden = timelines
+        .iter()
+        .map(|t| t.hidden_comm_fraction())
+        .sum::<f64>()
+        / timelines.len().max(1) as f64;
+    let m = &cluster.last_measurements;
+    let boundary: usize = m.boundary_bytes.iter().sum();
+    let lets: usize = m.let_bytes_sent.iter().sum();
+    let exchange: usize = m.exchange_bytes.iter().sum();
+    let total_bytes = boundary + lets + exchange + m.retransmit_bytes;
+
+    let mut j = String::from("{\n");
+    j.push_str(&format!(
+        "  \"config\": {{\"particles\": {n}, \"ranks\": {p}, \"seed\": {seed}}},\n"
+    ));
+    j.push_str("  \"phase_seconds\": {");
+    let pt = b.phase_times();
+    let rows: Vec<String> = pt
+        .iter()
+        .map(|(name, secs)| format!("\"{name}\": {}", fmt_f64(secs)))
+        .collect();
+    j.push_str(&rows.join(", "));
+    j.push_str("},\n");
+    j.push_str(&format!(
+        "  \"total_seconds\": {},\n",
+        fmt_f64(b.total())
+    ));
+    j.push_str(&format!(
+        "  \"gpu_gflops\": {},\n",
+        fmt_f64(b.gpu_tflops() * 1e3)
+    ));
+    j.push_str(&format!(
+        "  \"application_gflops\": {},\n",
+        fmt_f64(b.application_tflops() * 1e3)
+    ));
+    j.push_str(&format!(
+        "  \"hidden_comm_fraction\": {},\n",
+        fmt_f64(hidden)
+    ));
+    j.push_str(&format!(
+        "  \"bytes_moved\": {{\"boundary\": {boundary}, \"let\": {lets}, \"exchange\": {exchange}, \
+         \"retransmit\": {}, \"total\": {total_bytes}}}\n",
+        m.retransmit_bytes
+    ));
+    j.push_str("}\n");
+    std::fs::write("BENCH_step.json", &j).expect("write BENCH_step.json");
+
+    println!("{}", b.format_column("one step, fixed seed"));
+    println!("{}", render_gantt(&timelines, 72));
+    println!("hidden-comm fraction (mean over ranks): {hidden:.3}");
+    println!(
+        "wrote {}, {}, {} and BENCH_step.json",
+        dir.join("trace_step.json").display(),
+        dir.join("folded_step.txt").display(),
+        dir.join("metrics_step.prom").display()
+    );
+    println!("open the trace at https://ui.perfetto.dev (Open trace file)");
+}

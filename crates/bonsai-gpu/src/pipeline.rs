@@ -16,6 +16,7 @@
 
 use crate::device::DeviceSpec;
 use crate::kernel::{KernelModel, KernelVariant};
+use bonsai_obs::{SpanId, TraceStore};
 use bonsai_tree::InteractionCounts;
 use serde::Serialize;
 
@@ -83,6 +84,38 @@ impl GpuModel {
     pub fn pcie_time(&self, bytes: u64) -> f64 {
         bytes as f64 / (self.device.pcie_gbs * 1e9)
     }
+
+    /// Annotate a gravity span with the device model's view of the batch:
+    /// modelled occupancy, achieved Gflops, and the interaction counts that
+    /// were charged. This is how Table II's "GPU performance" row attaches
+    /// to the trace a kernel invocation at a time.
+    pub fn annotate_gravity_span(
+        &self,
+        store: &mut TraceStore,
+        id: SpanId,
+        counts: InteractionCounts,
+    ) {
+        store.arg_str(id, "device", self.device.name);
+        store.arg_f64(id, "occupancy", self.kernel.occupancy);
+        store.arg_f64(id, "gflops", self.kernel.achieved_gflops(counts));
+        store.arg_u64(id, "pp", counts.pp);
+        store.arg_u64(id, "pc", counts.pc);
+        store.arg_u64(id, "flops", counts.flops());
+    }
+
+    /// Annotate a streaming-phase span (sort / build / properties) with the
+    /// particle count and the modelled rate it was charged at.
+    pub fn annotate_stream_span(
+        &self,
+        store: &mut TraceStore,
+        id: SpanId,
+        n: u64,
+        rate_per_s: f64,
+    ) {
+        store.arg_str(id, "device", self.device.name);
+        store.arg_u64(id, "particles", n);
+        store.arg_f64(id, "rate_per_s", rate_per_s);
+    }
 }
 
 #[cfg(test)]
@@ -145,5 +178,27 @@ mod tests {
     fn pcie_transfer_time() {
         let m = GpuModel::k20x_tuned();
         assert!((m.pcie_time(6_000_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gravity_span_annotation_carries_model_view() {
+        use bonsai_obs::{ArgValue, Lane, TraceStore};
+        let m = GpuModel::k20x_tuned();
+        let counts = InteractionCounts { pp: 1716_000, pc: 6765_000 };
+        let mut t = TraceStore::new();
+        let id = t.span(0, 1, Lane::Gpu, "local", 0.0, m.gravity_time(counts));
+        m.annotate_gravity_span(&mut t, id, counts);
+        let args = &t.spans()[0].args;
+        let get = |key: &str| args.iter().find(|(k, _)| *k == key).map(|(_, v)| v.clone());
+        assert_eq!(get("pp"), Some(ArgValue::U64(counts.pp)));
+        assert_eq!(get("device"), Some(ArgValue::Str("K20X".into())));
+        let Some(ArgValue::F64(gflops)) = get("gflops") else {
+            panic!("gflops arg missing")
+        };
+        assert!((gflops - m.kernel.achieved_gflops(counts)).abs() < 1e-9);
+        let Some(ArgValue::F64(occ)) = get("occupancy") else {
+            panic!("occupancy arg missing")
+        };
+        assert!(occ > 0.0 && occ <= 1.0);
     }
 }

@@ -18,6 +18,9 @@
 //!   instead of deserialized;
 //! * [`fault`] — deterministic, seeded fault injection ([`FaultPlan`]) and
 //!   the audit log of injected faults and recovery actions ([`FaultLog`]);
+//! * [`obs`] — bridges into the unified `bonsai-obs` layer: fault-log
+//!   entries become COMM-track trace events, link traffic lands in the
+//!   metrics registry priced by the cost model;
 //! * [`placement`] — §VII's SFC-aware rank placement on the torus.
 //!
 //! ```
@@ -37,6 +40,7 @@ pub mod envelope;
 pub mod fabric;
 pub mod fault;
 pub mod machine;
+pub mod obs;
 pub mod placement;
 
 pub use cost::NetworkModel;

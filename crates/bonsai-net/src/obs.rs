@@ -1,0 +1,156 @@
+//! Bridges from the network layer into the unified observability model
+//! (`bonsai-obs`): fault-log entries become trace events on the COMM track,
+//! and measured link traffic lands in the metrics registry priced by the
+//! interconnect cost model.
+
+use crate::cost::NetworkModel;
+use crate::fault::FaultLog;
+use bonsai_obs::{Lane, MetricsRegistry, TraceStore};
+
+/// Spacing between consecutive fault events anchored at the same instant,
+/// so Perfetto renders them in log order instead of stacked.
+const EVENT_SPACING: f64 = 1e-6;
+
+/// Record every entry of `log` as instant events on the COMM lanes of the
+/// involved ranks. `at_for_rank(rank)` gives the anchor time (typically the
+/// rank's communication-window start on the global trace clock); events are
+/// offset by a microsecond each to preserve log order.
+pub fn record_fault_log(
+    log: &FaultLog,
+    store: &mut TraceStore,
+    step: u64,
+    at_for_rank: &dyn Fn(usize) -> f64,
+) {
+    for (i, e) in log.injected.iter().enumerate() {
+        let at = at_for_rank(e.to) + i as f64 * EVENT_SPACING;
+        let ev = store.instant(
+            e.to as u32,
+            step,
+            Lane::Comm,
+            format!("inject:{}", e.fault),
+            at,
+        );
+        ev.args.push(("from", bonsai_obs::ArgValue::U64(e.from as u64)));
+        ev.args.push(("to", bonsai_obs::ArgValue::U64(e.to as u64)));
+        ev.args
+            .push(("kind", bonsai_obs::ArgValue::Str(format!("{:?}", e.kind))));
+        ev.args
+            .push(("attempt", bonsai_obs::ArgValue::U64(e.attempt as u64)));
+    }
+    for (i, e) in log.recoveries.iter().enumerate() {
+        let at = at_for_rank(e.rank) + (log.injected.len() + i) as f64 * EVENT_SPACING;
+        let ev = store.instant(
+            e.rank as u32,
+            step,
+            Lane::Comm,
+            format!("recover:{}", e.action),
+            at,
+        );
+        if let Some(p) = e.peer {
+            ev.args.push(("peer", bonsai_obs::ArgValue::U64(p as u64)));
+        }
+        if let Some(k) = e.kind {
+            ev.args
+                .push(("kind", bonsai_obs::ArgValue::Str(format!("{k:?}"))));
+        }
+        ev.args
+            .push(("detail", bonsai_obs::ArgValue::Str(e.detail.clone())));
+    }
+}
+
+impl NetworkModel {
+    /// Record one rank's traffic of a given `kind` ("boundary", "let",
+    /// "exchange", "retransmit") into the registry: a byte counter per
+    /// (kind, rank), a machine-wide byte counter per kind, and the modelled
+    /// point-to-point latency for the volume as a histogram observation.
+    pub fn observe_link(
+        &self,
+        reg: &mut MetricsRegistry,
+        kind: &str,
+        rank: usize,
+        bytes: u64,
+    ) {
+        if bytes == 0 {
+            return;
+        }
+        let rank_s = rank.to_string();
+        reg.counter_add(
+            "bonsai_net_bytes_total",
+            &[("kind", kind), ("rank", &rank_s)],
+            bytes,
+        );
+        reg.counter_add("bonsai_net_kind_bytes_total", &[("kind", kind)], bytes);
+        reg.histogram_observe(
+            "bonsai_net_link_seconds",
+            &[("kind", kind)],
+            self.p2p_time(bytes),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::MsgKind;
+    use crate::fault::{FaultEvent, FaultKind, RecoveryAction, RecoveryEvent};
+    use crate::machine::PIZ_DAINT;
+
+    fn sample_log() -> FaultLog {
+        FaultLog {
+            injected: vec![FaultEvent {
+                epoch: 3,
+                from: 0,
+                to: 1,
+                kind: MsgKind::Let,
+                fault: FaultKind::Drop,
+                attempt: 0,
+            }],
+            recoveries: vec![RecoveryEvent {
+                epoch: 3,
+                rank: 1,
+                peer: Some(0),
+                kind: Some(MsgKind::Let),
+                action: RecoveryAction::BoundaryFallback,
+                detail: "dedicated LET lost".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn fault_log_lands_on_comm_track() {
+        let mut store = TraceStore::new();
+        record_fault_log(&sample_log(), &mut store, 3, &|_r| 1.5);
+        assert_eq!(store.instants().len(), 2);
+        let inj = &store.instants()[0];
+        assert_eq!(inj.rank, 1);
+        assert_eq!(inj.lane, Lane::Comm);
+        assert_eq!(inj.name, "inject:drop");
+        assert!(inj.at >= 1.5);
+        let rec = &store.instants()[1];
+        assert_eq!(rec.name, "recover:boundary-fallback");
+        assert!(rec.at > inj.at, "log order preserved on the timeline");
+    }
+
+    #[test]
+    fn observe_link_prices_and_counts() {
+        let net = NetworkModel::new(PIZ_DAINT);
+        let mut reg = MetricsRegistry::new();
+        net.observe_link(&mut reg, "let", 2, 10_000);
+        net.observe_link(&mut reg, "let", 2, 5_000);
+        net.observe_link(&mut reg, "boundary", 0, 100);
+        net.observe_link(&mut reg, "boundary", 0, 0); // no-op
+        assert_eq!(
+            reg.counter("bonsai_net_bytes_total", &[("kind", "let"), ("rank", "2")]),
+            15_000
+        );
+        assert_eq!(
+            reg.counter("bonsai_net_kind_bytes_total", &[("kind", "boundary")]),
+            100
+        );
+        let h = reg
+            .histogram("bonsai_net_link_seconds", &[("kind", "let")])
+            .unwrap();
+        assert_eq!(h.count(), 2);
+        assert!(h.sum() > 0.0);
+    }
+}

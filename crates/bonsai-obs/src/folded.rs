@@ -1,0 +1,69 @@
+//! Folded-stacks export for flamegraph tooling.
+//!
+//! One line per unique stack, `frame1;frame2;… <value>`, where the value is
+//! the span's *self time* in integer microseconds (time not covered by its
+//! child spans). The root frames are `rank N` and the lane name, so a
+//! flamegraph groups by track, then lane, then phase hierarchy — pipe the
+//! output straight into `flamegraph.pl` or speedscope.
+
+use crate::span::{SpanId, TraceStore};
+use std::collections::BTreeMap;
+
+/// Render `store` as folded-stacks text.
+pub fn folded_stacks(store: &TraceStore) -> String {
+    let spans = store.spans();
+    // Children (by index) of each span, for self-time subtraction.
+    let mut child_time = vec![0.0f64; spans.len()];
+    for s in spans {
+        if let Some(SpanId(p)) = s.parent {
+            child_time[p] += s.end - s.start;
+        }
+    }
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        let mut frames = vec![s.name.clone()];
+        let mut cur = s.parent;
+        while let Some(SpanId(p)) = cur {
+            frames.push(spans[p].name.clone());
+            cur = spans[p].parent;
+        }
+        frames.push(s.lane.name().to_string());
+        frames.push(format!("rank {}", s.rank));
+        frames.reverse();
+        let self_us = ((s.end - s.start - child_time[i]).max(0.0) * 1e6).round() as u64;
+        if self_us > 0 {
+            *folded.entry(frames.join(";")).or_insert(0) += self_us;
+        }
+    }
+    let mut out = String::new();
+    for (stack, us) in folded {
+        out.push_str(&format!("{stack} {us}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Lane;
+
+    #[test]
+    fn self_time_subtracts_children() {
+        let mut t = TraceStore::new();
+        let g = t.span(0, 1, Lane::Gpu, "gravity", 0.0, 2.0);
+        t.child_span(g, "local", 0.0, 1.5);
+        let s = folded_stacks(&t);
+        assert!(s.contains("rank 0;GPU;gravity 500000\n"), "{s}");
+        assert!(s.contains("rank 0;GPU;gravity;local 1500000\n"), "{s}");
+    }
+
+    #[test]
+    fn aggregates_across_steps() {
+        let mut t = TraceStore::new();
+        t.span(0, 1, Lane::Gpu, "sort", 0.0, 0.1);
+        t.span(0, 2, Lane::Gpu, "sort", 1.0, 1.1);
+        let s = folded_stacks(&t);
+        // two 0.1 s sorts fold into one 200000 µs line
+        assert_eq!(s, "rank 0;GPU;sort 200000\n");
+    }
+}

@@ -1,0 +1,54 @@
+//! # bonsai-obs
+//!
+//! The unified observability layer of the workspace: one event model and one
+//! metrics registry that every subsystem reports through, with
+//! zero-dependency machine-readable exporters.
+//!
+//! The paper's entire performance argument is a measurement story — Table
+//! II's per-phase decomposition, Fig. 4's scaling curves, and the §III-B2
+//! claim that LET communication hides under GPU compute. This crate gives
+//! those measurements a first-class home instead of ad-hoc structs scattered
+//! across the stack:
+//!
+//! * [`span`] — hierarchical spans and instant events keyed by
+//!   rank × step × phase, collected in a [`TraceStore`]. Each rank is a
+//!   track with GPU, COMM and CPU lanes; spans carry typed arguments
+//!   (modelled occupancy, flops, byte volumes).
+//! * [`metrics`] — a typed [`MetricsRegistry`]: monotonic counters,
+//!   point-in-time gauges and log-scale histograms, addressed by
+//!   Prometheus-style `name{label="value"}` keys with deterministic
+//!   ordering.
+//! * [`chrome`] — Chrome trace-event JSON export, loadable in Perfetto or
+//!   `chrome://tracing` (one process per rank, one thread per lane).
+//! * [`folded`] — folded-stacks text for flamegraph tooling.
+//! * [`prom`] — Prometheus text-exposition snapshot of the registry.
+//! * [`json`] — the minimal JSON writer the exporters share, plus a tiny
+//!   parser used to round-trip-validate exports in tests.
+//!
+//! Everything is deterministic: identical inputs produce byte-identical
+//! exports, which is what lets the bench trajectory (`BENCH_*.json`) and
+//! the trace artefacts be diffed across commits.
+//!
+//! ```
+//! use bonsai_obs::{Lane, TraceStore, MetricsRegistry, chrome};
+//!
+//! let mut t = TraceStore::new();
+//! let s = t.span(0, 1, Lane::Gpu, "gravity", 0.0, 2.45);
+//! t.arg_f64(s, "occupancy", 0.94);
+//! let mut reg = MetricsRegistry::new();
+//! reg.counter_add("bonsai_bytes_total", &[("kind", "let")], 4096);
+//! let json = chrome::chrome_trace_json(&t);
+//! assert!(json.contains("\"gravity\""));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod chrome;
+pub mod folded;
+pub mod json;
+pub mod metrics;
+pub mod prom;
+pub mod span;
+
+pub use metrics::{LogHistogram, MetricsRegistry};
+pub use span::{interval_union, overlap_with_union, ArgValue, Instant, Lane, Span, SpanId, TraceStore};

@@ -1,0 +1,336 @@
+//! The typed metrics registry: counters, gauges and log-scale histograms
+//! addressed by Prometheus-style `name{label="value"}` keys.
+//!
+//! Ordering is deterministic (a `BTreeMap` over the rendered key), so the
+//! text exposition and any reduction over the registry are byte-stable for
+//! identical inputs — the property the bench trajectory relies on.
+
+use std::collections::BTreeMap;
+
+/// A fully-qualified metric key: name plus sorted label pairs.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name (`bonsai_phase_seconds`).
+    pub name: String,
+    /// Label pairs, sorted by label name.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut ls: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        ls.sort();
+        Self {
+            name: name.to_string(),
+            labels: ls,
+        }
+    }
+
+    /// Render as `name{k="v",…}` (bare `name` without labels).
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let inner: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        format!("{}{{{}}}", self.name, inner.join(","))
+    }
+}
+
+/// A histogram with logarithmic (power-of-two) buckets, for quantities that
+/// span orders of magnitude: interaction counts, byte volumes, latencies.
+#[derive(Clone, Debug)]
+pub struct LogHistogram {
+    /// Count per power-of-two bucket: key `k` holds samples in
+    /// `[2^k, 2^(k+1))`. Non-positive samples land in the `i32::MIN` bucket.
+    buckets: BTreeMap<i32, u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: BTreeMap::new(),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, x: f64) {
+        let b = if x > 0.0 {
+            x.log2().floor() as i32
+        } else {
+            i32::MIN
+        };
+        *self.buckets.entry(b).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observation (0 for empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observation (`None` for empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` for empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate `q`-quantile (`q` in `[0, 1]`) by geometric interpolation
+    /// inside the target power-of-two bucket, clamped to the observed
+    /// `[min, max]` range. `None` for an empty histogram; exact for a
+    /// single-sample histogram.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count == 1 {
+            return Some(self.min);
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut seen = 0u64;
+        for (&b, &c) in &self.buckets {
+            let next = seen + c;
+            if target <= next as f64 {
+                let frac = ((target - seen as f64) / c as f64).clamp(0.0, 1.0);
+                let v = if b == i32::MIN {
+                    self.min
+                } else {
+                    let lo = (2f64).powi(b);
+                    let hi = (2f64).powi(b + 1);
+                    // geometric interpolation within the bucket
+                    lo * (hi / lo).powf(frac)
+                };
+                return Some(v.clamp(self.min, self.max));
+            }
+            seen = next;
+        }
+        Some(self.max)
+    }
+
+    /// `(bucket_upper_bound, cumulative_count)` pairs for text exposition.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        let mut cum = 0;
+        for (&b, &c) in &self.buckets {
+            cum += c;
+            let le = if b == i32::MIN {
+                0.0
+            } else {
+                (2f64).powi(b + 1)
+            };
+            out.push((le, cum));
+        }
+        out
+    }
+}
+
+/// The registry: every metric of a run, deterministically ordered.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, LogHistogram>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `v` to a monotonic counter.
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], v: u64) {
+        *self.counters.entry(MetricKey::new(name, labels)).or_insert(0) += v;
+    }
+
+    /// Set a point-in-time gauge.
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.gauges.insert(MetricKey::new(name, labels), v);
+    }
+
+    /// Record one histogram observation.
+    pub fn histogram_observe(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.histograms
+            .entry(MetricKey::new(name, labels))
+            .or_default()
+            .observe(v);
+    }
+
+    /// Counter value (0 when absent).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters
+            .get(&MetricKey::new(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Gauge value (`None` when absent).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&MetricKey::new(name, labels)).copied()
+    }
+
+    /// Histogram (`None` when absent).
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&LogHistogram> {
+        self.histograms.get(&MetricKey::new(name, labels))
+    }
+
+    /// All counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&MetricKey, u64)> {
+        self.counters.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// All gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&MetricKey, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// All histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&MetricKey, &LogHistogram)> {
+        self.histograms.iter()
+    }
+
+    /// Gauges whose name is `name`, as `(labels, value)` in key order
+    /// (reductions over one metric family, e.g. per-phase seconds).
+    pub fn gauge_family<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = (&'a [(String, String)], f64)> + 'a {
+        self.gauges
+            .iter()
+            .filter(move |(k, _)| k.name == name)
+            .map(|(k, &v)| (k.labels.as_slice(), v))
+    }
+
+    /// Sum of every counter named `name`, across label sets.
+    pub fn counter_family_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, &v)| v)
+            .sum()
+    }
+
+    /// Drop every metric (per-step gauges are rewritten each step).
+    pub fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("bytes", &[("kind", "let")], 10);
+        r.counter_add("bytes", &[("kind", "let")], 5);
+        r.counter_add("bytes", &[("kind", "boundary")], 7);
+        assert_eq!(r.counter("bytes", &[("kind", "let")]), 15);
+        assert_eq!(r.counter("bytes", &[("kind", "missing")]), 0);
+        assert_eq!(r.counter_family_total("bytes"), 22);
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let mut r = MetricsRegistry::new();
+        r.gauge_set("g", &[("b", "2"), ("a", "1")], 3.0);
+        assert_eq!(r.gauge("g", &[("a", "1"), ("b", "2")]), Some(3.0));
+        let key = MetricKey::new("g", &[("b", "2"), ("a", "1")]);
+        assert_eq!(key.render(), "g{a=\"1\",b=\"2\"}");
+    }
+
+    #[test]
+    fn histogram_percentiles_interpolate() {
+        let mut h = LogHistogram::new();
+        for i in 1..=1000 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.percentile(0.5).unwrap();
+        assert!((300.0..800.0).contains(&p50), "p50 {p50}");
+        let p100 = h.percentile(1.0).unwrap();
+        assert!(p100 <= 1000.0 + 1e-9);
+        assert!(h.percentile(0.0).unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn histogram_edge_cases() {
+        let h = LogHistogram::new();
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.min(), None);
+
+        let mut one = LogHistogram::new();
+        one.observe(42.0);
+        assert_eq!(one.percentile(0.0), Some(42.0));
+        assert_eq!(one.percentile(0.5), Some(42.0));
+        assert_eq!(one.percentile(1.0), Some(42.0));
+        assert_eq!(one.min(), Some(42.0));
+        assert_eq!(one.max(), Some(42.0));
+
+        let mut z = LogHistogram::new();
+        z.observe(0.0);
+        z.observe(-3.0);
+        assert_eq!(z.count(), 2);
+        assert!(z.percentile(0.5).is_some());
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotonic() {
+        let mut h = LogHistogram::new();
+        for x in [0.5, 1.5, 3.0, 3.5, 100.0] {
+            h.observe(x);
+        }
+        let cb = h.cumulative_buckets();
+        assert_eq!(cb.last().unwrap().1, 5);
+        for w in cb.windows(2) {
+            assert!(w[0].0 < w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Prometheus text-exposition snapshot of a [`MetricsRegistry`].
+//!
+//! Standard exposition format: `# TYPE` headers, `name{labels} value`
+//! samples, histograms as cumulative `_bucket{le="…"}` series plus `_sum`
+//! and `_count`. Keys render in deterministic (BTreeMap) order, so
+//! identical registries produce byte-identical snapshots.
+
+use crate::json::fmt_f64;
+use crate::metrics::MetricsRegistry;
+
+/// Render the registry in Prometheus text-exposition format.
+pub fn prometheus_text(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    let mut last_family = String::new();
+    for (k, v) in reg.counters() {
+        if k.name != last_family {
+            out.push_str(&format!("# TYPE {} counter\n", k.name));
+            last_family = k.name.clone();
+        }
+        out.push_str(&format!("{} {v}\n", k.render()));
+    }
+    last_family.clear();
+    for (k, v) in reg.gauges() {
+        if k.name != last_family {
+            out.push_str(&format!("# TYPE {} gauge\n", k.name));
+            last_family = k.name.clone();
+        }
+        out.push_str(&format!("{} {}\n", k.render(), fmt_f64(v)));
+    }
+    last_family.clear();
+    for (k, h) in reg.histograms() {
+        if k.name != last_family {
+            out.push_str(&format!("# TYPE {} histogram\n", k.name));
+            last_family = k.name.clone();
+        }
+        for (le, cum) in h.cumulative_buckets() {
+            let mut labels = k.labels.clone();
+            labels.push(("le".to_string(), fmt_f64(le)));
+            let inner: Vec<String> = labels
+                .iter()
+                .map(|(lk, lv)| format!("{lk}=\"{lv}\""))
+                .collect();
+            out.push_str(&format!(
+                "{}_bucket{{{}}} {cum}\n",
+                k.name,
+                inner.join(",")
+            ));
+        }
+        let suffix = |tail: &str| {
+            if k.labels.is_empty() {
+                format!("{}_{tail}", k.name)
+            } else {
+                let inner: Vec<String> = k
+                    .labels
+                    .iter()
+                    .map(|(lk, lv)| format!("{lk}=\"{lv}\""))
+                    .collect();
+                format!("{}_{tail}{{{}}}", k.name, inner.join(","))
+            }
+        };
+        out.push_str(&format!("{} {}\n", suffix("sum"), fmt_f64(h.sum())));
+        out.push_str(&format!("{} {}\n", suffix("count"), h.count()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_contains_all_types() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("bonsai_bytes_total", &[("kind", "let")], 1234);
+        r.gauge_set("bonsai_phase_seconds", &[("phase", "sort")], 0.1);
+        r.histogram_observe("bonsai_walk_pp", &[("rank", "0")], 1716.0);
+        let text = prometheus_text(&r);
+        assert!(text.contains("# TYPE bonsai_bytes_total counter"));
+        assert!(text.contains("bonsai_bytes_total{kind=\"let\"} 1234"));
+        assert!(text.contains("# TYPE bonsai_phase_seconds gauge"));
+        assert!(text.contains("bonsai_phase_seconds{phase=\"sort\"} 0.1"));
+        assert!(text.contains("# TYPE bonsai_walk_pp histogram"));
+        assert!(text.contains("bonsai_walk_pp_bucket{rank=\"0\",le="));
+        assert!(text.contains("bonsai_walk_pp_sum{rank=\"0\"} 1716"));
+        assert!(text.contains("bonsai_walk_pp_count{rank=\"0\"} 1"));
+    }
+
+    #[test]
+    fn deterministic_snapshot() {
+        let build = || {
+            let mut r = MetricsRegistry::new();
+            r.counter_add("c", &[("b", "2")], 1);
+            r.counter_add("c", &[("a", "1")], 2);
+            r.gauge_set("g", &[], 3.5);
+            r.histogram_observe("h", &[], 8.0);
+            r.histogram_observe("h", &[], 9.0);
+            prometheus_text(&r)
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,294 @@
+//! The span/event model: hierarchical timed spans keyed by
+//! rank × step × phase, plus instant events, collected in a [`TraceStore`].
+//!
+//! Times are *simulated seconds* (the workspace charges measured counts and
+//! byte volumes to calibrated device/network models), expressed on a single
+//! global clock: the cluster advances a base offset per step so consecutive
+//! steps render side by side in Perfetto.
+
+/// Execution lane inside one rank's track.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Lane {
+    /// Device (GPU) work: sort, build, properties, gravity.
+    Gpu,
+    /// Network activity: LET exchange, retransmissions, fault events.
+    Comm,
+    /// Host CPU work (LET construction, key classification).
+    Cpu,
+}
+
+impl Lane {
+    /// Stable display name (also the Chrome-trace thread name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::Gpu => "GPU",
+            Lane::Comm => "COMM",
+            Lane::Cpu => "CPU",
+        }
+    }
+
+    /// Stable thread id inside the rank's process.
+    pub fn tid(self) -> u32 {
+        match self {
+            Lane::Gpu => 0,
+            Lane::Comm => 1,
+            Lane::Cpu => 2,
+        }
+    }
+}
+
+/// A typed span/event argument value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgValue {
+    /// Floating-point argument (seconds, fractions, Gflops).
+    F64(f64),
+    /// Integer argument (counts, bytes).
+    U64(u64),
+    /// Free-form text argument.
+    Str(String),
+}
+
+/// Index of a span in its [`TraceStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanId(pub usize);
+
+/// One timed interval on a rank's lane.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Rank (track) the span belongs to.
+    pub rank: u32,
+    /// Step (gravity epoch) the span belongs to.
+    pub step: u64,
+    /// Lane inside the rank's track.
+    pub lane: Lane,
+    /// Phase name (`"sort"`, `"local"`, `"let-comm"`, …).
+    pub name: String,
+    /// Start, seconds on the global simulated clock.
+    pub start: f64,
+    /// End, seconds on the global simulated clock.
+    pub end: f64,
+    /// Enclosing span, if any (folded-stack hierarchy).
+    pub parent: Option<SpanId>,
+    /// Typed annotations (occupancy, flops, bytes, …).
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// A zero-duration event (fault injection, recovery action).
+#[derive(Clone, Debug)]
+pub struct Instant {
+    /// Rank (track) the event belongs to.
+    pub rank: u32,
+    /// Step the event belongs to.
+    pub step: u64,
+    /// Lane the event is drawn on.
+    pub lane: Lane,
+    /// Event name.
+    pub name: String,
+    /// Timestamp, seconds on the global simulated clock.
+    pub at: f64,
+    /// Typed annotations.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Append-only store of spans and instant events.
+#[derive(Clone, Debug, Default)]
+pub struct TraceStore {
+    spans: Vec<Span>,
+    instants: Vec<Instant>,
+}
+
+impl TraceStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a root span; returns its id for annotation or parenting.
+    pub fn span(
+        &mut self,
+        rank: u32,
+        step: u64,
+        lane: Lane,
+        name: impl Into<String>,
+        start: f64,
+        end: f64,
+    ) -> SpanId {
+        debug_assert!(end >= start, "span must not end before it starts");
+        self.spans.push(Span {
+            rank,
+            step,
+            lane,
+            name: name.into(),
+            start,
+            end,
+            parent: None,
+            args: Vec::new(),
+        });
+        SpanId(self.spans.len() - 1)
+    }
+
+    /// Record a child span nested under `parent` (same rank/step/lane).
+    pub fn child_span(
+        &mut self,
+        parent: SpanId,
+        name: impl Into<String>,
+        start: f64,
+        end: f64,
+    ) -> SpanId {
+        let p = &self.spans[parent.0];
+        let (rank, step, lane) = (p.rank, p.step, p.lane);
+        let id = self.span(rank, step, lane, name, start, end);
+        self.spans[id.0].parent = Some(parent);
+        id
+    }
+
+    /// Record an instant event.
+    pub fn instant(
+        &mut self,
+        rank: u32,
+        step: u64,
+        lane: Lane,
+        name: impl Into<String>,
+        at: f64,
+    ) -> &mut Instant {
+        self.instants.push(Instant {
+            rank,
+            step,
+            lane,
+            name: name.into(),
+            at,
+            args: Vec::new(),
+        });
+        self.instants.last_mut().unwrap()
+    }
+
+    /// Attach a float argument to a span.
+    pub fn arg_f64(&mut self, id: SpanId, key: &'static str, v: f64) {
+        self.spans[id.0].args.push((key, ArgValue::F64(v)));
+    }
+
+    /// Attach an integer argument to a span.
+    pub fn arg_u64(&mut self, id: SpanId, key: &'static str, v: u64) {
+        self.spans[id.0].args.push((key, ArgValue::U64(v)));
+    }
+
+    /// Attach a string argument to a span.
+    pub fn arg_str(&mut self, id: SpanId, key: &'static str, v: impl Into<String>) {
+        self.spans[id.0].args.push((key, ArgValue::Str(v.into())));
+    }
+
+    /// All spans, in record order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// All instant events, in record order.
+    pub fn instants(&self) -> &[Instant] {
+        &self.instants
+    }
+
+    /// Spans of one rank × step, in record order.
+    pub fn spans_for(&self, rank: u32, step: u64) -> impl Iterator<Item = &Span> {
+        self.spans
+            .iter()
+            .filter(move |s| s.rank == rank && s.step == step)
+    }
+
+    /// The highest step number with any span (`None` when empty).
+    pub fn last_step(&self) -> Option<u64> {
+        self.spans.iter().map(|s| s.step).max()
+    }
+
+    /// Ranks present in the store, ascending.
+    pub fn ranks(&self) -> Vec<u32> {
+        let mut r: Vec<u32> = self.spans.iter().map(|s| s.rank).collect();
+        r.sort_unstable();
+        r.dedup();
+        r
+    }
+
+    /// Latest span end across the whole store (0 when empty).
+    pub fn makespan(&self) -> f64 {
+        self.spans.iter().map(|s| s.end).fold(0.0, f64::max)
+    }
+
+    /// Total spans + instants recorded.
+    pub fn len(&self) -> usize {
+        self.spans.len() + self.instants.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.instants.is_empty()
+    }
+}
+
+/// Merge `(start, end)` intervals into a sorted, disjoint union.
+pub fn interval_union(mut iv: Vec<(f64, f64)>) -> Vec<(f64, f64)> {
+    iv.retain(|&(s, e)| e > s);
+    iv.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Length of `(start, end)` covered by a disjoint sorted `union`
+/// (as produced by [`interval_union`]).
+pub fn overlap_with_union(start: f64, end: f64, union: &[(f64, f64)]) -> f64 {
+    union
+        .iter()
+        .map(|&(s, e)| (end.min(e) - start.max(s)).max(0.0))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_and_children() {
+        let mut t = TraceStore::new();
+        let root = t.span(0, 1, Lane::Gpu, "gravity", 0.0, 2.0);
+        let child = t.child_span(root, "local", 0.0, 1.2);
+        t.arg_f64(child, "gflops", 1770.0);
+        t.arg_u64(root, "pp", 42);
+        assert_eq!(t.spans().len(), 2);
+        assert_eq!(t.spans()[child.0].parent, Some(root));
+        assert_eq!(t.spans()[child.0].lane, Lane::Gpu);
+        assert_eq!(t.last_step(), Some(1));
+        assert_eq!(t.ranks(), vec![0]);
+        assert!((t.makespan() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn instants_recorded() {
+        let mut t = TraceStore::new();
+        t.instant(3, 2, Lane::Comm, "fault:drop", 0.5)
+            .args
+            .push(("detail", ArgValue::Str("drop 0->1".into())));
+        assert_eq!(t.instants().len(), 1);
+        assert_eq!(t.instants()[0].rank, 3);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn union_merges_overlaps() {
+        let u = interval_union(vec![(2.0, 3.0), (0.0, 1.0), (0.5, 2.5), (5.0, 5.0)]);
+        assert_eq!(u, vec![(0.0, 3.0)]);
+        let u2 = interval_union(vec![(0.0, 1.0), (2.0, 3.0)]);
+        assert_eq!(u2, vec![(0.0, 1.0), (2.0, 3.0)]);
+    }
+
+    #[test]
+    fn overlap_against_union() {
+        let u = interval_union(vec![(0.0, 1.0), (2.0, 3.0)]);
+        assert!((overlap_with_union(0.5, 2.5, &u) - 1.0).abs() < 1e-15);
+        assert_eq!(overlap_with_union(1.0, 2.0, &u), 0.0);
+        assert!((overlap_with_union(-1.0, 4.0, &u) - 2.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,151 @@
+//! Exporter contract tests: Chrome trace JSON round-trips through the
+//! minimal parser, timestamps are monotonic per track, histogram
+//! percentiles behave at the edges, and identical inputs export
+//! byte-identically.
+
+use bonsai_obs::{chrome, folded, json, prom, Lane, LogHistogram, MetricsRegistry, TraceStore};
+
+/// A trace shaped like one cluster step: 3 ranks × (GPU phases + comm).
+fn step_like_trace(seed: u64) -> TraceStore {
+    let mut t = TraceStore::new();
+    for rank in 0..3u32 {
+        let mut at = 0.0;
+        let jitter = (seed as f64 + rank as f64) * 1e-3;
+        for phase in ["sort", "domain", "build", "props", "local", "lets"] {
+            let dur = 0.1 + jitter;
+            let s = t.span(rank, 1, Lane::Gpu, phase, at, at + dur);
+            t.arg_f64(s, "occupancy", 0.9);
+            at += dur;
+        }
+        let c = t.span(rank, 1, Lane::Comm, "let-comm", 0.4, 0.9 + jitter);
+        t.arg_u64(c, "bytes", 12_000 + rank as u64);
+    }
+    t.instant(1, 1, Lane::Comm, "fault:drop", 0.45);
+    t
+}
+
+#[test]
+fn chrome_round_trips_through_parser() {
+    let doc = chrome::chrome_trace_json(&step_like_trace(7));
+    let v = json::parse(&doc).expect("exporter must emit valid JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(|e| e.as_arr())
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+    for e in events {
+        let ph = e.get("ph").and_then(|p| p.as_str()).expect("ph field");
+        match ph {
+            // Complete events must carry ts + dur; B/E pairs are the only
+            // alternative and this exporter never emits them unmatched.
+            "X" => {
+                assert!(e.get("ts").and_then(|x| x.as_f64()).is_some());
+                assert!(e.get("dur").and_then(|x| x.as_f64()).unwrap() >= 0.0);
+            }
+            "i" => {
+                assert!(e.get("ts").is_some());
+                assert_eq!(e.get("s").and_then(|s| s.as_str()), Some("t"));
+            }
+            "M" => {}
+            "B" | "E" => panic!("unpaired duration events in export"),
+            other => panic!("unexpected event phase {other}"),
+        }
+    }
+}
+
+#[test]
+fn chrome_timestamps_monotonic_per_track() {
+    let doc = chrome::chrome_trace_json(&step_like_trace(3));
+    let v = json::parse(&doc).unwrap();
+    let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+    let mut last: std::collections::BTreeMap<(u64, u64), f64> = Default::default();
+    for e in events {
+        if e.get("ph").and_then(|p| p.as_str()) != Some("X") {
+            continue;
+        }
+        let pid = e.get("pid").unwrap().as_f64().unwrap() as u64;
+        let tid = e.get("tid").unwrap().as_f64().unwrap() as u64;
+        let ts = e.get("ts").unwrap().as_f64().unwrap();
+        if let Some(prev) = last.insert((pid, tid), ts) {
+            assert!(ts >= prev, "ts regressed on track ({pid},{tid}): {prev} -> {ts}");
+        }
+    }
+    assert!(!last.is_empty());
+}
+
+#[test]
+fn exports_byte_identical_for_identical_inputs() {
+    let a = step_like_trace(42);
+    let b = step_like_trace(42);
+    assert_eq!(
+        chrome::chrome_trace_json(&a),
+        chrome::chrome_trace_json(&b)
+    );
+    assert_eq!(folded::folded_stacks(&a), folded::folded_stacks(&b));
+
+    let mk_reg = || {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("bonsai_bytes_total", &[("kind", "let")], 99);
+        r.gauge_set("bonsai_phase_seconds", &[("phase", "local")], 1.45);
+        for x in [3.0, 5.0, 1716.0] {
+            r.histogram_observe("bonsai_walk_pp", &[], x);
+        }
+        r
+    };
+    assert_eq!(
+        prom::prometheus_text(&mk_reg()),
+        prom::prometheus_text(&mk_reg())
+    );
+}
+
+#[test]
+fn differing_inputs_differ() {
+    let a = chrome::chrome_trace_json(&step_like_trace(1));
+    let b = chrome::chrome_trace_json(&step_like_trace(2));
+    assert_ne!(a, b, "different workloads must not collide");
+}
+
+#[test]
+fn histogram_percentile_edge_cases() {
+    // Empty histogram: no percentiles, no min/max.
+    let empty = LogHistogram::new();
+    assert_eq!(empty.percentile(0.5), None);
+    assert_eq!(empty.count(), 0);
+    assert_eq!(empty.mean(), 0.0);
+
+    // Single sample: every percentile is that sample.
+    let mut single = LogHistogram::new();
+    single.observe(1716.0);
+    for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+        assert_eq!(single.percentile(q), Some(1716.0), "q={q}");
+    }
+
+    // Percentiles are bounded by observed range and monotone in q.
+    let mut h = LogHistogram::new();
+    for i in 0..1000 {
+        h.observe(1.0 + (i % 97) as f64 * 11.0);
+    }
+    let mut prev = f64::NEG_INFINITY;
+    for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+        let p = h.percentile(q).unwrap();
+        assert!(p >= h.min().unwrap() && p <= h.max().unwrap());
+        assert!(p >= prev, "percentile not monotone at q={q}");
+        prev = p;
+    }
+
+    // Out-of-range q clamps instead of panicking.
+    assert!(h.percentile(-0.5).is_some());
+    assert!(h.percentile(1.5).is_some());
+}
+
+#[test]
+fn folded_stacks_parse_as_stack_value_lines() {
+    let text = folded::folded_stacks(&step_like_trace(5));
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        let (stack, value) = line.rsplit_once(' ').expect("stack SPACE value");
+        assert!(stack.starts_with("rank "), "{stack}");
+        assert!(stack.contains(';'));
+        value.parse::<u64>().expect("integer microseconds");
+    }
+}

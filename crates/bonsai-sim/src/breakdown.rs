@@ -1,7 +1,23 @@
 //! Per-step timing breakdowns in the shape of the paper's Table II.
 
 use bonsai_tree::InteractionCounts;
+use bonsai_util::timer::PhaseTimes;
 use serde::Serialize;
+
+/// The Table II phase names, in presentation order. Each maps 1:1 onto a
+/// field of [`StepBreakdown`]; the observability layer uses them as the
+/// `phase` label of the per-step seconds gauge family.
+pub const PHASES: [&str; 9] = [
+    "sort",
+    "domain_update",
+    "tree_construction",
+    "tree_properties",
+    "gravity_local",
+    "gravity_lets",
+    "non_hidden_comm",
+    "recovery",
+    "other",
+];
 
 /// One Table II column: per-phase simulated seconds plus the derived
 /// performance numbers.
@@ -36,6 +52,48 @@ pub struct StepBreakdown {
 }
 
 impl StepBreakdown {
+    /// Flatten the timing rows into a named phase record (the interchange
+    /// with the metrics registry: one gauge per [`PHASES`] entry).
+    pub fn phase_times(&self) -> PhaseTimes {
+        PhaseTimes::from_pairs([
+            ("sort", self.sort),
+            ("domain_update", self.domain_update),
+            ("tree_construction", self.tree_construction),
+            ("tree_properties", self.tree_properties),
+            ("gravity_local", self.gravity_local),
+            ("gravity_lets", self.gravity_lets),
+            ("non_hidden_comm", self.non_hidden_comm),
+            ("recovery", self.recovery),
+            ("other", self.other),
+        ])
+    }
+
+    /// Rebuild the timing rows from a phase record plus the scalar context
+    /// (inverse of [`StepBreakdown::phase_times`]).
+    pub fn from_phase_times(
+        gpus: u32,
+        particles_per_gpu: u64,
+        pp_per_particle: f64,
+        pc_per_particle: f64,
+        pt: &PhaseTimes,
+    ) -> Self {
+        Self {
+            gpus,
+            particles_per_gpu,
+            sort: pt.get("sort"),
+            domain_update: pt.get("domain_update"),
+            tree_construction: pt.get("tree_construction"),
+            tree_properties: pt.get("tree_properties"),
+            gravity_local: pt.get("gravity_local"),
+            gravity_lets: pt.get("gravity_lets"),
+            non_hidden_comm: pt.get("non_hidden_comm"),
+            recovery: pt.get("recovery"),
+            other: pt.get("other"),
+            pp_per_particle,
+            pc_per_particle,
+        }
+    }
+
     /// Total wall-clock of the step (sum of the rows, as in Table II).
     pub fn total(&self) -> f64 {
         self.sort
@@ -170,6 +228,42 @@ mod tests {
         ] {
             assert!(s.contains(key), "missing row {key}");
         }
+    }
+
+    #[test]
+    fn phase_times_round_trip() {
+        let b = sample();
+        let pt = b.phase_times();
+        // Every declared phase name is present in the record…
+        for name in PHASES {
+            assert_eq!(pt.get(name), {
+                let r = StepBreakdown::from_phase_times(1, 1, 0.0, 0.0, &pt);
+                match name {
+                    "sort" => r.sort,
+                    "domain_update" => r.domain_update,
+                    "tree_construction" => r.tree_construction,
+                    "tree_properties" => r.tree_properties,
+                    "gravity_local" => r.gravity_local,
+                    "gravity_lets" => r.gravity_lets,
+                    "non_hidden_comm" => r.non_hidden_comm,
+                    "recovery" => r.recovery,
+                    "other" => r.other,
+                    _ => unreachable!(),
+                }
+            });
+        }
+        // …and the full record survives the round trip.
+        let r = StepBreakdown::from_phase_times(
+            b.gpus,
+            b.particles_per_gpu,
+            b.pp_per_particle,
+            b.pc_per_particle,
+            &pt,
+        );
+        assert_eq!(r.total(), b.total());
+        assert_eq!(r.gravity_local, b.gravity_local);
+        assert_eq!(r.gpus, b.gpus);
+        assert!((pt.total() - b.total()).abs() < 1e-12);
     }
 
     #[test]

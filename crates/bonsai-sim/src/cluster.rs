@@ -40,10 +40,13 @@ use bonsai_net::fault::{
     SharedFaultLog,
 };
 use bonsai_net::{Fabric, MachineSpec, MsgKind, NetworkModel, PIZ_DAINT};
+use bonsai_obs::{Lane, MetricsRegistry, TraceStore};
 use bonsai_sfc::{KeyMap, KeyRange};
 use bonsai_tree::build::{Tree, TreeParams};
+use bonsai_tree::stats::record_walk_counts;
 use bonsai_tree::walk::{self, WalkParams};
 use bonsai_tree::{Forces, InteractionCounts, Particles};
+use bonsai_util::timer::PhaseTimes;
 use bonsai_util::{Aabb, Vec3};
 use bytes::Bytes;
 use rayon::prelude::*;
@@ -177,6 +180,13 @@ pub struct Cluster {
     recovery: Option<RecoveryConfig>,
     /// Measurements of the most recent gravity phase.
     pub last_measurements: StepMeasurements,
+    /// Span/event trace of every completed gravity epoch.
+    trace: TraceStore,
+    /// Metrics registry: monotonic counters over the whole run plus the
+    /// most recent epoch's gauges.
+    registry: MetricsRegistry,
+    /// Global simulated clock base: completed epochs lay out sequentially.
+    trace_clock: f64,
 }
 
 impl Cluster {
@@ -228,6 +238,9 @@ impl Cluster {
             dead: vec![false; p],
             recovery,
             last_measurements: StepMeasurements::default(),
+            trace: TraceStore::new(),
+            registry: MetricsRegistry::new(),
+            trace_clock: 0.0,
         };
         // Checkpoint the initial conditions *before* the first force
         // computation: a rank can die (or be falsely declared dead under
@@ -273,6 +286,44 @@ impl Cluster {
     /// construction.
     pub fn fault_log(&self) -> FaultLog {
         self.fault_log.snapshot()
+    }
+
+    /// The unified observability trace: spans for every Table II phase of
+    /// every completed gravity epoch (keyed rank × epoch × phase), the LET
+    /// communication and recovery windows on the COMM lanes, and fault
+    /// instants. Failed epochs (rolled back by crash recovery) are not
+    /// recorded — a trace describes completed work only.
+    pub fn trace(&self) -> &TraceStore {
+        &self.trace
+    }
+
+    /// The unified metrics registry: walk-interaction and link-byte
+    /// counters accumulated over the run, per-kind latency histograms, and
+    /// the most recent epoch's per-phase gauges.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Rebuild the most recent epoch's [`StepBreakdown`] purely from the
+    /// metrics registry (the reduction view over the per-step gauge
+    /// family). Matches the value returned by [`Cluster::step`] exactly:
+    /// instrumentation changes observation, not physics or timing.
+    pub fn breakdown_from_metrics(&self) -> StepBreakdown {
+        let pt = PhaseTimes::from_pairs(crate::breakdown::PHASES.iter().map(|&ph| {
+            let v = self
+                .registry
+                .gauge("bonsai_step_phase_seconds", &[("phase", ph)])
+                .unwrap_or(0.0);
+            (ph, v)
+        }));
+        let g = |name| self.registry.gauge(name, &[]).unwrap_or(0.0);
+        StepBreakdown::from_phase_times(
+            g("bonsai_step_gpus") as u32,
+            g("bonsai_step_particles_per_gpu") as u64,
+            g("bonsai_step_pp_per_particle"),
+            g("bonsai_step_pc_per_particle"),
+            &pt,
+        )
     }
 
     /// Borrow one rank's particle shard (checkpointing, inspection).
@@ -812,8 +863,119 @@ impl Cluster {
 
         meas.faults = self.fault_log.snapshot().for_epoch(epoch);
         let breakdown = self.assemble_breakdown(&meas);
+        self.record_observability(&meas, &breakdown);
         self.last_measurements = meas;
         Ok(breakdown)
+    }
+
+    /// Record a completed gravity epoch into the unified observability
+    /// layer: per-rank spans for every Table II phase on the GPU lane, the
+    /// LET exchange window and retransmission recovery on the COMM lane,
+    /// fault instants, walk/link metrics, and the per-step gauge family
+    /// [`Cluster::breakdown_from_metrics`] reduces over. The clock base
+    /// then advances by the epoch's makespan so consecutive epochs render
+    /// side by side in Perfetto.
+    fn record_observability(&mut self, meas: &StepMeasurements, breakdown: &StepBreakdown) {
+        let p = self.ranks.len();
+        let step = self.epoch;
+        let base = self.trace_clock;
+        let gpu = self.gpu;
+        // Host-CPU key-classification rate of the *configured* machine
+        // (Titan's slower Opteron stretches this phase, §VI-B).
+        let classify_rate = 130.0e6 * self.cfg.machine.cpu_let_rate;
+        let mut local_starts = vec![0.0; p];
+        let mut makespan = 0.0f64;
+        for r in 0..p {
+            let n = self.ranks[r].len() as u64;
+            let rank = r as u32;
+            let mut t = base;
+            for (name, dur, rate) in [
+                ("sort", gpu.sort_time(n), gpu.sort_rate),
+                ("domain", n as f64 / classify_rate, classify_rate),
+                ("build", gpu.build_time(n), gpu.build_rate),
+                ("props", gpu.props_time(n), gpu.props_rate),
+            ] {
+                let id = self.trace.span(rank, step, Lane::Gpu, name, t, t + dur);
+                gpu.annotate_stream_span(&mut self.trace, id, n, rate);
+                t += dur;
+            }
+            let local_start = t;
+            local_starts[r] = local_start;
+            for (name, counts) in [("local", meas.counts_local[r]), ("lets", meas.counts_lets[r])]
+            {
+                let dur = gpu.gravity_time(counts);
+                let id = self.trace.span(rank, step, Lane::Gpu, name, t, t + dur);
+                gpu.annotate_gravity_span(&mut self.trace, id, counts);
+                t += dur;
+            }
+            // COMM lane: the LET exchange runs concurrently with local
+            // gravity (the overlap story of §III-B2).
+            let nb = meas.let_neighbors[r] as u32;
+            let per = if nb > 0 {
+                (meas.let_bytes_sent[r] / nb as usize) as u64
+            } else {
+                0
+            };
+            let comm_dur = self.net.let_exchange_time(nb, per);
+            let id = self.trace.span(
+                rank,
+                step,
+                Lane::Comm,
+                "let-comm",
+                local_start,
+                local_start + comm_dur,
+            );
+            self.trace.arg_u64(id, "bytes", meas.let_bytes_sent[r] as u64);
+            self.trace.arg_u64(id, "neighbors", nb as u64);
+            makespan = makespan.max(t - base).max(local_start + comm_dur - base);
+
+            record_walk_counts(&mut self.registry, "local", meas.counts_local[r]);
+            record_walk_counts(&mut self.registry, "lets", meas.counts_lets[r]);
+            for (kind, bytes) in [
+                ("boundary", meas.boundary_bytes[r]),
+                ("let", meas.let_bytes_sent[r]),
+                ("exchange", meas.exchange_bytes[r]),
+            ] {
+                self.net.observe_link(&mut self.registry, kind, r, bytes as u64);
+            }
+        }
+        // Recovery retransmissions happen after the normal windows close;
+        // the traffic is aggregate, so the span lands on rank 0's COMM lane.
+        if breakdown.recovery > 0.0 {
+            let start = base + makespan;
+            let id = self.trace.span(
+                0,
+                step,
+                Lane::Comm,
+                "recovery",
+                start,
+                start + breakdown.recovery,
+            );
+            self.trace
+                .arg_u64(id, "retransmit_bytes", meas.retransmit_bytes as u64);
+            self.net
+                .observe_link(&mut self.registry, "retransmit", 0, meas.retransmit_bytes as u64);
+            makespan += breakdown.recovery;
+        }
+        bonsai_net::obs::record_fault_log(&meas.faults, &mut self.trace, step, &|rank| {
+            base + local_starts.get(rank).copied().unwrap_or(0.0)
+        });
+
+        for (phase, secs) in breakdown.phase_times().iter() {
+            self.registry
+                .gauge_set("bonsai_step_phase_seconds", &[("phase", phase)], secs);
+        }
+        self.registry.gauge_set("bonsai_step_gpus", &[], breakdown.gpus as f64);
+        self.registry.gauge_set(
+            "bonsai_step_particles_per_gpu",
+            &[],
+            breakdown.particles_per_gpu as f64,
+        );
+        self.registry
+            .gauge_set("bonsai_step_pp_per_particle", &[], breakdown.pp_per_particle);
+        self.registry
+            .gauge_set("bonsai_step_pc_per_particle", &[], breakdown.pc_per_particle);
+        self.trace_clock = base + makespan;
     }
 
     /// Charge the measured quantities to the machine models.
@@ -1302,6 +1464,74 @@ mod tests {
         // At small N the GPU model still makes gravity the dominant phase
         // relative to tree build.
         assert!(b.gravity_local + b.gravity_lets > b.tree_construction);
+    }
+
+    #[test]
+    fn breakdown_reduces_from_registry() {
+        // The registry view must reproduce the returned breakdown exactly:
+        // instrumentation changes observation, not physics or timing.
+        let mut c = small_cluster(3000, 4, 12);
+        let b = c.step();
+        let r = c.breakdown_from_metrics();
+        assert_eq!(r.gpus, b.gpus);
+        assert_eq!(r.particles_per_gpu, b.particles_per_gpu);
+        assert_eq!(r.sort, b.sort);
+        assert_eq!(r.domain_update, b.domain_update);
+        assert_eq!(r.gravity_local, b.gravity_local);
+        assert_eq!(r.gravity_lets, b.gravity_lets);
+        assert_eq!(r.non_hidden_comm, b.non_hidden_comm);
+        assert_eq!(r.recovery, b.recovery);
+        assert_eq!(r.other, b.other);
+        assert_eq!(r.pp_per_particle, b.pp_per_particle);
+        assert_eq!(r.pc_per_particle, b.pc_per_particle);
+        assert_eq!(r.total(), b.total());
+    }
+
+    #[test]
+    fn trace_records_every_phase_and_lays_steps_out_sequentially() {
+        let mut c = small_cluster(2000, 3, 13);
+        c.step();
+        let store = c.trace();
+        // Construction runs epoch 1; the step runs epoch 2.
+        assert_eq!(store.last_step(), Some(2));
+        for r in 0..3 {
+            let names: Vec<&str> = store
+                .spans_for(r, 2)
+                .filter(|s| s.lane == bonsai_obs::Lane::Gpu)
+                .map(|s| s.name.as_str())
+                .collect();
+            assert_eq!(names, ["sort", "domain", "build", "props", "local", "lets"]);
+            let comm: Vec<&str> = store
+                .spans_for(r, 2)
+                .filter(|s| s.lane == bonsai_obs::Lane::Comm)
+                .map(|s| s.name.as_str())
+                .collect();
+            assert_eq!(comm, ["let-comm"]);
+        }
+        // Gravity spans carry the device model's annotations.
+        let local = store
+            .spans_for(0, 2)
+            .find(|s| s.name == "local")
+            .expect("local span");
+        assert!(local.args.iter().any(|(k, _)| *k == "gflops"));
+        assert!(local.args.iter().any(|(k, _)| *k == "occupancy"));
+        // Counters accumulate across epochs; gauges hold the latest.
+        assert!(c.metrics().counter_family_total("bonsai_walk_flops_total") > 0);
+        assert!(c.metrics().counter_family_total("bonsai_net_kind_bytes_total") > 0);
+        // Epoch 2 starts on the global clock where epoch 1 ended.
+        let e1_end = store
+            .spans()
+            .iter()
+            .filter(|s| s.step == 1)
+            .map(|s| s.end)
+            .fold(0.0, f64::max);
+        let e2_start = store
+            .spans()
+            .iter()
+            .filter(|s| s.step == 2)
+            .map(|s| s.start)
+            .fold(f64::INFINITY, f64::min);
+        assert!(e2_start >= e1_end - 1e-12, "epochs overlap on the clock");
     }
 
     #[test]

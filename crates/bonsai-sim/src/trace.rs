@@ -15,16 +15,16 @@
 //! gravity, `R` remote/LET gravity, `m` LET communication, `.` idle.)
 
 use crate::cluster::{Cluster, StepMeasurements};
-use bonsai_gpu::GpuModel;
-use bonsai_net::{FaultKind, NetworkModel, RecoveryAction};
+use bonsai_net::{FaultKind, RecoveryAction};
+use bonsai_obs::{interval_union, overlap_with_union, Lane};
 
 /// One rank's reconstructed schedule (seconds from step start).
 #[derive(Clone, Debug)]
 pub struct RankTimeline {
     /// `(label, start, end)` for every busy interval on the GPU lane.
-    pub gpu: Vec<(&'static str, f64, f64)>,
+    pub gpu: Vec<(String, f64, f64)>,
     /// `(label, start, end)` for the communication lane.
-    pub comm: Vec<(&'static str, f64, f64)>,
+    pub comm: Vec<(String, f64, f64)>,
 }
 
 impl RankTimeline {
@@ -33,61 +33,58 @@ impl RankTimeline {
         self.gpu
             .iter()
             .chain(self.comm.iter())
-            .map(|&(_, _, e)| e)
+            .map(|(_, _, e)| *e)
             .fold(0.0, f64::max)
     }
 
-    /// Fraction of LET communication hidden under GPU work.
+    /// Fraction of LET communication hidden under GPU work. Exposure is
+    /// measured against the union of GPU busy intervals, so comm that
+    /// straddles a gap between GPU phases is correctly counted as exposed.
     pub fn hidden_comm_fraction(&self) -> f64 {
-        let comm_total: f64 = self.comm.iter().map(|&(_, s, e)| e - s).sum();
+        let comm_total: f64 = self.comm.iter().map(|(_, s, e)| e - s).sum();
         if comm_total <= 0.0 {
             return 1.0;
         }
-        // Exposed = comm time beyond the end of GPU work.
-        let gpu_end = self.gpu.iter().map(|&(_, _, e)| e).fold(0.0, f64::max);
-        let exposed: f64 = self
+        let union = interval_union(self.gpu.iter().map(|(_, s, e)| (*s, *e)).collect());
+        let hidden: f64 = self
             .comm
             .iter()
-            .map(|&(_, s, e)| (e - gpu_end.max(s)).max(0.0))
+            .map(|(_, s, e)| overlap_with_union(*s, *e, &union))
             .sum();
-        1.0 - exposed / comm_total
+        (hidden / comm_total).clamp(0.0, 1.0)
     }
 }
 
-/// Reconstruct per-rank timelines from the last step of a cluster.
+/// Per-rank timelines of the most recent recorded epoch: a view over the
+/// cluster's span store, re-based to step-relative seconds. The spans were
+/// recorded with the cluster's *configured* device and machine-rate models,
+/// so a Titan cluster's timeline shows Titan's slower host phases.
 pub fn step_timelines(cluster: &Cluster) -> Vec<RankTimeline> {
-    let meas: &StepMeasurements = &cluster.last_measurements;
-    let gpu: GpuModel = GpuModel::k20x_tuned();
-    let net = NetworkModel::new(cluster.cfg.machine);
-    let p = meas.counts_local.len();
-    (0..p)
+    let store = cluster.trace();
+    let Some(step) = store.last_step() else {
+        return Vec::new();
+    };
+    let in_step: Vec<_> = store.spans().iter().filter(|s| s.step == step).collect();
+    let base = in_step.iter().map(|s| s.start).fold(f64::INFINITY, f64::min);
+    let mut rank_ids: Vec<u32> = in_step.iter().map(|s| s.rank).collect();
+    rank_ids.sort_unstable();
+    rank_ids.dedup();
+    rank_ids
+        .into_iter()
         .map(|r| {
-            let n = cluster.rank_particles(r).len() as u64;
-            let mut t = 0.0;
-            let mut lane = Vec::new();
-            let mut push = |label, dur: f64, t: &mut f64| {
-                let s = *t;
-                *t += dur;
-                lane.push((label, s, *t));
-            };
-            push("sort", gpu.sort_time(n), &mut t);
-            push("domain", n as f64 / 130.0e6, &mut t);
-            push("build", gpu.build_time(n), &mut t);
-            push("props", gpu.props_time(n), &mut t);
-            let local_start = t;
-            push("local", gpu.gravity_time(meas.counts_local[r]), &mut t);
-            push("lets", gpu.gravity_time(meas.counts_lets[r]), &mut t);
-            // Communication lane: LET exchange starting when local gravity
-            // starts (the driver/comm threads run concurrently).
-            let nb = meas.let_neighbors[r] as u32;
-            let per = if nb > 0 {
-                (meas.let_bytes_sent[r] / nb as usize) as u64
-            } else {
-                0
-            };
-            let comm_dur = net.let_exchange_time(nb, per);
-            let comm = vec![("let-comm", local_start, local_start + comm_dur)];
-            RankTimeline { gpu: lane, comm }
+            let mut gpu = Vec::new();
+            let mut comm = Vec::new();
+            for s in store.spans_for(r, step) {
+                let item = (s.name.clone(), s.start - base, s.end - base);
+                match s.lane {
+                    Lane::Gpu => gpu.push(item),
+                    Lane::Comm => comm.push(item),
+                    Lane::Cpu => {}
+                }
+            }
+            gpu.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            comm.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            RankTimeline { gpu, comm }
         })
         .collect()
 }
@@ -108,6 +105,7 @@ pub fn render_gantt(timelines: &[RankTimeline], width: usize) -> String {
             "local" => 'L',
             "lets" => 'R',
             "let-comm" => 'm',
+            "recovery" => 'r',
             _ => '?',
         }
     };
@@ -115,7 +113,7 @@ pub fn render_gantt(timelines: &[RankTimeline], width: usize) -> String {
     for (r, tl) in timelines.iter().enumerate() {
         for (lane_name, lane) in [("GPU ", &tl.gpu), ("COMM", &tl.comm)] {
             let mut row = vec!['.'; width];
-            for &(label, s, e) in lane {
+            for (label, s, e) in lane {
                 let c0 = ((s / makespan) * width as f64) as usize;
                 let c1 = (((e / makespan) * width as f64).ceil() as usize).min(width);
                 for cell in row.iter_mut().take(c1).skip(c0.min(width)) {
@@ -217,6 +215,50 @@ mod tests {
                 "LET comm should be mostly hidden behind gravity, got {f}"
             );
         }
+    }
+
+    #[test]
+    fn hidden_fraction_counts_gaps_between_gpu_intervals() {
+        // Regression: comm straddling a gap between GPU busy intervals must
+        // count the gap as exposed. The old computation measured exposure
+        // only past the *end* of GPU work and reported 1.0 here.
+        let tl = RankTimeline {
+            gpu: vec![
+                ("local".to_string(), 0.0, 1.0),
+                ("lets".to_string(), 2.0, 3.0),
+            ],
+            comm: vec![("let-comm".to_string(), 0.5, 2.5)],
+        };
+        let f = tl.hidden_comm_fraction();
+        // 2.0 s of comm, hidden only under [0.5,1.0] and [2.0,2.5] = 1.0 s.
+        assert!((f - 0.5).abs() < 1e-12, "union-based hidden fraction, got {f}");
+    }
+
+    #[test]
+    fn timelines_use_configured_machine_rates() {
+        // Regression: the domain phase must be charged at the configured
+        // machine's host-CPU rate, not a hard-coded constant. Titan's
+        // slower Opteron (cpu_let_rate 0.55) stretches it by 1/0.55.
+        let ic = plummer_sphere(3000, 11);
+        let daint = Cluster::new(ic.clone(), 2, ClusterConfig::default());
+        let mut cfg = ClusterConfig::default();
+        cfg.machine = bonsai_net::TITAN;
+        let titan = Cluster::new(ic, 2, cfg);
+        let dur = |c: &Cluster, name: &str| {
+            step_timelines(c)[0]
+                .gpu
+                .iter()
+                .find(|(l, _, _)| l == name)
+                .map(|(_, s, e)| e - s)
+                .expect("phase present")
+        };
+        let ratio = dur(&titan, "domain") / dur(&daint, "domain");
+        assert!(
+            (ratio - 1.0 / bonsai_net::TITAN.cpu_let_rate).abs() < 1e-9,
+            "domain phase ratio {ratio}"
+        );
+        // The GPU-side phases are machine-independent (same K20X model).
+        assert!((dur(&titan, "sort") - dur(&daint, "sort")).abs() < 1e-12);
     }
 
     #[test]

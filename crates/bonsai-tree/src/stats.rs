@@ -6,7 +6,9 @@
 //! builder.
 
 use crate::build::Tree;
+use crate::forces::InteractionCounts;
 use crate::node::NodeKind;
+use bonsai_obs::MetricsRegistry;
 
 /// Summary statistics of a built tree.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -71,6 +73,27 @@ pub fn tree_stats(tree: &Tree) -> TreeStats {
         memory_bytes: tree.nodes.len() * node_bytes
             + tree.len() * (particle_bytes + 8 /* key */ + 4 /* origin */),
     }
+}
+
+/// Record one rank's walk interaction counts into the unified metrics
+/// registry: log-scale histograms over ranks of particle-particle and
+/// particle-cell interactions per `scope` ("local" or "lets"), plus
+/// machine-wide counters. These are the distributions behind Table II's
+/// pp/pc-per-particle rows — the histogram spread is the load imbalance.
+pub fn record_walk_counts(reg: &mut MetricsRegistry, scope: &str, counts: InteractionCounts) {
+    reg.histogram_observe(
+        "bonsai_walk_pp_interactions",
+        &[("scope", scope)],
+        counts.pp as f64,
+    );
+    reg.histogram_observe(
+        "bonsai_walk_pc_interactions",
+        &[("scope", scope)],
+        counts.pc as f64,
+    );
+    reg.counter_add("bonsai_walk_pp_total", &[("scope", scope)], counts.pp);
+    reg.counter_add("bonsai_walk_pc_total", &[("scope", scope)], counts.pc);
+    reg.counter_add("bonsai_walk_flops_total", &[("scope", scope)], counts.flops());
 }
 
 #[cfg(test)]
@@ -149,5 +172,26 @@ mod tests {
         let s = tree_stats(&tree);
         assert_eq!(s.nodes, 0);
         assert_eq!(s.mean_leaf_occupancy, 0.0);
+    }
+
+    #[test]
+    fn walk_counts_land_in_registry() {
+        let mut reg = MetricsRegistry::new();
+        record_walk_counts(&mut reg, "local", InteractionCounts { pp: 100, pc: 300 });
+        record_walk_counts(&mut reg, "local", InteractionCounts { pp: 140, pc: 260 });
+        record_walk_counts(&mut reg, "lets", InteractionCounts { pp: 50, pc: 900 });
+        assert_eq!(reg.counter("bonsai_walk_pp_total", &[("scope", "local")]), 240);
+        assert_eq!(reg.counter("bonsai_walk_pc_total", &[("scope", "lets")]), 900);
+        // flops at the §VI-A rates: 23·pp + 65·pc
+        assert_eq!(
+            reg.counter("bonsai_walk_flops_total", &[("scope", "lets")]),
+            23 * 50 + 65 * 900
+        );
+        let h = reg
+            .histogram("bonsai_walk_pp_interactions", &[("scope", "local")])
+            .unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(100.0));
+        assert_eq!(h.max(), Some(140.0));
     }
 }

@@ -46,6 +46,18 @@ impl PhaseTimes {
         Self::default()
     }
 
+    /// Build from `(phase, seconds)` pairs (duplicates accumulate). This is
+    /// the interchange used by the observability layer: a `StepBreakdown`
+    /// flattens into phase pairs, the metrics registry stores them as a
+    /// gauge family, and a reduction rebuilds the record from either side.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (&'static str, f64)>) -> Self {
+        let mut pt = Self::new();
+        for (name, secs) in pairs {
+            pt.add(name, secs);
+        }
+        pt
+    }
+
     /// Add `secs` to phase `name`.
     pub fn add(&mut self, name: &'static str, secs: f64) {
         *self.phases.entry(name).or_insert(0.0) += secs;
@@ -108,6 +120,14 @@ mod tests {
         assert!(lap >= 0.009, "lap {lap} too short");
         // after lap the clock restarted
         assert!(sw.elapsed() < lap + 0.005);
+    }
+
+    #[test]
+    fn from_pairs_accumulates() {
+        let p = PhaseTimes::from_pairs([("sort", 0.1), ("gravity", 1.0), ("gravity", 0.5)]);
+        assert_eq!(p.get("sort"), 0.1);
+        assert_eq!(p.get("gravity"), 1.5);
+        assert_eq!(p.iter().count(), 2);
     }
 
     #[test]
