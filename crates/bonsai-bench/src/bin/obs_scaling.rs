@@ -1,0 +1,90 @@
+//! Scaling sweep + regression gate over the cross-rank analysis layer.
+//!
+//! Runs the weak and strong rank-count ladders of
+//! [`bonsai_bench::scaling`], then writes:
+//!
+//! * `BENCH_scaling.json` (repo root) — byte-deterministic sweep record:
+//!   per-rung wall time, critical-path decomposition, imbalance residuals
+//!   and parallel efficiencies;
+//! * `out/scaling_report.html` — self-contained zero-dependency dashboard
+//!   with the Fig. 4-style efficiency curves and imbalance tables.
+//!
+//! With `--check <baseline.json>` (default `baselines/scaling.json`) the
+//! fresh run is compared against the checked-in baseline with per-metric
+//! tolerance bands; any violation is printed and the process exits 1, so
+//! CI can hold the perf line. `--slowdown <factor>` injects a synthetic
+//! wall-time multiplier on every rung above the smallest — it exists to
+//! demonstrate (and test) the gate's failure mode.
+
+use bonsai_bench::scaling::{check_scaling, render_html, run_sweep, scaling_json, SweepConfig};
+use bonsai_bench::{arg_usize, out_dir};
+
+fn arg_f64(name: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().position(|a| a == "--check").map(|i| {
+        args.get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "baselines/scaling.json".to_string())
+    });
+
+    let mut cfg = SweepConfig::default();
+    cfg.seed = arg_usize("--seed", cfg.seed as usize) as u64;
+    cfg.weak_n_per_rank = arg_usize("--n-per-rank", cfg.weak_n_per_rank);
+    cfg.strong_total = arg_usize("--strong-total", cfg.strong_total);
+    cfg.slowdown = arg_f64("--slowdown", 1.0);
+
+    let report = run_sweep(&cfg);
+    let json = scaling_json(&report);
+    std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
+    let html_path = out_dir().join("scaling_report.html");
+    std::fs::write(&html_path, render_html(&report)).expect("write scaling_report.html");
+
+    println!("scaling sweep (seed {}, ranks {:?})", cfg.seed, cfg.ranks);
+    println!("{:>6} {:>10} {:>12} {:>10} {:>10}", "ranks", "N/rank", "wall s", "weak e", "strong e");
+    for (i, pt) in report.weak.iter().enumerate() {
+        println!(
+            "{:>6} {:>10} {:>12.4} {:>10.3} {:>10.3}",
+            pt.p, pt.n_per_rank, pt.wall, report.weak_eff[i], report.strong_eff[i]
+        );
+    }
+    println!("wrote BENCH_scaling.json and {}", html_path.display());
+
+    if let Some(baseline_path) = check {
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {baseline_path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match check_scaling(&baseline, &json) {
+            Ok(viol) if viol.is_empty() => {
+                println!("regression gate: PASS vs {baseline_path}");
+            }
+            Ok(viol) => {
+                eprintln!("regression gate: FAIL vs {baseline_path} ({} violations)", viol.len());
+                for v in &viol {
+                    eprintln!("  {v}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("regression gate: cannot compare: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -46,7 +46,10 @@ fn main() {
         avg.gravity_local += b.gravity_local;
         avg.gravity_lets += b.gravity_lets;
         avg.non_hidden_comm += b.non_hidden_comm;
-        avg.other += b.other;
+        avg.integration += b.integration;
+        avg.load_balance += b.load_balance;
+        avg.orchestration += b.orchestration;
+        avg.unbalance += b.unbalance;
         avg.pp_per_particle += b.pp_per_particle;
         avg.pc_per_particle += b.pc_per_particle;
         avg.gpus = b.gpus;
@@ -72,7 +75,10 @@ fn main() {
     avg.gravity_local *= inv;
     avg.gravity_lets *= inv;
     avg.non_hidden_comm *= inv;
-    avg.other *= inv;
+    avg.integration *= inv;
+    avg.load_balance *= inv;
+    avg.orchestration *= inv;
+    avg.unbalance *= inv;
     avg.pp_per_particle *= inv;
     avg.pc_per_particle *= inv;
     let e1 = cluster.energy_report();

@@ -62,7 +62,7 @@ fn main() {
             Compared::new("Compute gravity Local-tree", col.grav_local, b.gravity_local, "s"),
             Compared::new("Compute gravity LETs", col.grav_lets, b.gravity_lets, "s"),
             Compared::new("Non-hidden LET comm", col.non_hidden, b.non_hidden_comm, "s"),
-            Compared::new("Unbalance + Other", col.other, b.other, "s"),
+            Compared::new("Unbalance + Other", col.other, b.other(), "s"),
             Compared::new("Total", col.total, b.total(), "s"),
             Compared::new("Particle-Particle /particle", col.pp, b.pp_per_particle, ""),
             Compared::new("Particle-Cell /particle", col.pc, b.pc_per_particle, ""),

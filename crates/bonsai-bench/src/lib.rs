@@ -22,6 +22,8 @@
 
 #![deny(missing_docs)]
 
+pub mod scaling;
+
 use bonsai_ic::MilkyWayModel;
 use bonsai_tree::Particles;
 

@@ -1,0 +1,600 @@
+//! Scaling-sweep driver and regression gate (`obs_scaling`).
+//!
+//! Runs the real distributed algorithm at a ladder of rank counts — weak
+//! (fixed particles/rank) and strong (fixed total particles) — and reduces
+//! each step's span store through `bonsai-obs::analysis`: wall time,
+//! critical path, per-phase imbalance, flop-balance residuals and parallel
+//! efficiency. The result serializes to a byte-deterministic
+//! `BENCH_scaling.json` and a self-contained zero-dependency HTML dashboard
+//! with the Fig. 4-style efficiency curves.
+//!
+//! The JSON doubles as a perf contract: [`check_scaling`] compares a fresh
+//! run against a checked-in baseline with per-metric tolerance bands
+//! (exact for configuration, absolute for efficiencies and fractions,
+//! relative for seconds), so CI fails when scaling regresses rather than
+//! when a cosmetic field moves.
+
+use bonsai_ic::plummer_sphere;
+use bonsai_obs::analysis::{critical_path, flop_balance, phase_stats, step_wall_time};
+use bonsai_obs::json::{fmt_f64, Value};
+use bonsai_sim::trace::step_timelines;
+use bonsai_sim::{Cluster, ClusterConfig};
+use std::collections::BTreeMap;
+
+/// Sweep configuration. The defaults are the checked-in baseline's shape:
+/// small enough for CI, large enough that every rank count exercises the
+/// full distributed pipeline (LET exchange, balancing, barrier waits).
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// RNG seed for the initial conditions.
+    pub seed: u64,
+    /// Rank counts of both ladders.
+    pub ranks: Vec<usize>,
+    /// Weak sweep: particles per rank at every rung.
+    pub weak_n_per_rank: usize,
+    /// Strong sweep: total particles split across ranks.
+    pub strong_total: usize,
+    /// Synthetic wall-time multiplier applied to every rung except the
+    /// smallest (1.0 = honest run). Exists so the regression gate's
+    /// failure mode can be demonstrated in tests.
+    pub slowdown: f64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            ranks: vec![1, 2, 4, 8],
+            weak_n_per_rank: 2000,
+            strong_total: 16_000,
+            slowdown: 1.0,
+        }
+    }
+}
+
+/// One measured rung of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Rank count.
+    pub p: usize,
+    /// Particles per rank at this rung.
+    pub n_per_rank: usize,
+    /// Measured step wall-time (max span end − min span start), seconds.
+    pub wall: f64,
+    /// Critical-path seconds per phase (waits under `"wait"`).
+    pub critical_phases: BTreeMap<String, f64>,
+    /// Critical-path seconds doing work.
+    pub work_seconds: f64,
+    /// Critical-path seconds waiting on other ranks.
+    pub wait_seconds: f64,
+    /// Sum of critical-path node durations over wall time (1.0 by
+    /// construction; the acceptance invariant).
+    pub coverage: f64,
+    /// Per-phase max/mean across ranks.
+    pub phase_max_over_mean: BTreeMap<String, f64>,
+    /// max/mean walk-flop residual from gravity-span annotations.
+    pub flop_residual: f64,
+    /// max/mean flop share the balancer *would* leave after re-cutting with
+    /// `bonsai-domain::load::weighted_cuts` (the cross-check target).
+    pub rebalance_residual: f64,
+    /// Rank that set the step time (straggler attribution).
+    pub worst_rank: u32,
+    /// Mean hidden-communication fraction across ranks.
+    pub hidden_comm: f64,
+}
+
+/// A full weak + strong sweep with derived efficiencies.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Configuration the sweep ran with.
+    pub config: SweepConfig,
+    /// Weak-scaling rungs.
+    pub weak: Vec<SweepPoint>,
+    /// Weak parallel efficiency per rung (T(p₀)/T(p)).
+    pub weak_eff: Vec<f64>,
+    /// Strong-scaling rungs.
+    pub strong: Vec<SweepPoint>,
+    /// Strong parallel efficiency per rung (p₀·T(p₀)/(p·T(p))).
+    pub strong_eff: Vec<f64>,
+}
+
+/// Measure one rung: build a fresh cluster, run one step, reduce its span
+/// store through the analysis layer.
+fn measure_point(p: usize, n_per_rank: usize, seed: u64) -> SweepPoint {
+    let mut cluster = Cluster::new(
+        plummer_sphere(n_per_rank * p, seed),
+        p,
+        ClusterConfig::default(),
+    );
+    cluster.step();
+    let store = cluster.trace();
+    let step = store.last_step().expect("step recorded spans");
+    let wall = step_wall_time(store, step).expect("step has wall time");
+    let cp = critical_path(store, step).expect("critical path");
+    let coverage = cp.total() / wall;
+
+    let stats = phase_stats(store, step);
+    let mut phase_max_over_mean = BTreeMap::new();
+    for s in &stats {
+        phase_max_over_mean.insert(s.phase.clone(), s.max_over_mean());
+    }
+    // The straggler is whoever owns the terminal work of the critical path.
+    let worst_rank = cp.nodes.iter().rev().find(|n| !n.wait).map_or(0, |n| n.rank);
+    let fb = flop_balance(store, step);
+    let timelines = step_timelines(&cluster);
+    let hidden = timelines
+        .iter()
+        .map(|t| t.hidden_comm_fraction())
+        .sum::<f64>()
+        / timelines.len().max(1) as f64;
+
+    SweepPoint {
+        p,
+        n_per_rank,
+        wall,
+        critical_phases: cp.phase_seconds(),
+        work_seconds: cp.work_seconds(),
+        wait_seconds: cp.wait_seconds(),
+        coverage,
+        phase_max_over_mean,
+        flop_residual: fb.as_ref().map_or(1.0, |f| f.residual),
+        rebalance_residual: cluster.rebalance_residual(),
+        worst_rank,
+        hidden_comm: hidden,
+    }
+}
+
+/// Run the weak and strong ladders of `cfg` and derive efficiencies.
+pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
+    let min_p = cfg.ranks.iter().copied().min().unwrap_or(1);
+    let run = |points: Vec<(usize, usize)>| -> Vec<SweepPoint> {
+        points
+            .into_iter()
+            .map(|(p, n)| {
+                let mut pt = measure_point(p, n, cfg.seed);
+                if p != min_p && cfg.slowdown != 1.0 {
+                    pt.wall *= cfg.slowdown;
+                }
+                pt
+            })
+            .collect()
+    };
+    let weak = run(cfg.ranks.iter().map(|&p| (p, cfg.weak_n_per_rank)).collect());
+    let strong = run(
+        cfg.ranks
+            .iter()
+            .map(|&p| (p, (cfg.strong_total / p).max(1)))
+            .collect(),
+    );
+    let eff = |pts: &[SweepPoint], strongly: bool| -> Vec<f64> {
+        let points: Vec<bonsai_obs::ScalingPoint> = pts
+            .iter()
+            .map(|pt| bonsai_obs::ScalingPoint {
+                p: pt.p as u32,
+                n_per_rank: pt.n_per_rank as u64,
+                wall: pt.wall,
+            })
+            .collect();
+        if strongly {
+            bonsai_obs::strong_efficiency(&points)
+        } else {
+            bonsai_obs::weak_efficiency(&points)
+        }
+    };
+    let weak_eff = eff(&weak, false);
+    let strong_eff = eff(&strong, true);
+    SweepReport {
+        config: cfg.clone(),
+        weak,
+        weak_eff,
+        strong,
+        strong_eff,
+    }
+}
+
+fn json_map(m: &BTreeMap<String, f64>) -> String {
+    let rows: Vec<String> = m
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {}", fmt_f64(*v)))
+        .collect();
+    format!("{{{}}}", rows.join(", "))
+}
+
+fn json_point(pt: &SweepPoint) -> String {
+    format!(
+        "    {{\n      \"p\": {}, \"n_per_rank\": {},\n      \"wall_seconds\": {},\n      \
+         \"critical\": {{\"coverage\": {}, \"work_seconds\": {}, \"wait_seconds\": {}, \
+         \"phase_seconds\": {}}},\n      \"imbalance\": {{\"flop_residual\": {}, \
+         \"rebalance_residual\": {}, \"worst_rank\": {}, \"phase_max_over_mean\": {}}},\n      \
+         \"hidden_comm_fraction\": {}\n    }}",
+        pt.p,
+        pt.n_per_rank,
+        fmt_f64(pt.wall),
+        fmt_f64(pt.coverage),
+        fmt_f64(pt.work_seconds),
+        fmt_f64(pt.wait_seconds),
+        json_map(&pt.critical_phases),
+        fmt_f64(pt.flop_residual),
+        fmt_f64(pt.rebalance_residual),
+        pt.worst_rank,
+        json_map(&pt.phase_max_over_mean),
+        fmt_f64(pt.hidden_comm)
+    )
+}
+
+/// Serialize a report to the byte-deterministic `BENCH_scaling.json` form.
+pub fn scaling_json(r: &SweepReport) -> String {
+    let eff = |v: &[f64]| -> String {
+        let rows: Vec<String> = v.iter().map(|e| fmt_f64(*e)).collect();
+        format!("[{}]", rows.join(", "))
+    };
+    let pts = |pts: &[SweepPoint]| -> String {
+        let rows: Vec<String> = pts.iter().map(json_point).collect();
+        format!("[\n{}\n  ]", rows.join(",\n"))
+    };
+    let ranks: Vec<String> = r.config.ranks.iter().map(|p| p.to_string()).collect();
+    format!(
+        "{{\n  \"schema\": \"bonsai-scaling-v1\",\n  \"config\": {{\"seed\": {}, \"ranks\": [{}], \
+         \"weak_n_per_rank\": {}, \"strong_total\": {}}},\n  \"weak\": {{\n    \"points\": {},\n    \
+         \"efficiency\": {}\n  }},\n  \"strong\": {{\n    \"points\": {},\n    \"efficiency\": {}\n  }}\n}}\n",
+        r.config.seed,
+        ranks.join(", "),
+        r.config.weak_n_per_rank,
+        r.config.strong_total,
+        pts(&r.weak),
+        eff(&r.weak_eff),
+        pts(&r.strong),
+        eff(&r.strong_eff)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Regression gate
+// ---------------------------------------------------------------------------
+
+/// Tolerance band for one metric path.
+enum Tol {
+    /// Must match to the last bit (configuration, counts).
+    Exact,
+    /// |cur − base| ≤ bound (efficiencies, fractions — already normalized).
+    Abs(f64),
+    /// |cur − base| ≤ bound·max(|base|, floor) (seconds, residuals).
+    Rel(f64),
+}
+
+/// Per-metric tolerance bands, keyed on the leaf's key name. Rationale:
+/// efficiencies and fractions are already normalized to [0, 1]-ish scales,
+/// so an absolute band (2 points of efficiency) reads directly as "how much
+/// regression we accept"; raw seconds scale with the sweep size, so they
+/// get a relative band; configuration and attribution must match exactly or
+/// the comparison is meaningless.
+fn tolerance(key: &str) -> Tol {
+    if key == "p" || key == "n_per_rank" || key == "seed" || key == "ranks"
+        || key == "weak_n_per_rank" || key == "strong_total"
+    {
+        Tol::Exact
+    } else if key == "efficiency" || key == "hidden_comm_fraction" || key == "coverage" {
+        Tol::Abs(0.02)
+    } else if key.ends_with("residual") {
+        Tol::Rel(0.05)
+    } else {
+        // Seconds-valued leaves (wall, work, wait, per-phase maps).
+        Tol::Rel(0.05)
+    }
+}
+
+/// Attribution fields: reported, but not gated (a tie between equal ranks
+/// may break differently without being a regression).
+fn skip_key(key: &str) -> bool {
+    key == "worst_rank" || key == "schema"
+}
+
+fn compare(path: &str, key: &str, base: &Value, cur: &Value, out: &mut Vec<String>) {
+    if skip_key(key) {
+        return;
+    }
+    match (base, cur) {
+        (Value::Obj(b), Value::Obj(c)) => {
+            for (k, bv) in b {
+                match c.get(k) {
+                    Some(cv) => compare(&format!("{path}.{k}"), k, bv, cv, out),
+                    None => out.push(format!("{path}.{k}: missing from current run")),
+                }
+            }
+            for k in c.keys() {
+                if !b.contains_key(k) {
+                    out.push(format!("{path}.{k}: not in baseline (regenerate it)"));
+                }
+            }
+        }
+        (Value::Arr(b), Value::Arr(c)) => {
+            if b.len() != c.len() {
+                out.push(format!(
+                    "{path}: length {} in baseline vs {} current",
+                    b.len(),
+                    c.len()
+                ));
+                return;
+            }
+            for (i, (bv, cv)) in b.iter().zip(c).enumerate() {
+                compare(&format!("{path}[{i}]"), key, bv, cv, out);
+            }
+        }
+        (Value::Num(b), Value::Num(c)) => {
+            let ok = match tolerance(key) {
+                Tol::Exact => b == c,
+                Tol::Abs(t) => (b - c).abs() <= t,
+                Tol::Rel(t) => (b - c).abs() <= t * b.abs().max(1e-9),
+            };
+            if !ok {
+                out.push(format!("{path}: baseline {b} vs current {c} out of tolerance"));
+            }
+        }
+        (Value::Str(b), Value::Str(c)) if b == c => {}
+        (b, c) if b == c => {}
+        _ => out.push(format!("{path}: baseline {base:?} vs current {cur:?} differ in kind")),
+    }
+}
+
+/// Compare a fresh `BENCH_scaling.json` against the checked-in baseline.
+/// Returns the list of tolerance violations (empty = gate passes).
+pub fn check_scaling(baseline: &str, current: &str) -> Result<Vec<String>, String> {
+    let b = bonsai_obs::json::parse(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let c = bonsai_obs::json::parse(current).map_err(|e| format!("current: {e}"))?;
+    let mut out = Vec::new();
+    compare("$", "", &b, &c, &mut out);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// HTML dashboard
+// ---------------------------------------------------------------------------
+
+/// Map an efficiency curve to an SVG polyline over a fixed viewport.
+fn polyline(points: &[(f64, f64)], x0: f64, y0: f64, w: f64, h: f64) -> String {
+    let coords: Vec<String> = points
+        .iter()
+        .map(|&(fx, fy)| {
+            format!(
+                "{:.1},{:.1}",
+                x0 + fx * w,
+                y0 + (1.0 - fy.clamp(0.0, 1.3) / 1.3) * h
+            )
+        })
+        .collect();
+    coords.join(" ")
+}
+
+fn efficiency_chart(title: &str, ranks: &[usize], curves: &[(&str, &str, &[f64])]) -> String {
+    // Viewport: 420×260, plot area 360×200 at (50, 20). X is log2(p),
+    // normalized; Y is efficiency on [0, 1.3].
+    let (x0, y0, w, h) = (50.0, 20.0, 360.0, 200.0);
+    let lx = |p: usize| (p.max(1) as f64).log2();
+    let span = (lx(*ranks.last().unwrap_or(&1)) - lx(ranks[0])).max(1e-9);
+    let fx = |p: usize| (lx(p) - lx(ranks[0])) / span;
+    let mut s = format!(
+        "<svg viewBox=\"0 0 420 260\" width=\"420\" height=\"260\" role=\"img\" \
+         aria-label=\"{title}\">\n<text x=\"210\" y=\"14\" text-anchor=\"middle\" \
+         class=\"t\">{title}</text>\n"
+    );
+    // Gridlines + y labels at 0, 0.25, 0.5, 0.75, 1.0.
+    for i in 0..=4 {
+        let e = i as f64 * 0.25;
+        let y = y0 + (1.0 - e / 1.3) * h;
+        s.push_str(&format!(
+            "<line x1=\"{x0}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\" class=\"g\"/>\
+             <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\" class=\"a\">{e:.2}</text>\n",
+            x0 + w,
+            x0 - 6.0,
+            y + 4.0
+        ));
+    }
+    // Ideal-efficiency line.
+    let y1 = y0 + (1.0 - 1.0 / 1.3) * h;
+    s.push_str(&format!(
+        "<line x1=\"{x0}\" y1=\"{y1:.1}\" x2=\"{:.1}\" y2=\"{y1:.1}\" class=\"ideal\"/>\n",
+        x0 + w
+    ));
+    // X labels.
+    for &p in ranks {
+        let x = x0 + fx(p) * w;
+        s.push_str(&format!(
+            "<text x=\"{x:.1}\" y=\"{:.1}\" text-anchor=\"middle\" class=\"a\">{p}</text>\n",
+            y0 + h + 16.0
+        ));
+    }
+    s.push_str(&format!(
+        "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" class=\"a\">ranks</text>\n",
+        x0 + w / 2.0,
+        y0 + h + 32.0
+    ));
+    for (name, color, eff) in curves {
+        let pts: Vec<(f64, f64)> = ranks.iter().zip(eff.iter()).map(|(&p, &e)| (fx(p), e)).collect();
+        s.push_str(&format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>\n",
+            polyline(&pts, x0, y0, w, h)
+        ));
+        for (i, &(px, py)) in pts.iter().enumerate() {
+            s.push_str(&format!(
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\"><title>{name} p={} \
+                 e={:.3}</title></circle>\n",
+                x0 + px * w,
+                y0 + (1.0 - py.clamp(0.0, 1.3) / 1.3) * h,
+                ranks[i],
+                eff[i]
+            ));
+        }
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+fn point_table(title: &str, pts: &[SweepPoint]) -> String {
+    let mut s = format!(
+        "<h2>{title}</h2>\n<table>\n<tr><th>ranks</th><th>N/rank</th><th>wall s</th>\
+         <th>critical work s</th><th>critical wait s</th><th>worst rank</th>\
+         <th>flop residual</th><th>rebalance residual</th><th>hidden comm</th></tr>\n"
+    );
+    for pt in pts {
+        s.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{:.4}</td><td>{:.4}</td><td>{:.4}</td><td>{}</td>\
+             <td>{:.3}</td><td>{:.3}</td><td>{:.3}</td></tr>\n",
+            pt.p,
+            pt.n_per_rank,
+            pt.wall,
+            pt.work_seconds,
+            pt.wait_seconds,
+            pt.worst_rank,
+            pt.flop_residual,
+            pt.rebalance_residual,
+            pt.hidden_comm
+        ));
+    }
+    s.push_str("</table>\n");
+    // Per-phase imbalance for the largest rung (where stragglers bite).
+    if let Some(last) = pts.last() {
+        s.push_str(&format!(
+            "<h3>per-phase imbalance at {} ranks (max/mean over ranks)</h3>\n<table>\n\
+             <tr><th>phase</th><th>max/mean</th><th>critical-path s</th></tr>\n",
+            last.p
+        ));
+        for (phase, imb) in &last.phase_max_over_mean {
+            s.push_str(&format!(
+                "<tr><td>{phase}</td><td>{imb:.3}</td><td>{:.5}</td></tr>\n",
+                last.critical_phases.get(phase).copied().unwrap_or(0.0)
+            ));
+        }
+        s.push_str("</table>\n");
+    }
+    s
+}
+
+/// Render the self-contained HTML dashboard (no external assets, no JS).
+pub fn render_html(r: &SweepReport) -> String {
+    let mut s = String::from(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>bonsai scaling report</title>\n<style>\n\
+         body{font:14px/1.5 system-ui,sans-serif;margin:2rem auto;max-width:960px;color:#1a1a2e}\n\
+         h1{font-size:1.4rem} h2{font-size:1.1rem;margin-top:2rem} h3{font-size:1rem}\n\
+         table{border-collapse:collapse;margin:0.5rem 0}\n\
+         td,th{border:1px solid #cbd5e1;padding:4px 10px;text-align:right}\n\
+         th{background:#eef2f7} .t{font:600 13px system-ui;fill:#1a1a2e}\n\
+         .a{font:11px system-ui;fill:#556} .g{stroke:#e2e8f0}\n\
+         .ideal{stroke:#94a3b8;stroke-dasharray:4 3}\n\
+         .charts{display:flex;gap:1rem;flex-wrap:wrap}\n\
+         .legend span{display:inline-block;margin-right:1.2rem}\n\
+         .swatch{display:inline-block;width:12px;height:12px;border-radius:2px;\
+         vertical-align:-1px;margin-right:4px}\n</style>\n</head>\n<body>\n\
+         <h1>Scaling sweep — parallel efficiency &amp; cross-rank imbalance</h1>\n",
+    );
+    s.push_str(&format!(
+        "<p>seed {}, ranks {:?}, weak {} particles/rank, strong {} total. Efficiency is \
+         measured from step wall-times reduced out of the span store (Fig. 4 methodology); \
+         the dashed line is ideal.</p>\n",
+        r.config.seed, r.config.ranks, r.config.weak_n_per_rank, r.config.strong_total
+    ));
+    s.push_str("<div class=\"charts\">\n");
+    s.push_str(&efficiency_chart(
+        "Weak scaling efficiency T(p0)/T(p)",
+        &r.config.ranks,
+        &[("weak", "#2563eb", &r.weak_eff)],
+    ));
+    s.push_str(&efficiency_chart(
+        "Strong scaling efficiency p0·T(p0)/(p·T(p))",
+        &r.config.ranks,
+        &[("strong", "#dc2626", &r.strong_eff)],
+    ));
+    s.push_str("</div>\n<p class=\"legend\"><span><span class=\"swatch\" style=\"background:#2563eb\"></span>weak</span><span><span class=\"swatch\" style=\"background:#dc2626\"></span>strong</span></p>\n");
+    s.push_str(&point_table("Weak sweep (fixed particles per rank)", &r.weak));
+    s.push_str(&point_table("Strong sweep (fixed total particles)", &r.strong));
+    s.push_str(
+        "<p>Critical-path coverage (node durations over measured wall time) is 1.000 by \
+         construction on every rung; see <code>BENCH_scaling.json</code> for the full \
+         per-phase decomposition and tolerance-gated fields.</p>\n</body>\n</html>\n",
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> SweepConfig {
+        SweepConfig {
+            seed: 11,
+            ranks: vec![1, 2],
+            weak_n_per_rank: 600,
+            strong_total: 1200,
+            slowdown: 1.0,
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_covers_wall() {
+        let a = run_sweep(&tiny_cfg());
+        let b = run_sweep(&tiny_cfg());
+        assert_eq!(scaling_json(&a), scaling_json(&b), "sweep must be byte-deterministic");
+        for pt in a.weak.iter().chain(&a.strong) {
+            assert!(
+                (pt.coverage - 1.0).abs() < 0.01,
+                "critical path must cover wall time within 1%, got {}",
+                pt.coverage
+            );
+            assert!(pt.wall > 0.0 && pt.work_seconds > 0.0);
+        }
+        assert_eq!(a.weak_eff.len(), 2);
+        assert!((a.weak_eff[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_parses_and_round_trips_fields() {
+        let r = run_sweep(&tiny_cfg());
+        let j = scaling_json(&r);
+        let v = bonsai_obs::json::parse(&j).expect("valid JSON");
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("bonsai-scaling-v1"));
+        let weak = v.get("weak").unwrap();
+        assert_eq!(weak.get("points").unwrap().as_arr().unwrap().len(), 2);
+        let e = weak.get("efficiency").unwrap().as_arr().unwrap();
+        assert_eq!(e[0].as_f64(), Some(r.weak_eff[0]));
+    }
+
+    #[test]
+    fn check_passes_against_itself_and_fails_on_slowdown() {
+        let r = run_sweep(&tiny_cfg());
+        let j = scaling_json(&r);
+        assert!(check_scaling(&j, &j).unwrap().is_empty());
+
+        let mut slow_cfg = tiny_cfg();
+        slow_cfg.slowdown = 1.5;
+        let slow = scaling_json(&run_sweep(&slow_cfg));
+        let viol = check_scaling(&j, &slow).unwrap();
+        assert!(!viol.is_empty(), "50% slowdown must trip the gate");
+        assert!(
+            viol.iter().any(|v| v.contains("wall_seconds") || v.contains("efficiency")),
+            "violations should name the regressed metrics: {viol:?}"
+        );
+    }
+
+    #[test]
+    fn check_flags_structure_drift() {
+        let r = run_sweep(&tiny_cfg());
+        let j = scaling_json(&r);
+        let pruned = j.replace("\"hidden_comm_fraction\": ", "\"renamed_fraction\": ");
+        let viol = check_scaling(&j, &pruned).unwrap();
+        assert!(viol.iter().any(|v| v.contains("missing from current")));
+        assert!(check_scaling("not json", &j).is_err());
+    }
+
+    #[test]
+    fn html_is_self_contained() {
+        let r = run_sweep(&tiny_cfg());
+        let html = render_html(&r);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<svg"));
+        assert!(html.contains("polyline"));
+        // Zero external references: no scripts, no links, no imports.
+        assert!(!html.contains("<script"));
+        assert!(!html.contains("http://") && !html.contains("https://"));
+        assert_eq!(render_html(&r), html, "render must be deterministic");
+    }
+}

@@ -1,0 +1,76 @@
+//! End-to-end gate tests for the `obs_scaling` binary: artefact
+//! byte-determinism, self-check against a fresh baseline, and the
+//! demonstrated failure mode (synthetic slowdown ⇒ nonzero exit).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "bonsai-obs-scaling-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn run(dir: &Path, extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_obs_scaling"))
+        .current_dir(dir)
+        .args(["--n-per-rank", "500", "--strong-total", "4000"])
+        .args(extra)
+        .output()
+        .expect("spawn obs_scaling")
+}
+
+#[test]
+fn artefacts_are_byte_identical_across_runs() {
+    let dir = workdir("determinism");
+    assert!(run(&dir, &[]).status.success());
+    let json1 = std::fs::read(dir.join("BENCH_scaling.json")).unwrap();
+    let html1 = std::fs::read(dir.join("out/scaling_report.html")).unwrap();
+    assert!(run(&dir, &[]).status.success());
+    let json2 = std::fs::read(dir.join("BENCH_scaling.json")).unwrap();
+    let html2 = std::fs::read(dir.join("out/scaling_report.html")).unwrap();
+    assert_eq!(json1, json2, "BENCH_scaling.json must be byte-identical");
+    assert_eq!(html1, html2, "scaling_report.html must be byte-identical");
+    assert!(!html1.is_empty() && html1.starts_with(b"<!DOCTYPE html>"));
+}
+
+#[test]
+fn check_passes_on_fresh_baseline_and_fails_under_slowdown() {
+    let dir = workdir("gate");
+    assert!(run(&dir, &[]).status.success());
+    // Promote the fresh run to a baseline, then self-check: must pass.
+    std::fs::create_dir_all(dir.join("baselines")).unwrap();
+    std::fs::copy(
+        dir.join("BENCH_scaling.json"),
+        dir.join("baselines/scaling.json"),
+    )
+    .unwrap();
+    let ok = run(&dir, &["--check"]);
+    assert!(
+        ok.status.success(),
+        "self-check must pass: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+
+    // Inject a 50% synthetic slowdown: the gate must exit nonzero and name
+    // the regressed metrics.
+    let bad = run(&dir, &["--check", "--slowdown", "1.5"]);
+    assert!(!bad.status.success(), "slowdown must trip the gate");
+    assert_eq!(bad.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(
+        stderr.contains("wall_seconds") || stderr.contains("efficiency"),
+        "gate must report which metric regressed: {stderr}"
+    );
+}
+
+#[test]
+fn check_with_missing_baseline_exits_2() {
+    let dir = workdir("missing");
+    let out = run(&dir, &["--check", "no/such/baseline.json"]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -76,6 +76,39 @@ pub fn enforce_particle_cap(ranges: &[KeyRange], sorted_keys: &[u64], cap: f64) 
     ranges_from_cuts(&cuts)
 }
 
+/// Total weight captured by each range of a *sorted* `(key, weight)`
+/// sequence, normalized so the shares sum to 1. All-zero (or empty) input
+/// yields perfectly even shares — the balancer has nothing to act on.
+pub fn weight_shares(sorted: &[(u64, f64)], ranges: &[KeyRange]) -> Vec<f64> {
+    let p = ranges.len().max(1);
+    let total: f64 = sorted.iter().map(|&(_, w)| w).sum();
+    if sorted.is_empty() || total <= 0.0 {
+        return vec![1.0 / p as f64; ranges.len()];
+    }
+    ranges
+        .iter()
+        .map(|r| {
+            let lo = sorted.partition_point(|&(k, _)| k < r.start);
+            let hi = sorted.partition_point(|&(k, _)| k < r.end);
+            sorted[lo..hi].iter().map(|&(_, w)| w).sum::<f64>() / total
+        })
+        .collect()
+}
+
+/// Imbalance of a share vector: max share over mean share (1.0 = perfectly
+/// balanced). This is the flop-balance residual the paper's balancer drives
+/// toward 1; [`weighted_cuts`] should keep it near 1 up to key granularity.
+pub fn share_imbalance(shares: &[f64]) -> f64 {
+    if shares.is_empty() {
+        return 1.0;
+    }
+    let mean = shares.iter().sum::<f64>() / shares.len() as f64;
+    if mean <= 0.0 {
+        return 1.0;
+    }
+    shares.iter().cloned().fold(0.0f64, f64::max) / mean
+}
+
 /// Population of each range given the full sorted key multiset.
 pub fn populations(ranges: &[KeyRange], sorted_keys: &[u64]) -> Vec<usize> {
     ranges
@@ -145,6 +178,32 @@ mod tests {
         let ranges = ranges_from_cuts(&cuts);
         let fixed = enforce_particle_cap(&ranges, &keys, PAPER_CAP);
         assert_eq!(populations(&fixed, &keys), populations(&ranges, &keys));
+    }
+
+    #[test]
+    fn weight_shares_normalize_and_balance() {
+        let sorted: Vec<(u64, f64)> = (0..1000u64)
+            .map(|k| (k, if k < 500 { 1.0 } else { 3.0 }))
+            .collect();
+        let ranges = weighted_cuts(&sorted, 4);
+        let shares = weight_shares(&sorted, &ranges);
+        assert_eq!(shares.len(), 4);
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "shares sum {sum}");
+        // Cuts follow the weight profile, so the residual stays near 1.
+        let res = share_imbalance(&shares);
+        assert!(res >= 1.0 && res < 1.05, "residual {res}");
+    }
+
+    #[test]
+    fn share_imbalance_flags_skew() {
+        assert!((share_imbalance(&[0.25, 0.25, 0.25, 0.25]) - 1.0).abs() < 1e-12);
+        assert!((share_imbalance(&[0.7, 0.1, 0.1, 0.1]) - 2.8).abs() < 1e-12);
+        assert_eq!(share_imbalance(&[]), 1.0);
+        // Even shares for degenerate (all-zero) weights.
+        let ranges = KeyRange::everything().split_even(3);
+        let shares = weight_shares(&[(1, 0.0), (2, 0.0)], &ranges);
+        assert!((share_imbalance(&shares) - 1.0).abs() < 1e-12);
     }
 
     #[test]

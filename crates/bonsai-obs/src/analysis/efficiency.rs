@@ -1,0 +1,106 @@
+//! Parallel efficiency from a series of measured step wall-times (Fig. 4).
+//!
+//! Weak scaling holds the per-rank problem size fixed: ideal is constant
+//! wall time, so `e(p) = T(p₀)/T(p)`. Strong scaling holds the *total*
+//! problem fixed: ideal is inverse-linear wall time, so
+//! `e(p) = p₀·T(p₀) / (p·T(p))`. Both are normalized to the smallest rank
+//! count in the series rather than literally p = 1, matching how the paper
+//! plots Fig. 4 from its smallest measured configuration.
+
+/// One sweep configuration and its measured step wall-time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScalingPoint {
+    /// Rank (GPU) count.
+    pub p: u32,
+    /// Particles per rank.
+    pub n_per_rank: u64,
+    /// Measured step wall-time, seconds.
+    pub wall: f64,
+}
+
+/// Weak-scaling efficiency per point, normalized to the smallest-`p` point.
+/// Empty input gives an empty result; zero wall times give 0.
+pub fn weak_efficiency(points: &[ScalingPoint]) -> Vec<f64> {
+    let Some(base) = points.iter().min_by_key(|pt| pt.p) else {
+        return Vec::new();
+    };
+    points
+        .iter()
+        .map(|pt| {
+            if pt.wall > 0.0 {
+                base.wall / pt.wall
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Strong-scaling efficiency per point, normalized to the smallest-`p`
+/// point: `p₀·T(p₀) / (p·T(p))`.
+pub fn strong_efficiency(points: &[ScalingPoint]) -> Vec<f64> {
+    let Some(base) = points.iter().min_by_key(|pt| pt.p) else {
+        return Vec::new();
+    };
+    let ideal = base.p as f64 * base.wall;
+    points
+        .iter()
+        .map(|pt| {
+            let denom = pt.p as f64 * pt.wall;
+            if denom > 0.0 {
+                ideal / denom
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_efficiency_is_ratio_of_wall_times() {
+        let pts = [
+            ScalingPoint { p: 2, n_per_rank: 1000, wall: 1.0 },
+            ScalingPoint { p: 8, n_per_rank: 1000, wall: 1.25 },
+        ];
+        let e = weak_efficiency(&pts);
+        assert!((e[0] - 1.0).abs() < 1e-12);
+        assert!((e[1] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strong_efficiency_accounts_for_rank_count() {
+        // Perfect strong scaling: wall halves when p doubles.
+        let pts = [
+            ScalingPoint { p: 2, n_per_rank: 4000, wall: 2.0 },
+            ScalingPoint { p: 4, n_per_rank: 2000, wall: 1.0 },
+            ScalingPoint { p: 8, n_per_rank: 1000, wall: 0.75 },
+        ];
+        let e = strong_efficiency(&pts);
+        assert!((e[0] - 1.0).abs() < 1e-12);
+        assert!((e[1] - 1.0).abs() < 1e-12);
+        assert!((e[2] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn base_is_smallest_p_regardless_of_order() {
+        let pts = [
+            ScalingPoint { p: 8, n_per_rank: 1000, wall: 2.0 },
+            ScalingPoint { p: 2, n_per_rank: 1000, wall: 1.0 },
+        ];
+        let e = weak_efficiency(&pts);
+        assert!((e[0] - 0.5).abs() < 1e-12);
+        assert!((e[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(weak_efficiency(&[]).is_empty());
+        assert!(strong_efficiency(&[]).is_empty());
+        let z = [ScalingPoint { p: 1, n_per_rank: 1, wall: 0.0 }];
+        assert_eq!(weak_efficiency(&z), vec![0.0]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Imbalance and straggler metrics across ranks.
+//!
+//! §III-B1 balances *flops*, not particles: a step is only as fast as its
+//! slowest rank, so the interesting statistics are max-over-ranks relative
+//! to the mean (how much wall time imbalance costs) and to the median (how
+//! pathological the single straggler is), with the worst rank named so the
+//! regression report can say *who* was slow, not just that someone was.
+
+use std::collections::BTreeMap;
+
+use crate::span::{ArgValue, TraceStore};
+
+/// Per-phase cross-rank statistics for one step.
+#[derive(Clone, Debug)]
+pub struct PhaseStats {
+    /// Phase name.
+    pub phase: String,
+    /// Per-rank total seconds, max across ranks.
+    pub max: f64,
+    /// Mean across ranks (ranks without the phase count as 0).
+    pub mean: f64,
+    /// Median across ranks.
+    pub median: f64,
+    /// Rank holding the maximum (lowest such rank on ties).
+    pub worst_rank: u32,
+}
+
+impl PhaseStats {
+    /// Imbalance as max/mean (1.0 = perfectly balanced).
+    pub fn max_over_mean(&self) -> f64 {
+        if self.mean > 0.0 {
+            self.max / self.mean
+        } else {
+            1.0
+        }
+    }
+
+    /// Straggler factor as max/median.
+    pub fn max_over_median(&self) -> f64 {
+        if self.median > 0.0 {
+            self.max / self.median
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Flop-balance residual recomputed from gravity-span `flops` annotations.
+#[derive(Clone, Debug)]
+pub struct FlopBalance {
+    /// Per-rank walk flops (ascending rank order).
+    pub per_rank: Vec<u64>,
+    /// max/mean residual (1.0 = the balancer's target).
+    pub residual: f64,
+    /// Rank holding the maximum.
+    pub worst_rank: u32,
+}
+
+/// Measured wall time of `step`: max span end − min span start (`None`
+/// when the store holds no spans for it).
+pub fn step_wall_time(store: &TraceStore, step: u64) -> Option<f64> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for s in store.spans().iter().filter(|s| s.step == step) {
+        lo = lo.min(s.start);
+        hi = hi.max(s.end);
+    }
+    (hi > lo).then_some(hi - lo)
+}
+
+/// Per-phase cross-rank statistics for `step`, one entry per phase name in
+/// deterministic (lexicographic) order. A rank's time in a phase is the sum
+/// of its spans with that name; ranks missing the phase contribute 0.
+pub fn phase_stats(store: &TraceStore, step: u64) -> Vec<PhaseStats> {
+    let ranks = store.ranks();
+    if ranks.is_empty() {
+        return Vec::new();
+    }
+    let idx: BTreeMap<u32, usize> = ranks.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+    let mut per_phase: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for s in store.spans().iter().filter(|s| s.step == step) {
+        per_phase
+            .entry(s.name.clone())
+            .or_insert_with(|| vec![0.0; ranks.len()])[idx[&s.rank]] += s.end - s.start;
+    }
+    per_phase
+        .into_iter()
+        .map(|(phase, durs)| {
+            let mut worst = 0usize;
+            for (i, &d) in durs.iter().enumerate() {
+                if d > durs[worst] {
+                    worst = i;
+                }
+            }
+            let mean = durs.iter().sum::<f64>() / durs.len() as f64;
+            let mut sorted = durs.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = if sorted.len() % 2 == 1 {
+                sorted[sorted.len() / 2]
+            } else {
+                0.5 * (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2])
+            };
+            PhaseStats {
+                phase,
+                max: durs[worst],
+                mean,
+                median,
+                worst_rank: ranks[worst],
+            }
+        })
+        .collect()
+}
+
+/// Recompute the flop balance of `step` from the `flops` annotations the
+/// device model attaches to gravity spans. Returns `None` when no span of
+/// the step carries a `flops` argument.
+pub fn flop_balance(store: &TraceStore, step: u64) -> Option<FlopBalance> {
+    let ranks = store.ranks();
+    let idx: BTreeMap<u32, usize> = ranks.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+    let mut per_rank = vec![0u64; ranks.len()];
+    let mut any = false;
+    for s in store.spans().iter().filter(|s| s.step == step) {
+        for (k, v) in &s.args {
+            if *k == "flops" {
+                if let ArgValue::U64(f) = v {
+                    per_rank[idx[&s.rank]] += f;
+                    any = true;
+                }
+            }
+        }
+    }
+    if !any {
+        return None;
+    }
+    let mut worst = 0usize;
+    for (i, &f) in per_rank.iter().enumerate() {
+        if f > per_rank[worst] {
+            worst = i;
+        }
+    }
+    let mean = per_rank.iter().sum::<u64>() as f64 / per_rank.len() as f64;
+    let residual = if mean > 0.0 {
+        per_rank[worst] as f64 / mean
+    } else {
+        1.0
+    };
+    Some(FlopBalance {
+        residual,
+        worst_rank: ranks[worst],
+        per_rank,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Lane, TraceStore};
+
+    fn skewed_store() -> TraceStore {
+        let mut t = TraceStore::new();
+        // Four ranks; rank 2 is a 2× straggler in "local".
+        for r in 0..4u32 {
+            let d = if r == 2 { 2.0 } else { 1.0 };
+            let id = t.span(r, 1, Lane::Gpu, "local", 0.0, d);
+            t.arg_u64(id, "flops", if r == 2 { 200 } else { 100 });
+            t.span(r, 1, Lane::Gpu, "sort", d, d + 0.5);
+        }
+        t
+    }
+
+    #[test]
+    fn phase_stats_name_the_straggler() {
+        let stats = phase_stats(&skewed_store(), 1);
+        assert_eq!(stats.len(), 2); // lexicographic: local, sort
+        let local = &stats[0];
+        assert_eq!(local.phase, "local");
+        assert_eq!(local.worst_rank, 2);
+        assert!((local.max - 2.0).abs() < 1e-12);
+        assert!((local.mean - 1.25).abs() < 1e-12);
+        assert!((local.median - 1.0).abs() < 1e-12);
+        assert!((local.max_over_mean() - 1.6).abs() < 1e-12);
+        assert!((local.max_over_median() - 2.0).abs() < 1e-12);
+        // Sort is balanced.
+        assert!((stats[1].max_over_mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flop_balance_reads_span_annotations() {
+        let fb = flop_balance(&skewed_store(), 1).unwrap();
+        assert_eq!(fb.per_rank, vec![100, 100, 200, 100]);
+        assert_eq!(fb.worst_rank, 2);
+        assert!((fb.residual - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flop_balance_none_without_annotations() {
+        let mut t = TraceStore::new();
+        t.span(0, 1, Lane::Gpu, "sort", 0.0, 1.0);
+        assert!(flop_balance(&t, 1).is_none());
+    }
+
+    #[test]
+    fn wall_time_spans_min_to_max() {
+        let t = skewed_store();
+        assert!((step_wall_time(&t, 1).unwrap() - 2.5).abs() < 1e-12);
+        assert!(step_wall_time(&t, 9).is_none());
+    }
+
+    #[test]
+    fn empty_store_yields_no_stats() {
+        assert!(phase_stats(&TraceStore::new(), 1).is_empty());
+    }
+}

@@ -43,6 +43,7 @@
 
 #![deny(missing_docs)]
 
+pub mod analysis;
 pub mod chrome;
 pub mod folded;
 pub mod json;
@@ -50,5 +51,9 @@ pub mod metrics;
 pub mod prom;
 pub mod span;
 
+pub use analysis::{
+    critical_path, flop_balance, phase_stats, step_wall_time, strong_efficiency, weak_efficiency,
+    CriticalPath, FlopBalance, PathNode, PhaseStats, ScalingPoint,
+};
 pub use metrics::{LogHistogram, MetricsRegistry};
 pub use span::{interval_union, overlap_with_union, ArgValue, Instant, Lane, Span, SpanId, TraceStore};

@@ -321,6 +321,34 @@ mod tests {
     }
 
     #[test]
+    fn percentile_is_monotonic_in_q() {
+        // Log-spaced samples across many buckets plus heavy duplication:
+        // percentile(q) must never decrease as q grows, q outside [0,1]
+        // must clamp, and the extremes must bracket the observed range.
+        let mut h = LogHistogram::new();
+        for i in 0..200 {
+            h.observe((1.07f64).powi(i)); // ~1 .. ~7e5 across buckets
+        }
+        for _ in 0..50 {
+            h.observe(64.0); // a spike inside one bucket
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            let v = h.percentile(q).unwrap();
+            assert!(
+                v >= prev - 1e-12,
+                "percentile must be monotonic: p({q}) = {v} < {prev}"
+            );
+            assert!(v >= h.min().unwrap() && v <= h.max().unwrap());
+            prev = v;
+        }
+        // Out-of-range q clamps to the extremes rather than panicking.
+        assert_eq!(h.percentile(-0.5), h.percentile(0.0));
+        assert_eq!(h.percentile(7.0), h.percentile(1.0));
+    }
+
+    #[test]
     fn cumulative_buckets_are_monotonic() {
         let mut h = LogHistogram::new();
         for x in [0.5, 1.5, 3.0, 3.5, 100.0] {

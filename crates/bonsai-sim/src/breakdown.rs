@@ -7,7 +7,13 @@ use serde::Serialize;
 /// The Table II phase names, in presentation order. Each maps 1:1 onto a
 /// field of [`StepBreakdown`]; the observability layer uses them as the
 /// `phase` label of the per-step seconds gauge family.
-pub const PHASES: [&str; 9] = [
+///
+/// The paper's single "Unbalance + Other" row is kept only for
+/// presentation ([`StepBreakdown::other`]); internally it is attributed to
+/// four real sub-phases — leapfrog integration, load-balance bookkeeping,
+/// host orchestration and the cross-rank straggler gap — so the
+/// critical-path analyzer never sees an opaque bucket.
+pub const PHASES: [&str; 12] = [
     "sort",
     "domain_update",
     "tree_construction",
@@ -16,8 +22,22 @@ pub const PHASES: [&str; 9] = [
     "gravity_lets",
     "non_hidden_comm",
     "recovery",
-    "other",
+    "integration",
+    "load_balance",
+    "orchestration",
+    "unbalance",
 ];
+
+/// Leapfrog kick–drift throughput of the device (particles/s): a handful of
+/// fused multiply-adds per particle, fully bandwidth-bound on a K20X.
+pub const INTEGRATE_RATE: f64 = 1.0e9;
+
+/// Host-side kernel-launch / driver latency charged per launch (seconds).
+pub const LAUNCH_LATENCY: f64 = 5.0e-6;
+
+/// Kernel launches issued by the step driver outside the phases that are
+/// already priced (sort passes, build levels, gravity blocks bookkeeping).
+pub const STEP_LAUNCHES: f64 = 32.0;
 
 /// One Table II column: per-phase simulated seconds plus the derived
 /// performance numbers.
@@ -43,8 +63,14 @@ pub struct StepBreakdown {
     pub non_hidden_comm: f64,
     /// "Recovery" row: retransmissions and fault handling (0 in clean runs).
     pub recovery: f64,
-    /// "Unbalance + Other" row.
-    pub other: f64,
+    /// Leapfrog kick–drift integration (device, bandwidth-bound).
+    pub integration: f64,
+    /// Load-balance bookkeeping: key sampling and flop-weight updates (host).
+    pub load_balance: f64,
+    /// Host orchestration: kernel launches, queue management, driver sync.
+    pub orchestration: f64,
+    /// Cross-rank straggler gap in total gravity (max − mean rank time).
+    pub unbalance: f64,
     /// Mean particle-particle interactions per particle.
     pub pp_per_particle: f64,
     /// Mean particle-cell interactions per particle.
@@ -64,7 +90,10 @@ impl StepBreakdown {
             ("gravity_lets", self.gravity_lets),
             ("non_hidden_comm", self.non_hidden_comm),
             ("recovery", self.recovery),
-            ("other", self.other),
+            ("integration", self.integration),
+            ("load_balance", self.load_balance),
+            ("orchestration", self.orchestration),
+            ("unbalance", self.unbalance),
         ])
     }
 
@@ -88,10 +117,19 @@ impl StepBreakdown {
             gravity_lets: pt.get("gravity_lets"),
             non_hidden_comm: pt.get("non_hidden_comm"),
             recovery: pt.get("recovery"),
-            other: pt.get("other"),
+            integration: pt.get("integration"),
+            load_balance: pt.get("load_balance"),
+            orchestration: pt.get("orchestration"),
+            unbalance: pt.get("unbalance"),
             pp_per_particle,
             pc_per_particle,
         }
+    }
+
+    /// The paper's "Unbalance + Other" presentation row: the four
+    /// attributed sub-phases summed back into one bucket.
+    pub fn other(&self) -> f64 {
+        self.integration + self.load_balance + self.orchestration + self.unbalance
     }
 
     /// Total wall-clock of the step (sum of the rows, as in Table II).
@@ -104,7 +142,7 @@ impl StepBreakdown {
             + self.gravity_lets
             + self.non_hidden_comm
             + self.recovery
-            + self.other
+            + self.other()
     }
 
     /// Counted flops per particle at the §VI-A rates.
@@ -160,7 +198,11 @@ impl StepBreakdown {
         if self.recovery > 0.0 {
             s.push_str(&format!("{:<28} {:>8.3} s\n", "Recovery", self.recovery));
         }
-        s.push_str(&format!("{:<28} {:>8.3} s\n", "Unbalance + Other", self.other));
+        s.push_str(&format!("{:<28} {:>8.3} s\n", "Unbalance + Other", self.other()));
+        s.push_str(&format!("{:<28} {:>8.3} s\n", "  · integration", self.integration));
+        s.push_str(&format!("{:<28} {:>8.3} s\n", "  · load balance", self.load_balance));
+        s.push_str(&format!("{:<28} {:>8.3} s\n", "  · orchestration", self.orchestration));
+        s.push_str(&format!("{:<28} {:>8.3} s\n", "  · unbalance", self.unbalance));
         s.push_str(&format!("{:<28} {:>8.3} s\n", "Total", self.total()));
         s.push_str(&format!("{:<28} {:>8.0}\n", "Particle-Particle /particle", self.pp_per_particle));
         s.push_str(&format!("{:<28} {:>8.0}\n", "Particle-Cell /particle", self.pc_per_particle));
@@ -186,7 +228,10 @@ mod tests {
             gravity_lets: 2.0,
             non_hidden_comm: 0.1,
             recovery: 0.0,
-            other: 0.3,
+            integration: 0.04,
+            load_balance: 0.03,
+            orchestration: 0.13,
+            unbalance: 0.1,
             pp_per_particle: 1716.0,
             pc_per_particle: 6765.0,
         }
@@ -247,7 +292,10 @@ mod tests {
                     "gravity_lets" => r.gravity_lets,
                     "non_hidden_comm" => r.non_hidden_comm,
                     "recovery" => r.recovery,
-                    "other" => r.other,
+                    "integration" => r.integration,
+                    "load_balance" => r.load_balance,
+                    "orchestration" => r.orchestration,
+                    "unbalance" => r.unbalance,
                     _ => unreachable!(),
                 }
             });
@@ -264,6 +312,16 @@ mod tests {
         assert_eq!(r.gravity_local, b.gravity_local);
         assert_eq!(r.gpus, b.gpus);
         assert!((pt.total() - b.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn other_is_the_sum_of_its_attributed_sub_phases() {
+        let b = sample();
+        assert!((b.other() - 0.3).abs() < 1e-12);
+        assert!((b.total() - (b.sort + b.domain_update + b.tree_construction
+            + b.tree_properties + b.gravity_local + b.gravity_lets
+            + b.non_hidden_comm + b.recovery + b.integration + b.load_balance
+            + b.orchestration + b.unbalance)).abs() < 1e-12);
     }
 
     #[test]

@@ -140,6 +140,9 @@ pub struct StepMeasurements {
     pub forced_cuts: u64,
     /// Max/mean particle imbalance after the exchange.
     pub imbalance: f64,
+    /// Keys each rank contributed to the two-level sample sort (the
+    /// load-balance bookkeeping volume; 0 on single-rank runs).
+    pub sampled_keys: Vec<usize>,
     /// Bytes retransmitted to recover lost or invalid frames.
     pub retransmit_bytes: usize,
     /// Dedicated LETs that never arrived and degraded to a boundary walk.
@@ -523,6 +526,7 @@ impl Cluster {
             exchange_bytes: vec![0; p],
             counts_local: vec![InteractionCounts::zero(); p],
             counts_lets: vec![InteractionCounts::zero(); p],
+            sampled_keys: vec![0; p],
             ..StepMeasurements::default()
         };
 
@@ -600,6 +604,9 @@ impl Cluster {
                     bonsai_domain::sampling::systematic_sample(ks, s)
                 })
                 .collect();
+            for (r, ks) in weighted.iter().enumerate() {
+                meas.sampled_keys[r] = ks.len();
+            }
             let (px, py) = factor_ranks(p);
             let (mut domains, _stats) = parallel_cuts(&weighted, px, py, cfg.sample_s1, cfg.sample_s2);
             // Enforce the 30% particle cap against the global key multiset.
@@ -869,9 +876,12 @@ impl Cluster {
     }
 
     /// Record a completed gravity epoch into the unified observability
-    /// layer: per-rank spans for every Table II phase on the GPU lane, the
-    /// LET exchange window and retransmission recovery on the COMM lane,
-    /// fault instants, walk/link metrics, and the per-step gauge family
+    /// layer: per-rank spans for every Table II phase on the GPU lane
+    /// (including the attributed integration sub-phase), load-balance and
+    /// orchestration bookkeeping on the CPU lane, the LET exchange window
+    /// and retransmission recovery on the COMM lane, explicit cross-rank
+    /// `wait` spans for the barrier at the end of the epoch, fault
+    /// instants, walk/link metrics, and the per-step gauge family
     /// [`Cluster::breakdown_from_metrics`] reduces over. The clock base
     /// then advances by the epoch's makespan so consecutive epochs render
     /// side by side in Perfetto.
@@ -883,8 +893,11 @@ impl Cluster {
         // Host-CPU key-classification rate of the *configured* machine
         // (Titan's slower Opteron stretches this phase, §VI-B).
         let classify_rate = 130.0e6 * self.cfg.machine.cpu_let_rate;
+        let orchestration = crate::breakdown::STEP_LAUNCHES * crate::breakdown::LAUNCH_LATENCY;
         let mut local_starts = vec![0.0; p];
-        let mut makespan = 0.0f64;
+        // Per-rank busy end (all lanes): where each rank hits the epoch's
+        // closing barrier and starts waiting for the straggler.
+        let mut rank_end = vec![base; p];
         for r in 0..p {
             let n = self.ranks[r].len() as u64;
             let rank = r as u32;
@@ -908,6 +921,21 @@ impl Cluster {
                 gpu.annotate_gravity_span(&mut self.trace, id, counts);
                 t += dur;
             }
+            // The attributed tail of the former "other" bucket: leapfrog
+            // integration on the device, then load-balance bookkeeping and
+            // host orchestration on the CPU lane.
+            let d_int = n as f64 / crate::breakdown::INTEGRATE_RATE;
+            let id = self.trace.span(rank, step, Lane::Gpu, "integrate", t, t + d_int);
+            gpu.annotate_stream_span(&mut self.trace, id, n, crate::breakdown::INTEGRATE_RATE);
+            t += d_int;
+            let d_bal = meas.sampled_keys[r] as f64 / classify_rate;
+            let id = self.trace.span(rank, step, Lane::Cpu, "balance", t, t + d_bal);
+            self.trace.arg_u64(id, "sampled_keys", meas.sampled_keys[r] as u64);
+            t += d_bal;
+            let id = self.trace.span(rank, step, Lane::Cpu, "orchestrate", t, t + orchestration);
+            self.trace
+                .arg_f64(id, "launches", crate::breakdown::STEP_LAUNCHES);
+            t += orchestration;
             // COMM lane: the LET exchange runs concurrently with local
             // gravity (the overlap story of §III-B2).
             let nb = meas.let_neighbors[r] as u32;
@@ -927,7 +955,7 @@ impl Cluster {
             );
             self.trace.arg_u64(id, "bytes", meas.let_bytes_sent[r] as u64);
             self.trace.arg_u64(id, "neighbors", nb as u64);
-            makespan = makespan.max(t - base).max(local_start + comm_dur - base);
+            rank_end[r] = t.max(local_start + comm_dur);
 
             record_walk_counts(&mut self.registry, "local", meas.counts_local[r]);
             record_walk_counts(&mut self.registry, "lets", meas.counts_lets[r]);
@@ -939,6 +967,25 @@ impl Cluster {
                 self.net.observe_link(&mut self.registry, kind, r, bytes as u64);
             }
         }
+        // The epoch's closing barrier: every rank that finishes before the
+        // straggler records an explicit cross-rank wait span, so the
+        // critical-path analyzer sees slack instead of blank lanes.
+        let mut straggler = 0usize;
+        for (r, &e) in rank_end.iter().enumerate() {
+            if e > rank_end[straggler] {
+                straggler = r;
+            }
+        }
+        let barrier = rank_end[straggler];
+        for (r, &e) in rank_end.iter().enumerate() {
+            if barrier - e > 1e-15 {
+                let id = self
+                    .trace
+                    .span(r as u32, step, Lane::Cpu, "wait", e, barrier);
+                self.trace.arg_u64(id, "waiting_on", straggler as u64);
+            }
+        }
+        let mut makespan = barrier - base;
         // Recovery retransmissions happen after the normal windows close;
         // the traffic is aggregate, so the span lands on rank 0's COMM lane.
         if breakdown.recovery > 0.0 {
@@ -1034,8 +1081,11 @@ impl Cluster {
             0.0
         };
 
-        // Unbalance + other: straggler gap in total gravity plus a fixed
-        // housekeeping cost.
+        // The former "Unbalance + Other" bucket, attributed to its real
+        // sub-phases: leapfrog integration (device, bandwidth-bound),
+        // load-balance bookkeeping (host processing of the sampled keys),
+        // host orchestration (kernel-launch / driver latency), and the
+        // cross-rank straggler gap in total gravity.
         let totals: Vec<f64> = meas
             .counts_local
             .iter()
@@ -1044,7 +1094,11 @@ impl Cluster {
             .collect();
         let max_t = totals.iter().fold(0.0f64, |a, &b| a.max(b));
         let mean_t = totals.iter().sum::<f64>() / totals.len() as f64;
-        let other = 0.02 + (max_t - mean_t);
+        let integration = n_max as f64 / crate::breakdown::INTEGRATE_RATE;
+        let load_balance = meas.sampled_keys.iter().copied().max().unwrap_or(0) as f64
+            / (130.0e6 * self.cfg.machine.cpu_let_rate);
+        let orchestration = crate::breakdown::STEP_LAUNCHES * crate::breakdown::LAUNCH_LATENCY;
+        let unbalance = max_t - mean_t;
 
         let total_counts: InteractionCounts = meas
             .counts_local
@@ -1066,10 +1120,46 @@ impl Cluster {
             gravity_lets,
             non_hidden_comm,
             recovery,
-            other,
+            integration,
+            load_balance,
+            orchestration,
+            unbalance,
             pp_per_particle: pp_pp,
             pc_per_particle: pc_pp,
         }
+    }
+
+    /// The flop-balance residual the §III-B1 balancer could attain *right
+    /// now*: apply [`bonsai_domain::load::weighted_cuts`] to the global
+    /// (key, flop-weight) multiset built from the current particles and the
+    /// previous step's per-rank flop weights, and return the max/mean piece
+    /// weight of the resulting cuts. The cross-rank analysis layer compares
+    /// the *measured* per-rank flop shares against this attainable target —
+    /// a measured imbalance far above it means the balancer is lagging the
+    /// weight field, not that the field is unbalanceable.
+    pub fn rebalance_residual(&self) -> f64 {
+        let p = self.ranks.len();
+        if p <= 1 {
+            return 1.0;
+        }
+        let mut bounds = Aabb::empty();
+        for shard in &self.ranks {
+            if !shard.is_empty() {
+                bounds.merge(&shard.bounds());
+            }
+        }
+        let keymap = KeyMap::new(&bounds, self.cfg.tree.curve);
+        let mut pairs: Vec<(u64, f64)> = Vec::with_capacity(self.total_particles());
+        for (r, shard) in self.ranks.iter().enumerate() {
+            let w = self.weights[r];
+            for &q in &shard.pos {
+                pairs.push((keymap.key_of(q), w));
+            }
+        }
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let ranges = bonsai_domain::load::weighted_cuts(&pairs, p);
+        let shares = bonsai_domain::load::weight_shares(&pairs, &ranges);
+        bonsai_domain::load::share_imbalance(&shares)
     }
 }
 
@@ -1481,7 +1571,11 @@ mod tests {
         assert_eq!(r.gravity_lets, b.gravity_lets);
         assert_eq!(r.non_hidden_comm, b.non_hidden_comm);
         assert_eq!(r.recovery, b.recovery);
-        assert_eq!(r.other, b.other);
+        assert_eq!(r.integration, b.integration);
+        assert_eq!(r.load_balance, b.load_balance);
+        assert_eq!(r.orchestration, b.orchestration);
+        assert_eq!(r.unbalance, b.unbalance);
+        assert_eq!(r.other(), b.other());
         assert_eq!(r.pp_per_particle, b.pp_per_particle);
         assert_eq!(r.pc_per_particle, b.pc_per_particle);
         assert_eq!(r.total(), b.total());
@@ -1500,14 +1594,31 @@ mod tests {
                 .filter(|s| s.lane == bonsai_obs::Lane::Gpu)
                 .map(|s| s.name.as_str())
                 .collect();
-            assert_eq!(names, ["sort", "domain", "build", "props", "local", "lets"]);
+            assert_eq!(
+                names,
+                ["sort", "domain", "build", "props", "local", "lets", "integrate"]
+            );
             let comm: Vec<&str> = store
                 .spans_for(r, 2)
                 .filter(|s| s.lane == bonsai_obs::Lane::Comm)
                 .map(|s| s.name.as_str())
                 .collect();
             assert_eq!(comm, ["let-comm"]);
+            // The CPU lane carries the bookkeeping tail; every rank but the
+            // straggler also records a cross-rank barrier wait.
+            let cpu: Vec<&str> = store
+                .spans_for(r, 2)
+                .filter(|s| s.lane == bonsai_obs::Lane::Cpu)
+                .map(|s| s.name.as_str())
+                .collect();
+            assert!(cpu.starts_with(&["balance", "orchestrate"]), "cpu lane {cpu:?}");
         }
+        let waits = store
+            .spans()
+            .iter()
+            .filter(|s| s.step == 2 && s.name == "wait")
+            .count();
+        assert!(waits >= 1, "expected at least one barrier wait span");
         // Gravity spans carry the device model's annotations.
         let local = store
             .spans_for(0, 2)

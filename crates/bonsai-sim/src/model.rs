@@ -149,7 +149,21 @@ impl ScalingModel {
         // scaling).
         let p3 = (p as f64).powf(1.0 / 3.0);
         let non_hidden_comm = if p <= 1 { 0.0 } else { non_hidden_coeff(&self.machine) * p3 };
-        let other = 0.1 + if p <= 1 { 0.0 } else { other_coeff(&self.machine) * p3 };
+        // The former opaque "other" bucket, attributed: the calibrated total
+        // `0.1 + c₂_m·p^(1/3)` is preserved exactly (tests pin the 4.77 s
+        // step), but split into leapfrog integration, load-balance
+        // bookkeeping on the host, residual host orchestration, and the
+        // diameter-scaling straggler term.
+        let integration = n as f64 / crate::breakdown::INTEGRATE_RATE;
+        let load_balance = if p <= 1 {
+            0.0
+        } else {
+            // Two-level sample sort: ~64 sampled keys from each of p ranks,
+            // classified at the host key rate.
+            64.0 * p as f64 / (XEON_KEY_RATE * self.machine.cpu_let_rate)
+        };
+        let orchestration = (0.1 - integration - load_balance).max(0.0);
+        let unbalance = if p <= 1 { 0.0 } else { other_coeff(&self.machine) * p3 };
 
         StepBreakdown {
             gpus: p,
@@ -162,7 +176,10 @@ impl ScalingModel {
             gravity_lets,
             non_hidden_comm,
             recovery: 0.0,
-            other,
+            integration,
+            load_balance,
+            orchestration,
+            unbalance,
             pp_per_particle: pp,
             pc_per_particle: pc_tot,
         }

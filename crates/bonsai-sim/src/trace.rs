@@ -25,6 +25,9 @@ pub struct RankTimeline {
     pub gpu: Vec<(String, f64, f64)>,
     /// `(label, start, end)` for the communication lane.
     pub comm: Vec<(String, f64, f64)>,
+    /// `(label, start, end)` for host-CPU bookkeeping (load balance,
+    /// orchestration) and cross-rank barrier waits.
+    pub cpu: Vec<(String, f64, f64)>,
 }
 
 impl RankTimeline {
@@ -33,6 +36,7 @@ impl RankTimeline {
         self.gpu
             .iter()
             .chain(self.comm.iter())
+            .chain(self.cpu.iter())
             .map(|(_, _, e)| *e)
             .fold(0.0, f64::max)
     }
@@ -74,17 +78,19 @@ pub fn step_timelines(cluster: &Cluster) -> Vec<RankTimeline> {
         .map(|r| {
             let mut gpu = Vec::new();
             let mut comm = Vec::new();
+            let mut cpu = Vec::new();
             for s in store.spans_for(r, step) {
                 let item = (s.name.clone(), s.start - base, s.end - base);
                 match s.lane {
                     Lane::Gpu => gpu.push(item),
                     Lane::Comm => comm.push(item),
-                    Lane::Cpu => {}
+                    Lane::Cpu => cpu.push(item),
                 }
             }
             gpu.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
             comm.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-            RankTimeline { gpu, comm }
+            cpu.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+            RankTimeline { gpu, comm, cpu }
         })
         .collect()
 }
@@ -104,6 +110,10 @@ pub fn render_gantt(timelines: &[RankTimeline], width: usize) -> String {
             "props" => 'P',
             "local" => 'L',
             "lets" => 'R',
+            "integrate" => 'I',
+            "balance" => 'b',
+            "orchestrate" => 'o',
+            "wait" => 'w',
             "let-comm" => 'm',
             "recovery" => 'r',
             _ => '?',
@@ -111,7 +121,7 @@ pub fn render_gantt(timelines: &[RankTimeline], width: usize) -> String {
     };
     let mut out = String::new();
     for (r, tl) in timelines.iter().enumerate() {
-        for (lane_name, lane) in [("GPU ", &tl.gpu), ("COMM", &tl.comm)] {
+        for (lane_name, lane) in [("GPU ", &tl.gpu), ("COMM", &tl.comm), ("CPU ", &tl.cpu)] {
             let mut row = vec!['.'; width];
             for (label, s, e) in lane {
                 let c0 = ((s / makespan) * width as f64) as usize;
@@ -125,7 +135,10 @@ pub fn render_gantt(timelines: &[RankTimeline], width: usize) -> String {
             out.push('\n');
         }
     }
-    out.push_str("S sort  D domain  B build  P props  L local gravity  R LET gravity  m LET comm\n");
+    out.push_str(
+        "S sort  D domain  B build  P props  L local gravity  R LET gravity  I integrate  \
+         b balance  o orchestrate  w wait  m LET comm\n",
+    );
     out
 }
 
@@ -195,11 +208,14 @@ mod tests {
         let tls = step_timelines(&c);
         assert_eq!(tls.len(), 4);
         for tl in &tls {
-            assert_eq!(tl.gpu.len(), 6);
+            assert_eq!(tl.gpu.len(), 7);
             // phases are contiguous and ordered
             for w in tl.gpu.windows(2) {
                 assert!((w[0].2 - w[1].1).abs() < 1e-12, "gap between phases");
             }
+            // CPU bookkeeping tail follows the device phases.
+            assert!(tl.cpu.iter().any(|(l, _, _)| l == "balance"));
+            assert!(tl.cpu.iter().any(|(l, _, _)| l == "orchestrate"));
             assert!(tl.makespan() > 0.0);
         }
     }
@@ -228,6 +244,7 @@ mod tests {
                 ("lets".to_string(), 2.0, 3.0),
             ],
             comm: vec![("let-comm".to_string(), 0.5, 2.5)],
+            cpu: Vec::new(),
         };
         let f = tl.hidden_comm_fraction();
         // 2.0 s of comm, hidden only under [0.5,1.0] and [2.0,2.5] = 1.0 s.
@@ -299,10 +316,10 @@ mod tests {
         let c = sample_cluster();
         let art = render_gantt(&step_timelines(&c), 60);
         let lines: Vec<&str> = art.lines().collect();
-        assert_eq!(lines.len(), 4 * 2 + 1); // two lanes per rank + legend
+        assert_eq!(lines.len(), 4 * 3 + 1); // three lanes per rank + legend
         assert!(art.contains('L') && art.contains('R'));
         // every timeline row is the same width
-        for l in &lines[..8] {
+        for l in &lines[..12] {
             assert_eq!(l.chars().count(), "rank  0 GPU  ".chars().count() + 60);
         }
     }

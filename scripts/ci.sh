@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Full CI line, runnable locally: tier-1, both tier-1.5 gates, artefact
+# byte-determinism, and the scaling regression gate. Mirrors
+# .github/workflows/ci.yml so a green local run predicts a green CI run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: build + full test suite =="
+cargo build --release
+cargo test -q
+
+echo "== tier-1.5: robustness gate =="
+cargo test -q -p bonsai-sim --test robustness
+
+echo "== tier-1.5: observability gate =="
+cargo test -q -p bonsai-obs
+
+scratch="$(mktemp -d)"
+trap 'rm -rf "$scratch"' EXIT
+
+echo "== determinism: obs_trace double run =="
+cargo run -q --release -p bonsai-bench --bin obs_trace >/dev/null
+cp out/trace_step.json "$scratch/trace_step.1.json"
+cargo run -q --release -p bonsai-bench --bin obs_trace >/dev/null
+cmp out/trace_step.json "$scratch/trace_step.1.json"
+
+echo "== determinism: obs_scaling double run =="
+cargo run -q --release -p bonsai-bench --bin obs_scaling >/dev/null
+cp BENCH_scaling.json "$scratch/BENCH_scaling.1.json"
+cargo run -q --release -p bonsai-bench --bin obs_scaling >/dev/null
+cmp BENCH_scaling.json "$scratch/BENCH_scaling.1.json"
+
+echo "== regression gate: obs_scaling --check =="
+cargo run -q --release -p bonsai-bench --bin obs_scaling -- --check baselines/scaling.json
+
+echo "CI line green"
