@@ -1,0 +1,59 @@
+//! Long-run monitoring bench: a ≥500-step scaled Milky Way run with the
+//! health rules, time-series store and flight recorder live, plus a seeded
+//! mid-run fault storm so the full alert lifecycle (open → incident freeze
+//! → close) executes. Artifacts, all byte-deterministic per seed:
+//!
+//! * `BENCH_longrun.json` (repo root) — schema `bonsai-longrun-v1`:
+//!   downsampled series of every headline metric, the alert log, incident
+//!   summaries and the final energy drift.
+//! * `out/longrun_report.html` — self-contained zero-dependency dashboard:
+//!   inline-SVG sparklines with alert-interval annotations, incident
+//!   table, alert log, whole-run rollups.
+//! * `out/longrun_incident.json` — Chrome trace of the first incident's
+//!   flight-recorder window (open in `ui.perfetto.dev`).
+//! * `out/longrun_incident.txt` — the matching structured incident report.
+
+use bonsai_bench::longrun::{run, longrun_json, render_html, LongRunBenchConfig};
+use bonsai_bench::{arg_usize, out_dir};
+
+fn main() {
+    let d = LongRunBenchConfig::default();
+    let cfg = LongRunBenchConfig {
+        n: arg_usize("--n", d.n),
+        ranks: arg_usize("--ranks", d.ranks),
+        steps: arg_usize("--steps", d.steps),
+        seed: arg_usize("--seed", d.seed as usize) as u64,
+        ..d
+    };
+    println!(
+        "long-run monitor: {} particles over {} ranks, {} steps, drop storm in epochs {}..{}",
+        cfg.n, cfg.ranks, cfg.steps, cfg.storm_epochs.0, cfg.storm_epochs.1
+    );
+    let r = run(cfg);
+
+    println!(
+        "  t = {:.3} Gyr, energy drift {:.2e}, {} alert events, {} incidents",
+        r.time_gyr,
+        r.energy_drift,
+        r.monitor.health().events().len(),
+        r.monitor.incidents().len()
+    );
+    print!("{}", r.monitor.health().render_log());
+
+    std::fs::write("BENCH_longrun.json", longrun_json(&r)).expect("write BENCH_longrun.json");
+    let html_path = out_dir().join("longrun_report.html");
+    std::fs::write(&html_path, render_html(&r)).expect("write report");
+    let mut wrote = format!("wrote BENCH_longrun.json and {}", html_path.display());
+    if let Some(inc) = r.monitor.incidents().first() {
+        let trace_path = out_dir().join("longrun_incident.json");
+        let report_path = out_dir().join("longrun_incident.txt");
+        std::fs::write(&trace_path, inc.trace_json()).expect("write incident trace");
+        std::fs::write(&report_path, inc.report()).expect("write incident report");
+        wrote.push_str(&format!(
+            ", {} and {}",
+            trace_path.display(),
+            report_path.display()
+        ));
+    }
+    println!("{wrote}");
+}

@@ -11,8 +11,9 @@
 use bonsai_analysis::bar::BarAnalysis;
 use bonsai_bench::{arg_usize, out_dir};
 use bonsai_ic::MilkyWayModel;
+use bonsai_obs::health::Severity;
 use bonsai_sim::checkpoint::{restore_cluster, write_checkpoint};
-use bonsai_sim::{Cluster, ClusterConfig};
+use bonsai_sim::{Cluster, ClusterConfig, LongRunConfig};
 use bonsai_util::units;
 
 fn main() {
@@ -32,7 +33,9 @@ fn main() {
     cfg.eps = 0.1 * (2.0e5_f64 / n as f64).powf(1.0 / 3.0);
     cfg.dt = units::myr_to_internal(3.0);
     let mut cluster = Cluster::new(ic, ranks, cfg.clone());
-    let e0 = cluster.energy_report();
+    // The rule engine replaces the old ad-hoc energy-drift print: the same
+    // default rules the long-run bench evaluates, live inside every step.
+    cluster.enable_longrun(LongRunConfig::default());
 
     let mut avg = bonsai_sim::StepBreakdown::default();
     let stellar = (0u64, (nb + nd) as u64);
@@ -82,11 +85,19 @@ fn main() {
     avg.pp_per_particle *= inv;
     avg.pc_per_particle *= inv;
     let e1 = cluster.energy_report();
+    let lr = cluster.take_longrun().expect("long-run monitor was enabled");
+    let drift = lr
+        .series()
+        .series("bonsai_energy_drift")
+        .and_then(|s| s.last())
+        .unwrap_or(0.0);
     println!(
-        "\ndistributed energy monitor: drift {:.2e} over {steps} steps (T/|W| = {:.3})",
-        e1.drift_from(&e0),
+        "\nhealth monitor: {} rules over {steps} steps — drift {:.2e} (T/|W| = {:.3})",
+        lr.health().rules().len(),
+        drift,
         e1.virial_ratio()
     );
+    print!("{}", lr.health().render_log());
     println!("\naveraged per-step breakdown (simulated {} timings):", cfg.machine.name);
     print!("{}", avg.format_column("production miniature"));
 
@@ -97,4 +108,9 @@ fn main() {
     assert_eq!(restored.total_particles(), n);
     println!("\ncheckpoint written to {} and verified restorable", dir.display());
     println!("paper context: 51G particles, 4096 Piz Daint GPUs, 4.6 s/step at T = 3.8 Gyr");
+
+    if lr.health().opened_count(Severity::Critical) > 0 {
+        eprintln!("FAIL: a critical health alert opened during the run");
+        std::process::exit(1);
+    }
 }

@@ -22,6 +22,7 @@
 
 #![deny(missing_docs)]
 
+pub mod longrun;
 pub mod scaling;
 
 use bonsai_ic::MilkyWayModel;

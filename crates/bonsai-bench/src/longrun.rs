@@ -1,0 +1,503 @@
+//! The long-run monitoring bench: a scaled-down Milky Way production run
+//! driven for hundreds of steps with the [`bonsai_sim::LongRunMonitor`]
+//! enabled and a seeded mid-run fault storm, exported as a byte-
+//! deterministic JSON record plus a self-contained zero-dependency HTML
+//! dashboard (inline-SVG sparklines with alert annotations, incident and
+//! rollup tables).
+//!
+//! The storm is scheduled by *epoch* through the deterministic
+//! [`FaultPlan`]: every first-attempt message in the window is dropped, so
+//! retransmission recovery actions spike, the `recovery-storm` rule opens,
+//! the flight recorder freezes an incident window, and once the window
+//! passes the rule closes — the full open → freeze → close lifecycle in
+//! one reproducible run.
+
+use bonsai_ic::MilkyWayModel;
+use bonsai_net::fault::{FaultKind, FaultPlan, Injection};
+use bonsai_obs::health::{AlertKind, Severity};
+use bonsai_obs::json::fmt_f64;
+use bonsai_obs::timeseries::Series;
+use bonsai_sim::{Cluster, ClusterConfig, LongRunConfig, LongRunMonitor};
+use bonsai_util::units;
+
+/// The long-run bench configuration.
+#[derive(Clone, Debug)]
+pub struct LongRunBenchConfig {
+    /// Total particles of the scaled Milky Way model.
+    pub n: usize,
+    /// Logical ranks.
+    pub ranks: usize,
+    /// Steps to drive (the issue floor is 500).
+    pub steps: usize,
+    /// IC + fault-plan seed.
+    pub seed: u64,
+    /// Series-store bin bound (small enough that the run downsamples).
+    pub max_bins: usize,
+    /// `[first, last)` gravity epochs of the injected drop storm.
+    pub storm_epochs: (u64, u64),
+}
+
+impl Default for LongRunBenchConfig {
+    fn default() -> Self {
+        Self {
+            n: 3_000,
+            ranks: 4,
+            steps: 520,
+            seed: 2014,
+            max_bins: 160,
+            storm_epochs: (261, 281),
+        }
+    }
+}
+
+/// The headline derived metrics charted by the dashboard, in display order.
+pub const HEADLINE: [&str; 9] = [
+    "bonsai_energy_drift",
+    "bonsai_gpu_gflops",
+    "bonsai_step_seconds",
+    "bonsai_recovery_actions",
+    "bonsai_retransmit_bytes",
+    "bonsai_degraded_lets",
+    "bonsai_flop_residual",
+    "bonsai_hidden_comm_fraction",
+    "bonsai_particle_imbalance",
+];
+
+/// Everything the exporters need from one completed run.
+pub struct LongRunResult {
+    /// The configuration that produced it.
+    pub config: LongRunBenchConfig,
+    /// The detached monitor (series, alert log, incidents).
+    pub monitor: LongRunMonitor,
+    /// Final simulated time in Gyr.
+    pub time_gyr: f64,
+    /// Final relative energy drift.
+    pub energy_drift: f64,
+}
+
+/// Drive the run: scaled Milky Way over `ranks` ranks with the monitor
+/// enabled and the drop storm injected over `storm_epochs`.
+pub fn run(cfg: LongRunBenchConfig) -> LongRunResult {
+    let ic = MilkyWayModel::paper().generate(cfg.n, cfg.seed);
+    let mut ccfg = ClusterConfig::default();
+    ccfg.g = units::G;
+    ccfg.eps = 0.1 * (2.0e5_f64 / cfg.n as f64).powf(1.0 / 3.0);
+    ccfg.dt = units::myr_to_internal(3.0);
+    let mut plan = FaultPlan::new(cfg.seed);
+    for epoch in cfg.storm_epochs.0..cfg.storm_epochs.1 {
+        plan = plan.with_injection(Injection {
+            epoch,
+            from: None,
+            to: None,
+            kind: None,
+            fault: FaultKind::Drop,
+        });
+    }
+    let mut cluster = Cluster::with_faults(ic, cfg.ranks, ccfg, plan, None);
+    let baseline = cluster.energy_report();
+    cluster.enable_longrun(LongRunConfig {
+        max_bins: cfg.max_bins,
+        ..LongRunConfig::default()
+    });
+    for _ in 0..cfg.steps {
+        cluster.step();
+    }
+    let energy_drift = cluster.energy_report().drift_from(&baseline);
+    let time_gyr = units::internal_to_gyr(cluster.time());
+    let monitor = cluster.take_longrun().expect("monitor was enabled");
+    LongRunResult {
+        config: cfg,
+        monitor,
+        time_gyr,
+        energy_drift,
+    }
+}
+
+fn series_json(s: &Series) -> String {
+    let sum = s.summary().expect("non-empty series");
+    let bins: Vec<String> = s
+        .bins()
+        .iter()
+        .map(|b| {
+            format!(
+                "[{}, {}, {}, {}, {}, {}, {}]",
+                b.step_lo,
+                b.step_hi,
+                b.count,
+                fmt_f64(b.min),
+                fmt_f64(b.max),
+                fmt_f64(b.mean()),
+                fmt_f64(b.last)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"stride\": {}, \"count\": {}, \"summary\": {{\"min\": {}, \"max\": {}, \"mean\": {}, \"last\": {}}}, \"bins\": [{}]}}",
+        s.stride(),
+        s.count(),
+        fmt_f64(sum.min),
+        fmt_f64(sum.max),
+        fmt_f64(sum.mean()),
+        fmt_f64(sum.last),
+        bins.join(", ")
+    )
+}
+
+/// `BENCH_longrun.json`: schema `bonsai-longrun-v1`, byte-deterministic.
+pub fn longrun_json(r: &LongRunResult) -> String {
+    let c = &r.config;
+    let mut series: Vec<String> = Vec::new();
+    for name in HEADLINE {
+        if let Some(s) = r.monitor.series().series(name) {
+            series.push(format!("    \"{name}\": {}", series_json(s)));
+        }
+    }
+    let alerts: Vec<String> = r
+        .monitor
+        .health()
+        .events()
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"step\": {}, \"rule\": \"{}\", \"metric\": \"{}\", \"severity\": \"{}\", \"kind\": \"{}\", \"value\": {}}}",
+                e.step,
+                e.rule,
+                e.metric,
+                e.severity.name(),
+                e.kind.name(),
+                fmt_f64(e.value)
+            )
+        })
+        .collect();
+    let incidents: Vec<String> = r
+        .monitor
+        .incidents()
+        .iter()
+        .map(|i| {
+            format!(
+                "    {{\"id\": {}, \"rule\": \"{}\", \"severity\": \"{}\", \"step\": {}, \"window\": [{}, {}], \"spans\": {}, \"instants\": {}}}",
+                i.id,
+                i.rule,
+                i.severity.name(),
+                i.step,
+                i.window.0,
+                i.window.1,
+                i.trace.spans().len(),
+                i.trace.instants().len()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"bonsai-longrun-v1\",\n  \"config\": {{\"n\": {}, \"ranks\": {}, \"steps\": {}, \"seed\": {}, \"max_bins\": {}, \"storm_epochs\": [{}, {}]}},\n  \"final\": {{\"time_gyr\": {}, \"energy_drift\": {}}},\n  \"series\": {{\n{}\n  }},\n  \"alerts\": [\n{}\n  ],\n  \"incidents\": [\n{}\n  ]\n}}\n",
+        c.n,
+        c.ranks,
+        c.steps,
+        c.seed,
+        c.max_bins,
+        c.storm_epochs.0,
+        c.storm_epochs.1,
+        fmt_f64(r.time_gyr),
+        fmt_f64(r.energy_drift),
+        series.join(",\n"),
+        alerts.join(",\n"),
+        incidents.join(",\n")
+    )
+}
+
+/// `(open_step, close_step_or_end, severity)` intervals per metric, from
+/// the alert log (an alert still open at run end extends to the last step).
+fn alert_intervals(r: &LongRunResult, metric: &str) -> Vec<(u64, u64, Severity)> {
+    let end = r.config.steps as u64;
+    let mut out = Vec::new();
+    let mut open: Vec<(String, u64, Severity)> = Vec::new();
+    for e in r.monitor.health().events() {
+        if e.metric != metric {
+            continue;
+        }
+        match e.kind {
+            AlertKind::Open => open.push((e.rule.clone(), e.step, e.severity)),
+            AlertKind::Close => {
+                if let Some(pos) = open.iter().position(|(rule, _, _)| *rule == e.rule) {
+                    let (_, s, sev) = open.remove(pos);
+                    out.push((s, e.step, sev));
+                }
+            }
+        }
+    }
+    for (_, s, sev) in open {
+        out.push((s, end, sev));
+    }
+    out.sort_by_key(|&(s, e, _)| (s, e));
+    out
+}
+
+fn sev_color(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Critical => "#dc2626",
+        Severity::Warning => "#d97706",
+        Severity::Info => "#2563eb",
+    }
+}
+
+/// One inline-SVG sparkline: min–max band + mean polyline over step
+/// number, with translucent alert-interval rects and native `<title>`
+/// tooltips. Exactly one series per chart — the title names it.
+fn sparkline(name: &str, s: &Series, alerts: &[(u64, u64, Severity)], steps: u64) -> String {
+    const W: f64 = 440.0;
+    const H: f64 = 110.0;
+    const L: f64 = 8.0; // left pad
+    const T: f64 = 22.0; // title band
+    const B: f64 = 8.0; // bottom pad
+    let sum = s.summary().expect("non-empty series");
+    let (lo, hi) = (sum.min, sum.max);
+    let span = (hi - lo).max(1e-300);
+    let x = |step: f64| L + (W - 2.0 * L) * step / steps.max(1) as f64;
+    let y = |v: f64| T + (H - T - B) * (1.0 - (v - lo) / span);
+    let mid = |b: &bonsai_obs::timeseries::Bin| 0.5 * (b.step_lo as f64 + b.step_hi as f64);
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" role=\"img\">\n\
+         <text class=\"t\" x=\"{L}\" y=\"14\">{name}</text>\n\
+         <text class=\"a\" x=\"{:.1}\" y=\"14\" text-anchor=\"end\">min {} · mean {} · max {}</text>\n",
+        W - L,
+        short(sum.min),
+        short(sum.mean()),
+        short(sum.max)
+    );
+    // Alert annotation rects under the data marks.
+    for &(a, b, sev) in alerts {
+        let (xa, xb) = (x(a as f64), x(b as f64));
+        svg.push_str(&format!(
+            "<rect x=\"{:.1}\" y=\"{T}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"{}\" opacity=\"0.15\"><title>{} alert open: steps {a}–{b}</title></rect>\n",
+            xa,
+            (xb - xa).max(1.0),
+            H - T - B,
+            sev_color(sev),
+            sev.name()
+        ));
+    }
+    // min–max band.
+    let mut band = String::new();
+    for b in s.bins() {
+        band.push_str(&format!("{:.1},{:.1} ", x(mid(b)), y(b.max)));
+    }
+    for b in s.bins().iter().rev() {
+        band.push_str(&format!("{:.1},{:.1} ", x(mid(b)), y(b.min)));
+    }
+    svg.push_str(&format!(
+        "<polygon points=\"{}\" fill=\"#2563eb\" opacity=\"0.18\"/>\n",
+        band.trim_end()
+    ));
+    // Mean polyline with a whole-chart tooltip.
+    let pts: Vec<String> = s
+        .bins()
+        .iter()
+        .map(|b| format!("{:.1},{:.1}", x(mid(b)), y(b.mean())))
+        .collect();
+    svg.push_str(&format!(
+        "<polyline points=\"{}\" fill=\"none\" stroke=\"#2563eb\" stroke-width=\"2\"><title>{name}: {} samples, stride {}</title></polyline>\n",
+        pts.join(" "),
+        s.count(),
+        s.stride()
+    ));
+    svg.push_str("</svg>\n");
+    svg
+}
+
+/// Compact deterministic number for chart captions.
+fn short(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if a >= 1e5 || a < 1e-3 {
+        format!("{v:.2e}")
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// `out/longrun_report.html`: fully self-contained (no scripts, no
+/// external references), deterministic.
+pub fn render_html(r: &LongRunResult) -> String {
+    let c = &r.config;
+    let steps = c.steps as u64;
+    let mut s = String::from(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>bonsai long-run report</title>\n<style>\n\
+         body{font:14px/1.5 system-ui,sans-serif;margin:2rem auto;max-width:960px;color:#1a1a2e}\n\
+         h1{font-size:1.4rem} h2{font-size:1.1rem;margin-top:2rem}\n\
+         table{border-collapse:collapse;margin:0.5rem 0;font-size:13px}\n\
+         td,th{border:1px solid #cbd5e1;padding:4px 10px;text-align:right}\n\
+         td:first-child,th:first-child{text-align:left}\n\
+         th{background:#eef2f7} .t{font:600 13px system-ui;fill:#1a1a2e}\n\
+         .a{font:11px system-ui;fill:#556}\n\
+         .charts{display:flex;gap:1rem;flex-wrap:wrap}\n\
+         .sev{display:inline-block;width:10px;height:10px;border-radius:2px;vertical-align:-1px;margin-right:4px}\n\
+         code{background:#eef2f7;padding:0 3px;border-radius:3px}\n</style>\n</head>\n<body>\n\
+         <h1>Long-run monitor — sustained Milky Way run</h1>\n",
+    );
+    s.push_str(&format!(
+        "<p>{} particles over {} ranks, {} steps to t = {} Gyr (seed {}). Final relative \
+         energy drift {}. Shaded spans mark steps where a health rule was open \
+         (<span class=\"sev\" style=\"background:#d97706\"></span>warning, \
+         <span class=\"sev\" style=\"background:#dc2626\"></span>critical); the band is the \
+         per-bin min–max envelope, the line the bin mean.</p>\n",
+        c.n,
+        c.ranks,
+        c.steps,
+        short(r.time_gyr),
+        c.seed,
+        short(r.energy_drift)
+    ));
+    s.push_str("<div class=\"charts\">\n");
+    for name in HEADLINE {
+        if let Some(ser) = r.monitor.series().series(name) {
+            let alerts = alert_intervals(r, name);
+            s.push_str(&sparkline(name, ser, &alerts, steps));
+        }
+    }
+    s.push_str("</div>\n");
+
+    // Incident table.
+    s.push_str("<h2>Incidents</h2>\n");
+    if r.monitor.incidents().is_empty() {
+        s.push_str("<p>No incidents frozen — no alert opened during the run.</p>\n");
+    } else {
+        s.push_str(
+            "<table>\n<tr><th>id</th><th>rule</th><th>severity</th><th>opened at step</th>\
+             <th>window (epochs)</th><th>spans</th><th>instants</th></tr>\n",
+        );
+        for i in r.monitor.incidents() {
+            s.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td><span class=\"sev\" style=\"background:{}\"></span>{}</td><td>{}</td><td>{}–{}</td><td>{}</td><td>{}</td></tr>\n",
+                i.id,
+                i.rule,
+                sev_color(i.severity),
+                i.severity.name(),
+                i.step,
+                i.window.0,
+                i.window.1,
+                i.trace.spans().len(),
+                i.trace.instants().len()
+            ));
+        }
+        s.push_str("</table>\n");
+        s.push_str(
+            "<p>Incident windows are exported as Chrome trace JSON \
+             (<code>out/longrun_incident.json</code>) — open in \
+             <code>ui.perfetto.dev</code>.</p>\n",
+        );
+    }
+
+    // Alert log.
+    s.push_str("<h2>Alert log</h2>\n");
+    if r.monitor.health().events().is_empty() {
+        s.push_str("<p>No alerts opened.</p>\n");
+    } else {
+        s.push_str(
+            "<table>\n<tr><th>step</th><th>event</th><th>rule</th><th>severity</th>\
+             <th>metric</th><th>value</th></tr>\n",
+        );
+        for e in r.monitor.health().events() {
+            s.push_str(&format!(
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td><span class=\"sev\" style=\"background:{}\"></span>{}</td><td>{}</td><td>{}</td></tr>\n",
+                e.step,
+                e.kind.name(),
+                e.rule,
+                sev_color(e.severity),
+                e.severity.name(),
+                e.metric,
+                short(e.value)
+            ));
+        }
+        s.push_str("</table>\n");
+    }
+
+    // Whole-run rollups — the table view of every charted series.
+    s.push_str("<h2>Run rollups</h2>\n<table>\n<tr><th>metric</th><th>samples</th><th>stride</th><th>min</th><th>mean</th><th>max</th><th>last</th></tr>\n");
+    for name in HEADLINE {
+        if let Some(ser) = r.monitor.series().series(name) {
+            let sum = ser.summary().expect("non-empty");
+            s.push_str(&format!(
+                "<tr><td>{name}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                ser.count(),
+                ser.stride(),
+                short(sum.min),
+                short(sum.mean()),
+                short(sum.max),
+                short(sum.last)
+            ));
+        }
+    }
+    s.push_str("</table>\n</body>\n</html>\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> LongRunBenchConfig {
+        LongRunBenchConfig {
+            n: 600,
+            ranks: 4,
+            steps: 40,
+            seed: 7,
+            max_bins: 16,
+            storm_epochs: (11, 16),
+        }
+    }
+
+    #[test]
+    fn storm_opens_and_closes_a_recovery_alert() {
+        let r = run(tiny());
+        let events = r.monitor.health().events();
+        let opened = events
+            .iter()
+            .any(|e| e.rule == "recovery-storm" && e.kind == AlertKind::Open);
+        let closed = events
+            .iter()
+            .any(|e| e.rule == "recovery-storm" && e.kind == AlertKind::Close);
+        assert!(opened, "storm must open a recovery alert: {events:?}");
+        assert!(closed, "storm must close after the window: {events:?}");
+        assert!(!r.monitor.incidents().is_empty());
+        let inc = &r.monitor.incidents()[0];
+        assert!(inc.trace_json().contains("traceEvents"));
+        // Every step sampled.
+        let ser = r.monitor.series().series("bonsai_recovery_actions").unwrap();
+        assert_eq!(ser.count(), 40);
+    }
+
+    #[test]
+    fn exports_are_deterministic_and_self_contained() {
+        let a = run(tiny());
+        let b = run(tiny());
+        assert_eq!(longrun_json(&a), longrun_json(&b));
+        let html = render_html(&a);
+        assert_eq!(html, render_html(&b));
+        assert!(!html.contains("<script"), "report must be zero-JS");
+        assert!(!html.contains("http://") && !html.contains("https://"));
+        assert!(html.contains("bonsai_energy_drift"));
+        assert!(html.contains("recovery-storm"));
+        // The JSON parses and carries the schema + alert kinds.
+        let v = bonsai_obs::json::parse(&longrun_json(&a)).expect("valid JSON");
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("bonsai-longrun-v1"));
+        let alerts = v.get("alerts").unwrap().as_arr().unwrap();
+        assert!(!alerts.is_empty());
+    }
+
+    #[test]
+    fn downsampling_kicks_in_on_long_series() {
+        let r = run(LongRunBenchConfig {
+            steps: 80,
+            max_bins: 16,
+            ..tiny()
+        });
+        let ser = r.monitor.series().series("bonsai_step_seconds").unwrap();
+        assert_eq!(ser.count(), 80);
+        assert!(ser.bins().len() <= 16);
+        assert!(ser.stride() > 1, "80 steps into 16 bins must downsample");
+    }
+}

@@ -18,6 +18,15 @@
 //!   point-in-time gauges and log-scale histograms, addressed by
 //!   Prometheus-style `name{label="value"}` keys with deterministic
 //!   ordering.
+//! * [`timeseries`] — bounded per-metric run histories: step-aligned bins
+//!   with min/max/mean rollups that downsample by doubling the bin width,
+//!   so a 10k-step run costs the same memory as a 100-step run.
+//! * [`health`] — declarative alert rules (threshold / relative-drift /
+//!   windowed-trend, with severities and open/close hysteresis) over the
+//!   per-step metric stream, logging a byte-deterministic incident log.
+//! * [`flight`] — a ring-buffer flight recorder keeping the last K steps of
+//!   full-fidelity spans; on alert firing it freezes the window into a
+//!   Perfetto-loadable incident trace plus a structured report.
 //! * [`chrome`] — Chrome trace-event JSON export, loadable in Perfetto or
 //!   `chrome://tracing` (one process per rank, one thread per lane).
 //! * [`folded`] — folded-stacks text for flamegraph tooling.
@@ -45,15 +54,23 @@
 
 pub mod analysis;
 pub mod chrome;
+pub mod flight;
 pub mod folded;
+pub mod health;
 pub mod json;
 pub mod metrics;
 pub mod prom;
 pub mod span;
+pub mod timeseries;
 
 pub use analysis::{
     critical_path, flop_balance, phase_stats, step_wall_time, strong_efficiency, weak_efficiency,
     CriticalPath, FlopBalance, PathNode, PhaseStats, ScalingPoint,
 };
+pub use flight::{FlightRecorder, Incident};
+pub use health::{
+    default_rules, AlertEvent, AlertKind, Condition, HealthMonitor, Rule, Severity,
+};
 pub use metrics::{LogHistogram, MetricsRegistry};
 pub use span::{interval_union, overlap_with_union, ArgValue, Instant, Lane, Span, SpanId, TraceStore};
+pub use timeseries::{Bin, Series, SeriesConfig, SeriesStore};

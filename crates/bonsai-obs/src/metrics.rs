@@ -5,7 +5,7 @@
 //! text exposition and any reduction over the registry are byte-stable for
 //! identical inputs — the property the bench trajectory relies on.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A fully-qualified metric key: name plus sorted label pairs.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -173,6 +173,11 @@ pub struct MetricsRegistry {
     counters: BTreeMap<MetricKey, u64>,
     gauges: BTreeMap<MetricKey, f64>,
     histograms: BTreeMap<MetricKey, LogHistogram>,
+    /// Gauge *names* declared step-scoped: the whole family is dropped by
+    /// [`MetricsRegistry::reset_step`] so a label set written on step N
+    /// (e.g. a phase that only ran that step) can never leak into step
+    /// N+1's sample of the family.
+    step_scoped: BTreeSet<String>,
 }
 
 impl MetricsRegistry {
@@ -189,6 +194,28 @@ impl MetricsRegistry {
     /// Set a point-in-time gauge.
     pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
         self.gauges.insert(MetricKey::new(name, labels), v);
+    }
+
+    /// Set a *step-scoped* gauge: like [`MetricsRegistry::gauge_set`], but
+    /// the metric name is also registered for [`MetricsRegistry::reset_step`].
+    pub fn step_gauge_set(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.step_scoped.insert(name.to_string());
+        self.gauges.insert(MetricKey::new(name, labels), v);
+    }
+
+    /// Drop every gauge belonging to a step-scoped family. Call at the top
+    /// of each step, before the step's gauges are written: label sets that
+    /// existed only on the previous step disappear instead of going stale.
+    /// Counters, histograms and plain gauges are untouched.
+    pub fn reset_step(&mut self) {
+        let scoped = std::mem::take(&mut self.step_scoped);
+        self.gauges.retain(|k, _| !scoped.contains(&k.name));
+        self.step_scoped = scoped;
+    }
+
+    /// Gauge names currently declared step-scoped, in order.
+    pub fn step_scoped_names(&self) -> Vec<&str> {
+        self.step_scoped.iter().map(String::as_str).collect()
     }
 
     /// Record one histogram observation.
@@ -258,6 +285,7 @@ impl MetricsRegistry {
         self.counters.clear();
         self.gauges.clear();
         self.histograms.clear();
+        self.step_scoped.clear();
     }
 }
 
@@ -283,6 +311,39 @@ mod tests {
         assert_eq!(r.gauge("g", &[("a", "1"), ("b", "2")]), Some(3.0));
         let key = MetricKey::new("g", &[("b", "2"), ("a", "1")]);
         assert_eq!(key.render(), "g{a=\"1\",b=\"2\"}");
+    }
+
+    #[test]
+    fn step_scoped_gauges_cannot_leak_across_steps() {
+        // Two dissimilar steps: step 1 runs phases {sort, local, let}; step
+        // 2 runs only {local}. Without reset_step, the stale sort/let
+        // gauges from step 1 would still be present — and a time-series
+        // sample of the family would silently re-record step 1's values.
+        let mut r = MetricsRegistry::new();
+        r.counter_add("bonsai_steps_total", &[], 1);
+        r.gauge_set("bonsai_run_seed", &[], 2014.0); // run-scoped: survives
+
+        // step 1
+        r.reset_step();
+        r.step_gauge_set("bonsai_step_phase_seconds", &[("phase", "sort")], 0.1);
+        r.step_gauge_set("bonsai_step_phase_seconds", &[("phase", "local")], 0.7);
+        r.step_gauge_set("bonsai_step_phase_seconds", &[("phase", "let")], 0.2);
+        assert_eq!(r.gauge_family("bonsai_step_phase_seconds").count(), 3);
+
+        // step 2: only `local` runs
+        r.reset_step();
+        r.step_gauge_set("bonsai_step_phase_seconds", &[("phase", "local")], 0.9);
+        let fam: Vec<_> = r.gauge_family("bonsai_step_phase_seconds").collect();
+        assert_eq!(fam.len(), 1, "stale phase gauges leaked: {fam:?}");
+        assert_eq!(fam[0].1, 0.9);
+        assert_eq!(
+            r.gauge("bonsai_step_phase_seconds", &[("phase", "sort")]),
+            None
+        );
+        // Run-scoped metrics are untouched.
+        assert_eq!(r.gauge("bonsai_run_seed", &[]), Some(2014.0));
+        assert_eq!(r.counter("bonsai_steps_total", &[]), 1);
+        assert_eq!(r.step_scoped_names(), vec!["bonsai_step_phase_seconds"]);
     }
 
     #[test]

@@ -103,6 +103,35 @@ impl TraceStore {
         Self::default()
     }
 
+    /// Rebuild a store from pre-assembled spans and instants (the flight
+    /// recorder uses this to materialise an incident window). Any
+    /// `parent` ids must index into `spans`.
+    pub fn from_parts(spans: Vec<Span>, instants: Vec<Instant>) -> Self {
+        debug_assert!(spans
+            .iter()
+            .all(|s| s.parent.map_or(true, |p| p.0 < spans.len())));
+        Self { spans, instants }
+    }
+
+    /// Drop every span and instant with `step < min_step`, remapping parent
+    /// ids (a parent outside the kept window becomes `None`). Long runs use
+    /// this to prune the trace down to the flight-recorder window.
+    pub fn retain_steps(&mut self, min_step: u64) {
+        let mut remap: Vec<Option<usize>> = vec![None; self.spans.len()];
+        let mut kept: Vec<Span> = Vec::new();
+        for (i, s) in self.spans.iter().enumerate() {
+            if s.step >= min_step {
+                remap[i] = Some(kept.len());
+                kept.push(s.clone());
+            }
+        }
+        for s in &mut kept {
+            s.parent = s.parent.and_then(|p| remap[p.0]).map(SpanId);
+        }
+        self.spans = kept;
+        self.instants.retain(|i| i.step >= min_step);
+    }
+
     /// Record a root span; returns its id for annotation or parenting.
     pub fn span(
         &mut self,
@@ -274,6 +303,31 @@ mod tests {
         assert_eq!(t.instants().len(), 1);
         assert_eq!(t.instants()[0].rank, 3);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn retain_steps_drops_old_and_remaps_parents() {
+        let mut t = TraceStore::new();
+        let old = t.span(0, 1, Lane::Gpu, "old", 0.0, 1.0);
+        t.child_span(old, "old-child", 0.0, 0.5);
+        let keep = t.span(0, 2, Lane::Gpu, "keep", 1.0, 2.0);
+        t.child_span(keep, "keep-child", 1.0, 1.5);
+        // Pathological cross-step parent: span in the window, parent not.
+        let orphan = t.span(0, 2, Lane::Cpu, "orphan", 1.0, 1.1);
+        t.spans[orphan.0].parent = Some(old);
+        t.instant(0, 1, Lane::Comm, "old-ev", 0.2);
+        t.instant(0, 2, Lane::Comm, "keep-ev", 1.2);
+        t.retain_steps(2);
+        assert_eq!(t.spans().len(), 3);
+        assert_eq!(t.spans()[0].name, "keep");
+        assert_eq!(t.spans()[1].parent, Some(SpanId(0)));
+        assert_eq!(t.spans()[2].parent, None, "cross-window parent dropped");
+        assert_eq!(t.instants().len(), 1);
+        assert_eq!(t.instants()[0].name, "keep-ev");
+        // Round-trip through from_parts preserves everything.
+        let rebuilt = TraceStore::from_parts(t.spans().to_vec(), t.instants().to_vec());
+        assert_eq!(rebuilt.len(), t.len());
+        assert_eq!(rebuilt.last_step(), Some(2));
     }
 
     #[test]

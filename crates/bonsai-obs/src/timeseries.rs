@@ -1,0 +1,306 @@
+//! Bounded, deterministic per-metric time series for long-run monitoring.
+//!
+//! A multi-thousand-step production run cannot keep every per-step sample of
+//! every metric at full fidelity, but the longitudinal questions — is the
+//! energy drifting, is the balancer creeping, did the Gflops floor sag —
+//! need the whole run, not a recent window. A [`Series`] therefore stores
+//! *step-aligned bins*: each bin covers a contiguous step range and keeps
+//! min / max / sum / count / last, and whenever the bin count would exceed
+//! the configured bound the bin width doubles and adjacent bins merge. A
+//! 10k-step run costs the same memory as a 100-step run; only resolution
+//! (never coverage) is lost, and the downsampling is a pure function of the
+//! sample sequence, so identical runs produce identical stores —
+//! byte-deterministic dashboards.
+//!
+//! [`SeriesStore`] is the per-run collection, keyed by rendered metric name
+//! and fed each epoch from the metrics registry's per-step gauges.
+
+use std::collections::BTreeMap;
+
+/// Bounds of a [`SeriesStore`].
+#[derive(Clone, Copy, Debug)]
+pub struct SeriesConfig {
+    /// Maximum bins per series; when exceeded, bin width doubles and
+    /// adjacent bins merge (capacity halves). Clamped to ≥ 8.
+    pub max_bins: usize,
+}
+
+impl Default for SeriesConfig {
+    fn default() -> Self {
+        Self { max_bins: 512 }
+    }
+}
+
+/// One downsampled bucket: the rollup of every sample whose step fell in
+/// `[step_lo, step_hi]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Bin {
+    /// First step covered.
+    pub step_lo: u64,
+    /// Last step covered.
+    pub step_hi: u64,
+    /// Samples merged into this bin.
+    pub count: u64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Sum of samples (for the mean).
+    pub sum: f64,
+    /// Most recent sample.
+    pub last: f64,
+}
+
+impl Bin {
+    fn seed(step: u64, v: f64) -> Self {
+        Self {
+            step_lo: step,
+            step_hi: step,
+            count: 1,
+            min: v,
+            max: v,
+            sum: v,
+            last: v,
+        }
+    }
+
+    fn absorb_sample(&mut self, step: u64, v: f64) {
+        self.step_hi = self.step_hi.max(step);
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v;
+        self.last = v;
+    }
+
+    fn absorb_bin(&mut self, other: &Bin) {
+        self.step_lo = self.step_lo.min(other.step_lo);
+        self.step_hi = self.step_hi.max(other.step_hi);
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+        self.last = other.last;
+    }
+
+    /// Mean sample of the bin.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// One metric's bounded history: step-aligned bins plus a whole-run rollup
+/// that never loses precision to downsampling.
+#[derive(Clone, Debug)]
+pub struct Series {
+    max_bins: usize,
+    /// Steps per bin (power of two; 1 = full fidelity).
+    stride: u64,
+    bins: Vec<Bin>,
+    /// Whole-run rollup (exact regardless of stride).
+    summary: Option<Bin>,
+}
+
+impl Series {
+    fn new(max_bins: usize) -> Self {
+        Self {
+            max_bins: max_bins.max(8),
+            stride: 1,
+            bins: Vec::new(),
+            summary: None,
+        }
+    }
+
+    /// Record one `(step, value)` sample. Steps must be non-decreasing
+    /// (samples for the same step merge into the same bin).
+    pub fn record(&mut self, step: u64, v: f64) {
+        match &mut self.summary {
+            Some(s) => s.absorb_sample(step, v),
+            None => self.summary = Some(Bin::seed(step, v)),
+        }
+        let bucket = step / self.stride;
+        match self.bins.last_mut() {
+            Some(b) if b.step_lo / self.stride == bucket => b.absorb_sample(step, v),
+            _ => self.bins.push(Bin::seed(step, v)),
+        }
+        while self.bins.len() > self.max_bins {
+            self.stride *= 2;
+            let mut merged: Vec<Bin> = Vec::with_capacity(self.bins.len() / 2 + 1);
+            for b in &self.bins {
+                let bucket = b.step_lo / self.stride;
+                match merged.last_mut() {
+                    Some(m) if m.step_lo / self.stride == bucket => m.absorb_bin(b),
+                    _ => merged.push(*b),
+                }
+            }
+            self.bins = merged;
+        }
+    }
+
+    /// Current steps-per-bin (1 until the first downsample).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// The downsampled bins, in step order.
+    pub fn bins(&self) -> &[Bin] {
+        &self.bins
+    }
+
+    /// Whole-run rollup: exact min/max/mean/last over every sample ever
+    /// recorded (`None` for an empty series).
+    pub fn summary(&self) -> Option<&Bin> {
+        self.summary.as_ref()
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.summary.map_or(0, |s| s.count)
+    }
+
+    /// Most recent sample (`None` for an empty series).
+    pub fn last(&self) -> Option<f64> {
+        self.summary.map(|s| s.last)
+    }
+}
+
+/// Per-run collection of series, keyed by rendered metric name.
+#[derive(Clone, Debug, Default)]
+pub struct SeriesStore {
+    cfg: SeriesConfig,
+    map: BTreeMap<String, Series>,
+}
+
+impl SeriesStore {
+    /// Empty store with the given bounds.
+    pub fn new(cfg: SeriesConfig) -> Self {
+        Self {
+            cfg,
+            map: BTreeMap::new(),
+        }
+    }
+
+    /// Record one sample of `name` at `step`.
+    pub fn record(&mut self, name: &str, step: u64, v: f64) {
+        self.map
+            .entry(name.to_string())
+            .or_insert_with(|| Series::new(self.cfg.max_bins))
+            .record(step, v);
+    }
+
+    /// One series by name.
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.map.get(name)
+    }
+
+    /// All series in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Series)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Metric names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.map.keys().map(String::as_str).collect()
+    }
+
+    /// Number of distinct series.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_fidelity_below_the_bound() {
+        let mut s = Series::new(16);
+        for step in 0..16 {
+            s.record(step, step as f64);
+        }
+        assert_eq!(s.stride(), 1);
+        assert_eq!(s.bins().len(), 16);
+        assert_eq!(s.bins()[3].min, 3.0);
+        assert_eq!(s.summary().unwrap().count, 16);
+    }
+
+    #[test]
+    fn downsampling_is_lossless_on_rollups() {
+        // 10_000 steps into 64 bins: stride grows, but min/max/sum/count
+        // over the bins must still equal the exact whole-run rollup.
+        let mut s = Series::new(64);
+        let f = |i: u64| ((i * 37) % 101) as f64 - 50.0;
+        for step in 0..10_000 {
+            s.record(step, f(step));
+        }
+        assert!(s.bins().len() <= 64, "bound violated: {}", s.bins().len());
+        assert!(s.stride() >= 10_000 / 64);
+        let (mut count, mut sum) = (0u64, 0.0f64);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for b in s.bins() {
+            count += b.count;
+            sum += b.sum;
+            min = min.min(b.min);
+            max = max.max(b.max);
+        }
+        let exact = s.summary().unwrap();
+        assert_eq!(count, exact.count);
+        assert_eq!(count, 10_000);
+        assert!((sum - exact.sum).abs() < 1e-9 * exact.sum.abs().max(1.0));
+        assert_eq!(min, exact.min);
+        assert_eq!(max, exact.max);
+        // Bins are disjoint, ordered, and cover the run.
+        for w in s.bins().windows(2) {
+            assert!(w[0].step_hi < w[1].step_lo);
+        }
+        assert_eq!(s.bins()[0].step_lo, 0);
+        assert_eq!(s.bins().last().unwrap().step_hi, 9_999);
+    }
+
+    #[test]
+    fn downsampling_is_deterministic() {
+        let run = || {
+            let mut s = Series::new(32);
+            for step in 0..5_000 {
+                s.record(step, (step as f64 * 0.01).sin());
+            }
+            format!("{:?}", s.bins())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn store_routes_by_name() {
+        let mut st = SeriesStore::new(SeriesConfig { max_bins: 8 });
+        st.record("a", 0, 1.0);
+        st.record("b", 0, 2.0);
+        st.record("a", 1, 3.0);
+        assert_eq!(st.len(), 2);
+        assert_eq!(st.series("a").unwrap().count(), 2);
+        assert_eq!(st.series("a").unwrap().last(), Some(3.0));
+        assert_eq!(st.names(), vec!["a", "b"]);
+        assert!(st.series("missing").is_none());
+    }
+
+    #[test]
+    fn same_step_samples_share_a_bin() {
+        let mut s = Series::new(8);
+        s.record(5, 1.0);
+        s.record(5, 3.0);
+        assert_eq!(s.bins().len(), 1);
+        assert_eq!(s.bins()[0].count, 2);
+        assert_eq!(s.bins()[0].max, 3.0);
+        assert!((s.bins()[0].mean() - 2.0).abs() < 1e-15);
+    }
+}

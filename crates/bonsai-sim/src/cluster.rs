@@ -190,6 +190,9 @@ pub struct Cluster {
     registry: MetricsRegistry,
     /// Global simulated clock base: completed epochs lay out sequentially.
     trace_clock: f64,
+    /// Long-run monitor (time series + health rules + flight recorder),
+    /// enabled via [`Cluster::enable_longrun`].
+    longrun: Option<crate::longrun::LongRunMonitor>,
 }
 
 impl Cluster {
@@ -244,6 +247,7 @@ impl Cluster {
             trace: TraceStore::new(),
             registry: MetricsRegistry::new(),
             trace_clock: 0.0,
+            longrun: None,
         };
         // Checkpoint the initial conditions *before* the first force
         // computation: a rank can die (or be falsely declared dead under
@@ -327,6 +331,35 @@ impl Cluster {
             g("bonsai_step_pc_per_particle"),
             &pt,
         )
+    }
+
+    /// Enable long-run monitoring: per-metric time series, health rules
+    /// and the flight recorder, evaluated inside every subsequent
+    /// [`Cluster::step`]. The current energy report becomes the drift
+    /// baseline. Re-enabling replaces the previous monitor.
+    pub fn enable_longrun(&mut self, cfg: crate::longrun::LongRunConfig) {
+        let baseline = self.energy_report();
+        self.longrun = Some(crate::longrun::LongRunMonitor::new(cfg, baseline));
+    }
+
+    /// The long-run monitor, if enabled.
+    pub fn longrun(&self) -> Option<&crate::longrun::LongRunMonitor> {
+        self.longrun.as_ref()
+    }
+
+    /// Detach and return the long-run monitor (export at end of run).
+    pub fn take_longrun(&mut self) -> Option<crate::longrun::LongRunMonitor> {
+        self.longrun.take()
+    }
+
+    /// Mutable registry access for the long-run monitor's derived gauges.
+    pub(crate) fn registry_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.registry
+    }
+
+    /// Mutable trace access for alert instants and window pruning.
+    pub(crate) fn trace_mut(&mut self) -> &mut TraceStore {
+        &mut self.trace
     }
 
     /// Borrow one rank's particle shard (checkpointing, inspection).
@@ -414,6 +447,12 @@ impl Cluster {
                 if rec.every > 0 && self.steps % rec.every == 0 {
                     self.write_recovery_checkpoint();
                 }
+            }
+            // Longitudinal bookkeeping (take/put-back so the monitor can
+            // borrow the cluster freely).
+            if let Some(mut lr) = self.longrun.take() {
+                lr.observe(self, &breakdown);
+                self.longrun = Some(lr);
             }
             return breakdown;
         }
@@ -886,6 +925,10 @@ impl Cluster {
     /// then advances by the epoch's makespan so consecutive epochs render
     /// side by side in Perfetto.
     fn record_observability(&mut self, meas: &StepMeasurements, breakdown: &StepBreakdown) {
+        // Drop the previous epoch's step-scoped gauges first: a label set
+        // that existed only last epoch (a phase that didn't run, a derived
+        // long-run signal) must not leak into this epoch's sample.
+        self.registry.reset_step();
         let p = self.ranks.len();
         let step = self.epoch;
         let base = self.trace_clock;
@@ -1010,18 +1053,19 @@ impl Cluster {
 
         for (phase, secs) in breakdown.phase_times().iter() {
             self.registry
-                .gauge_set("bonsai_step_phase_seconds", &[("phase", phase)], secs);
+                .step_gauge_set("bonsai_step_phase_seconds", &[("phase", phase)], secs);
         }
-        self.registry.gauge_set("bonsai_step_gpus", &[], breakdown.gpus as f64);
-        self.registry.gauge_set(
+        self.registry
+            .step_gauge_set("bonsai_step_gpus", &[], breakdown.gpus as f64);
+        self.registry.step_gauge_set(
             "bonsai_step_particles_per_gpu",
             &[],
             breakdown.particles_per_gpu as f64,
         );
         self.registry
-            .gauge_set("bonsai_step_pp_per_particle", &[], breakdown.pp_per_particle);
+            .step_gauge_set("bonsai_step_pp_per_particle", &[], breakdown.pp_per_particle);
         self.registry
-            .gauge_set("bonsai_step_pc_per_particle", &[], breakdown.pc_per_particle);
+            .step_gauge_set("bonsai_step_pc_per_particle", &[], breakdown.pc_per_particle);
         self.trace_clock = base + makespan;
     }
 

@@ -46,10 +46,12 @@ pub mod breakdown;
 pub mod checkpoint;
 pub mod cluster;
 pub mod live;
+pub mod longrun;
 pub mod model;
 pub mod trace;
 
 pub use breakdown::StepBreakdown;
 pub use checkpoint::Checkpoint;
 pub use cluster::{Cluster, ClusterConfig, RecoveryConfig};
+pub use longrun::{LongRunConfig, LongRunMonitor};
 pub use model::ScalingModel;

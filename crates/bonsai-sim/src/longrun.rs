@@ -1,0 +1,293 @@
+//! Long-run monitoring: the cluster-side wiring of `bonsai-obs`'s
+//! longitudinal layer (time series + health rules + flight recorder).
+//!
+//! The paper's deliverable is a *sustained* multi-thousand-step run, and
+//! sustaining it means watching the run-level signals — energy drift,
+//! balancer residual, comm exposure, achieved Gflops, fault-recovery
+//! pressure — while the run is in flight. [`LongRunMonitor`] rides inside
+//! [`Cluster::step`]: each step it derives those signals from the step's
+//! measurements, writes them as step-scoped gauges, samples *every* gauge
+//! into a bounded [`SeriesStore`], evaluates the [`HealthMonitor`] rules,
+//! and keeps a [`FlightRecorder`] ring of full-fidelity spans so an alert
+//! can freeze a Perfetto-loadable incident window.
+//!
+//! The monitor also prunes the live trace down to the flight window
+//! (opt-out via [`LongRunConfig::prune_trace`]) — without that, a 10k-step
+//! run's span store grows without bound.
+
+use crate::breakdown::StepBreakdown;
+use crate::cluster::Cluster;
+use crate::trace::step_timelines;
+use bonsai_analysis::EnergyReport;
+use bonsai_obs::health::{default_rules, AlertEvent, AlertKind, HealthMonitor, Rule};
+use bonsai_obs::timeseries::{SeriesConfig, SeriesStore};
+use bonsai_obs::flight::{FlightRecorder, Incident};
+use bonsai_obs::Lane;
+
+/// Configuration of the long-run monitor.
+#[derive(Clone, Debug)]
+pub struct LongRunConfig {
+    /// Bins per metric series (downsampling bound), clamped to ≥ 8.
+    pub max_bins: usize,
+    /// Alert rules to evaluate each step.
+    pub rules: Vec<Rule>,
+    /// Steps of full-fidelity spans the flight recorder keeps.
+    pub flight_window: usize,
+    /// Incidents to freeze at most (each owns a copy of the window).
+    pub max_incidents: usize,
+    /// Prune the live trace down to the flight window each step. Leave on
+    /// for long runs; turn off when the caller wants the full trace.
+    pub prune_trace: bool,
+}
+
+impl Default for LongRunConfig {
+    fn default() -> Self {
+        Self {
+            max_bins: 512,
+            rules: default_rules(),
+            flight_window: 8,
+            max_incidents: 4,
+            prune_trace: true,
+        }
+    }
+}
+
+/// Per-run longitudinal state: series store, rule engine, flight recorder,
+/// frozen incidents, and the energy baseline drift is measured against.
+#[derive(Clone, Debug)]
+pub struct LongRunMonitor {
+    cfg: LongRunConfig,
+    series: SeriesStore,
+    health: HealthMonitor,
+    flight: FlightRecorder,
+    baseline: EnergyReport,
+    incidents: Vec<Incident>,
+}
+
+impl LongRunMonitor {
+    /// Monitor with `baseline` as the energy-conservation reference
+    /// (normally the cluster's energy at enable time).
+    pub fn new(cfg: LongRunConfig, baseline: EnergyReport) -> Self {
+        Self {
+            series: SeriesStore::new(SeriesConfig {
+                max_bins: cfg.max_bins,
+            }),
+            health: HealthMonitor::new(cfg.rules.clone()),
+            flight: FlightRecorder::new(cfg.flight_window),
+            baseline,
+            incidents: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The bounded per-metric run histories.
+    pub fn series(&self) -> &SeriesStore {
+        &self.series
+    }
+
+    /// The rule engine (alert log, open rules, worst severity).
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
+    }
+
+    /// Incidents frozen so far, in firing order.
+    pub fn incidents(&self) -> &[Incident] {
+        &self.incidents
+    }
+
+    /// The energy baseline drift is measured against.
+    pub fn baseline(&self) -> &EnergyReport {
+        &self.baseline
+    }
+
+    /// The configuration the monitor was enabled with.
+    pub fn config(&self) -> &LongRunConfig {
+        &self.cfg
+    }
+
+    /// One step's longitudinal bookkeeping; called by [`Cluster::step`]
+    /// after the step completes (monitor taken out of the cluster, so
+    /// `cluster` is freely borrowable).
+    pub(crate) fn observe(&mut self, cluster: &mut Cluster, b: &StepBreakdown) {
+        let step = cluster.step_count();
+        let epoch = cluster.current_epoch();
+
+        // Derived run-level signals for this step, written as step-scoped
+        // gauges so they reset with everything else.
+        let drift = cluster.energy_report().drift_from(&self.baseline);
+        let meas = &cluster.last_measurements;
+        let flops: Vec<f64> = meas
+            .counts_local
+            .iter()
+            .zip(&meas.counts_lets)
+            .map(|(l, t)| (l.flops() + t.flops()) as f64)
+            .collect();
+        let residual = {
+            let mean = flops.iter().sum::<f64>() / flops.len().max(1) as f64;
+            let max = flops.iter().copied().fold(0.0, f64::max);
+            if mean > 0.0 {
+                max / mean
+            } else {
+                1.0
+            }
+        };
+        let timelines = step_timelines(cluster);
+        let hidden = if timelines.is_empty() {
+            1.0
+        } else {
+            timelines
+                .iter()
+                .map(|t| t.hidden_comm_fraction())
+                .sum::<f64>()
+                / timelines.len() as f64
+        };
+        let recoveries = meas.faults.recoveries.len() as f64;
+        let degraded = meas.degraded_lets as f64;
+        let retransmit = meas.retransmit_bytes as f64;
+        let imbalance = meas.imbalance;
+        let derived = [
+            ("bonsai_energy_drift", drift),
+            ("bonsai_flop_residual", residual),
+            ("bonsai_hidden_comm_fraction", hidden),
+            ("bonsai_gpu_gflops", b.gpu_tflops() * 1e3),
+            ("bonsai_step_seconds", b.total()),
+            ("bonsai_recovery_actions", recoveries),
+            ("bonsai_degraded_lets", degraded),
+            ("bonsai_retransmit_bytes", retransmit),
+            ("bonsai_particle_imbalance", imbalance),
+        ];
+        for (name, v) in derived {
+            cluster.registry_mut().step_gauge_set(name, &[], v);
+        }
+
+        // Sample every gauge of the step into the bounded series store and
+        // feed the rule engine (rules filter by metric name).
+        let mut fired: Vec<AlertEvent> = Vec::new();
+        let samples: Vec<(String, f64)> = cluster
+            .metrics()
+            .gauges()
+            .map(|(k, v)| (k.render(), v))
+            .collect();
+        for (name, v) in &samples {
+            self.series.record(name, step, *v);
+            fired.extend(self.health.observe(step, name, *v));
+        }
+
+        // Alert transitions become instants on the trace (rank 0's CPU
+        // lane, at the end of the completed epoch) *before* the flight
+        // recorder copies the step, so incident windows carry them.
+        if !fired.is_empty() {
+            let at = cluster.trace().makespan();
+            for ev in &fired {
+                let name = format!("alert:{}:{}", ev.kind.name(), ev.rule);
+                cluster
+                    .trace_mut()
+                    .instant(0, epoch, Lane::Cpu, name, at)
+                    .args
+                    .push(("detail", bonsai_obs::ArgValue::Str(ev.detail.clone())));
+            }
+        }
+        self.flight.record_step(cluster.trace(), epoch);
+        for ev in &fired {
+            if ev.kind == AlertKind::Open && self.incidents.len() < self.cfg.max_incidents {
+                self.incidents.push(self.flight.freeze(self.incidents.len(), ev));
+            }
+        }
+        if self.cfg.prune_trace {
+            let min = epoch.saturating_sub(self.cfg.flight_window.max(1) as u64 - 1);
+            cluster.trace_mut().retain_steps(min);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use bonsai_ic::plummer_sphere;
+
+    fn small_cluster() -> Cluster {
+        let ic = plummer_sphere(256, 42);
+        Cluster::new(
+            ic,
+            2,
+            ClusterConfig {
+                dt: 1.0e-3,
+                ..ClusterConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn monitor_samples_every_step_and_prunes_the_trace() {
+        let mut c = small_cluster();
+        c.enable_longrun(LongRunConfig {
+            flight_window: 3,
+            ..LongRunConfig::default()
+        });
+        for _ in 0..6 {
+            c.step();
+        }
+        let lr = c.longrun().expect("monitor enabled");
+        // Every derived signal has one sample per step.
+        for name in [
+            "bonsai_energy_drift",
+            "bonsai_flop_residual",
+            "bonsai_hidden_comm_fraction",
+            "bonsai_gpu_gflops",
+            "bonsai_step_seconds",
+        ] {
+            let s = lr.series().series(name).unwrap_or_else(|| {
+                panic!("missing series {name}: have {:?}", lr.series().names())
+            });
+            assert_eq!(s.count(), 6, "{name}");
+        }
+        // Per-phase gauges are sampled too (rendered with labels).
+        assert!(lr
+            .series()
+            .names()
+            .iter()
+            .any(|n| n.starts_with("bonsai_step_phase_seconds{")));
+        // Trace pruned to the flight window: only the last 3 epochs remain.
+        let steps: Vec<u64> = {
+            let mut s: Vec<u64> = c.trace().spans().iter().map(|sp| sp.step).collect();
+            s.sort_unstable();
+            s.dedup();
+            s
+        };
+        assert_eq!(steps, vec![5, 6, 7], "epochs kept (initial eval = epoch 1)");
+        // A clean Plummer run opens nothing.
+        assert!(c.longrun().unwrap().health().events().is_empty());
+        assert!(c.longrun().unwrap().incidents().is_empty());
+    }
+
+    #[test]
+    fn breakdown_from_metrics_survives_the_monitor() {
+        // The derived step-scoped gauges must not perturb the reduction
+        // that rebuilds the breakdown from the registry.
+        let mut c = small_cluster();
+        c.enable_longrun(LongRunConfig::default());
+        let b = c.step();
+        let rebuilt = c.breakdown_from_metrics();
+        assert!((b.total() - rebuilt.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monitor_is_deterministic() {
+        let run = || {
+            let mut c = small_cluster();
+            c.enable_longrun(LongRunConfig::default());
+            for _ in 0..4 {
+                c.step();
+            }
+            let lr = c.take_longrun().unwrap();
+            let mut dump = String::new();
+            for (name, s) in lr.series().iter() {
+                dump.push_str(&format!("{name} {:?}\n", s.bins()));
+            }
+            dump.push_str(&lr.health().render_log());
+            dump
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -33,4 +33,15 @@ cmp BENCH_scaling.json "$scratch/BENCH_scaling.1.json"
 echo "== regression gate: obs_scaling --check =="
 cargo run -q --release -p bonsai-bench --bin obs_scaling -- --check baselines/scaling.json
 
+echo "== long-run gate: obs_longrun double run + alert lifecycle =="
+cargo run -q --release -p bonsai-bench --bin obs_longrun >/dev/null
+cp BENCH_longrun.json "$scratch/BENCH_longrun.1.json"
+cp out/longrun_report.html "$scratch/longrun_report.1.html"
+cargo run -q --release -p bonsai-bench --bin obs_longrun >/dev/null
+cmp BENCH_longrun.json "$scratch/BENCH_longrun.1.json"
+cmp out/longrun_report.html "$scratch/longrun_report.1.html"
+# The seeded fault storm must open AND close at least one recovery alert.
+grep -q '"rule": "recovery-storm", .*"kind": "open"' BENCH_longrun.json
+grep -q '"rule": "recovery-storm", .*"kind": "close"' BENCH_longrun.json
+
 echo "CI line green"
