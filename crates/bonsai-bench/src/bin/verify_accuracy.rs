@@ -1,0 +1,116 @@
+//! Force-accuracy conformance run + regression gate.
+//!
+//! Runs `bonsai-verify`'s full conformance suite — the differential
+//! tree-vs-direct oracle over five IC families × θ ∈ {0.2, 0.4, 0.5,
+//! 0.75} × {quadrupole, monopole}, then the distributed equivalence
+//! ladder at R ∈ {1, 2, 4, 8} (plus one fault-injected rung) — and
+//! writes the byte-deterministic `BENCH_accuracy.json` (repo root,
+//! schema `bonsai-accuracy-v1`).
+//!
+//! With `--check <baseline.json>` (default `baselines/accuracy.json`)
+//! the fresh run is gated three ways: absolute θ-dependent tolerance
+//! bands, the Fig. 2 error orderings, and numeric drift against the
+//! committed baseline. Violations are printed and the process exits 1;
+//! a missing or unparseable baseline exits 2.
+//!
+//! `--inflate-theta <factor>` makes the walk use `factor × θ` while the
+//! bands stay keyed to the nominal θ — a deliberately loosened MAC that
+//! exists to demonstrate (and let CI prove) the gate's failure mode.
+
+use bonsai_bench::arg_usize;
+use bonsai_verify::{accuracy_json, check_accuracy, run, RunConfig};
+
+fn arg_f64(name: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().position(|a| a == "--check").map(|i| {
+        args.get(i + 1)
+            .filter(|a| !a.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "baselines/accuracy.json".to_string())
+    });
+
+    let mut cfg = RunConfig::default();
+    cfg.n = arg_usize("--n", cfg.n);
+    cfg.seed = arg_usize("--seed", cfg.seed as usize) as u64;
+    cfg.dist_n = arg_usize("--dist-n", cfg.dist_n);
+    cfg.theta_inflation = arg_f64("--inflate-theta", 1.0);
+
+    let report = run(&cfg);
+    let json = accuracy_json(&report);
+    std::fs::write("BENCH_accuracy.json", &json).expect("write BENCH_accuracy.json");
+
+    println!(
+        "accuracy conformance (n {}, seed {}, dist_n {}, θ-inflation {})",
+        cfg.n, cfg.seed, cfg.dist_n, cfg.theta_inflation
+    );
+    println!(
+        "{:>16} {:>6} {:>12} {:>12} {:>12} {:>12}",
+        "family", "theta", "kernel", "median", "p95", "max"
+    );
+    for row in &report.differential {
+        println!(
+            "{:>16} {:>6} {:>12} {:>12.3e} {:>12.3e} {:>12.3e}",
+            row.family.name(),
+            row.theta,
+            if row.quadrupole { "quadrupole" } else { "monopole" },
+            row.pcts.median,
+            row.pcts.p95,
+            row.pcts.max
+        );
+    }
+    println!(
+        "{:>6} {:>7} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "ranks", "faulty", "median", "p95", "max", "forced_cuts", "degraded"
+    );
+    for row in &report.distributed {
+        println!(
+            "{:>6} {:>7} {:>12.3e} {:>12.3e} {:>12.3e} {:>12} {:>9}",
+            row.report.ranks,
+            row.faulty,
+            row.report.diff.median,
+            row.report.diff.p95,
+            row.report.diff.max,
+            row.report.forced_cuts,
+            row.report.degraded_lets
+        );
+    }
+    println!("wrote BENCH_accuracy.json");
+
+    if let Some(baseline_path) = check {
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {baseline_path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        match check_accuracy(&baseline, &json) {
+            Ok(viol) if viol.is_empty() => {
+                println!("accuracy gate: PASS vs {baseline_path}");
+            }
+            Ok(viol) => {
+                eprintln!("accuracy gate: FAIL vs {baseline_path} ({} violations)", viol.len());
+                for v in &viol {
+                    eprintln!("  {v}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("accuracy gate: cannot compare: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

@@ -151,6 +151,18 @@ impl Simulation {
         self.last_counts
     }
 
+    /// Accelerations keyed by particle id — the serial reference the
+    /// distributed equivalence oracle compares a [`bonsai-sim`] cluster
+    /// against (mirrors `Cluster::accelerations_by_id`).
+    pub fn accelerations_by_id(&self) -> std::collections::HashMap<u64, Vec3> {
+        self.particles
+            .id
+            .iter()
+            .copied()
+            .zip(self.acc.iter().copied())
+            .collect()
+    }
+
     /// Energy/momentum diagnostics from the tree potentials of the current
     /// state (no extra force evaluation).
     pub fn energy_report(&self) -> EnergyReport {

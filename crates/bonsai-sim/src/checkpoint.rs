@@ -47,6 +47,40 @@ fn shard_path(dir: &Path, rank: usize) -> PathBuf {
     dir.join(shard_name(rank))
 }
 
+fn forces_name(rank: usize) -> String {
+    format!("forces_{rank}.bin")
+}
+
+/// Serialize one rank's `(acc, pot)` as 32 bytes per particle (little
+/// endian: acc.x, acc.y, acc.z, pot).
+fn forces_to_bytes(acc: &[bonsai_util::Vec3], pot: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(acc.len() * 32);
+    for (a, &phi) in acc.iter().zip(pot) {
+        for v in [a.x, a.y, a.z, phi] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+fn forces_from_bytes(bytes: &[u8], count: usize) -> io::Result<(Vec<bonsai_util::Vec3>, Vec<f64>)> {
+    if bytes.len() != count * 32 {
+        return Err(bad(format!(
+            "forces shard: {} bytes, expected {} for {count} particles",
+            bytes.len(),
+            count * 32
+        )));
+    }
+    let f = |i: usize| f64::from_le_bytes(bytes[i * 8..i * 8 + 8].try_into().unwrap());
+    let mut acc = Vec::with_capacity(count);
+    let mut pot = Vec::with_capacity(count);
+    for i in 0..count {
+        acc.push(bonsai_util::Vec3::new(f(4 * i), f(4 * i + 1), f(4 * i + 2)));
+        pot.push(f(4 * i + 3));
+    }
+    Ok((acc, pot))
+}
+
 /// Write `bytes` to `path` atomically (temp file + rename).
 fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
@@ -61,6 +95,14 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
 /// Layout: `dir/manifest.txt` + `dir/shard_<rank>.bin`. Shards land first,
 /// the manifest last; each manifest shard line carries the particle count
 /// and CRC-64 of the shard's bytes.
+///
+/// After the shard lines the manifest carries *exact-resume* state as
+/// trailing `domain` / `weight` / `forces` lines (readers of the base
+/// format stop after the shard lines, so the extension is backward
+/// compatible). Force shards are written only when the cluster holds
+/// accelerations for every rank — a pre-force initial checkpoint omits
+/// them, and [`resume_cluster_exact`] reports that a rebalancing restart
+/// via [`restore_cluster`] is needed instead.
 pub fn write_checkpoint(cluster: &Cluster, dir: &Path) -> io::Result<()> {
     std::fs::create_dir_all(dir)?;
     let p = cluster.rank_count();
@@ -79,6 +121,21 @@ pub fn write_checkpoint(cluster: &Cluster, dir: &Path) -> io::Result<()> {
             shard_name(r),
             particles.len()
         ));
+    }
+    for (r, d) in cluster.domains().iter().enumerate() {
+        manifest.push_str(&format!("domain {r} {} {}\n", d.start, d.end));
+    }
+    for (r, w) in cluster.weights().iter().enumerate() {
+        manifest.push_str(&format!("weight {r} {w:?}\n"));
+    }
+    let forces_ready = (0..p).all(|r| cluster.rank_acc(r).len() == cluster.rank_particles(r).len());
+    if forces_ready {
+        for r in 0..p {
+            let bytes = forces_to_bytes(cluster.rank_acc(r), cluster.rank_pot(r));
+            let crc = crc64(&bytes);
+            write_atomic(&dir.join(forces_name(r)), &bytes)?;
+            manifest.push_str(&format!("forces {r} {} {crc:016x}\n", forces_name(r)));
+        }
     }
     write_atomic(&dir.join("manifest.txt"), manifest.as_bytes())
 }
@@ -172,6 +229,138 @@ pub fn read_checkpoint(dir: &Path) -> io::Result<(Particles, f64)> {
 pub fn restore_cluster(dir: &Path, ranks: usize, cfg: ClusterConfig) -> io::Result<Cluster> {
     let (particles, _time) = read_checkpoint(dir)?;
     Ok(Cluster::new(particles, ranks, cfg))
+}
+
+/// Resume a cluster *exactly* from a checkpoint: same rank count, same
+/// per-rank particle assignment, and the checkpointed domains, load
+/// weights, accelerations and potentials adopted verbatim. No fresh
+/// decomposition or force phase runs, so every subsequent [`Cluster::step`]
+/// is bit-for-bit identical to the run that wrote the checkpoint — the
+/// property the force-accuracy conformance suite gates on (DESIGN.md §6f).
+///
+/// Requires the exact-resume manifest extension (`domain`/`weight`/`forces`
+/// lines); checkpoints written before the first force evaluation lack the
+/// force shards and are rejected with a descriptive error — restart those
+/// through [`restore_cluster`], which rebalances from scratch.
+pub fn resume_cluster_exact(dir: &Path, cfg: ClusterConfig) -> io::Result<Cluster> {
+    let manifest = std::fs::read_to_string(dir.join("manifest.txt"))?;
+    let mut lines = manifest.lines();
+    let header = lines.next().unwrap_or("");
+    if header != MANIFEST_HEADER {
+        return Err(bad(format!(
+            "bad manifest header '{header}' (expected '{MANIFEST_HEADER}')"
+        )));
+    }
+    let ranks: usize = parse_field(lines.next(), "ranks")?;
+    let time: f64 = parse_field(lines.next(), "time")?;
+    let steps: u64 = parse_field(lines.next(), "steps")?;
+
+    // Per-rank particle shards (the base format, kept per rank this time).
+    let mut parts: Vec<Particles> = Vec::with_capacity(ranks);
+    for r in 0..ranks {
+        let line = lines
+            .next()
+            .ok_or_else(|| bad(format!("manifest truncated: missing shard line {r}")))?;
+        let mut f = line.split_whitespace();
+        let (name, _count, crc_hex) = match (f.next(), f.next(), f.next()) {
+            (Some(n), Some(c), Some(x)) => (n, c, x),
+            _ => return Err(bad(format!("manifest shard line {r} malformed: '{line}'"))),
+        };
+        let stated = u64::from_str_radix(crc_hex, 16)
+            .map_err(|_| bad(format!("shard {name}: invalid checksum '{crc_hex}'")))?;
+        let bytes = std::fs::read(shard_path(dir, r))?;
+        if crc64(&bytes) != stated {
+            return Err(bad(format!("shard {name}: checksum mismatch")));
+        }
+        let (shard, _t) = snapshot_from_bytes(&bytes).map_err(|e| bad(format!("shard {name}: {e}")))?;
+        parts.push(shard);
+    }
+
+    // Exact-resume extension lines.
+    let mut domains = vec![None; ranks];
+    let mut weights = vec![None; ranks];
+    let mut forces: Vec<Option<(Vec<bonsai_util::Vec3>, Vec<f64>)>> =
+        (0..ranks).map(|_| None).collect();
+    for line in lines {
+        let mut f = line.split_whitespace();
+        match f.next() {
+            Some("domain") => {
+                let (r, start, end) = parse3(&mut f, line, "domain")?;
+                let r = in_range(r as usize, ranks, line)?;
+                domains[r] = Some(bonsai_sfc::KeyRange::new(start, end));
+            }
+            Some("weight") => {
+                let r: usize = parse_tok(f.next(), line, "weight rank")?;
+                let r = in_range(r, ranks, line)?;
+                weights[r] = Some(parse_tok::<f64>(f.next(), line, "weight value")?);
+            }
+            Some("forces") => {
+                let r: usize = parse_tok(f.next(), line, "forces rank")?;
+                let r = in_range(r, ranks, line)?;
+                let name: String = parse_tok(f.next(), line, "forces file")?;
+                let crc_hex: String = parse_tok(f.next(), line, "forces checksum")?;
+                let stated = u64::from_str_radix(&crc_hex, 16)
+                    .map_err(|_| bad(format!("forces {name}: invalid checksum '{crc_hex}'")))?;
+                let bytes = std::fs::read(dir.join(&name))?;
+                if crc64(&bytes) != stated {
+                    return Err(bad(format!(
+                        "forces {name}: checksum mismatch — torn or corrupted write"
+                    )));
+                }
+                forces[r] = Some(forces_from_bytes(&bytes, parts[r].len())?);
+            }
+            _ => {} // Unknown trailing lines: future extensions.
+        }
+    }
+    let missing = |what: &str| {
+        bad(format!(
+            "checkpoint lacks exact-resume {what} lines (written before the first force \
+             evaluation, or by an older version); use restore_cluster to restart with a \
+             fresh decomposition"
+        ))
+    };
+    let domains: Vec<_> = domains
+        .into_iter()
+        .collect::<Option<_>>()
+        .ok_or_else(|| missing("domain"))?;
+    let weights: Vec<_> = weights
+        .into_iter()
+        .collect::<Option<_>>()
+        .ok_or_else(|| missing("weight"))?;
+    let (acc, pot): (Vec<_>, Vec<_>) = forces
+        .into_iter()
+        .collect::<Option<Vec<_>>>()
+        .ok_or_else(|| missing("forces"))?
+        .into_iter()
+        .unzip();
+    Ok(Cluster::from_exact_state(
+        parts, acc, pot, domains, weights, time, steps, cfg,
+    ))
+}
+
+fn parse_tok<T: std::str::FromStr>(tok: Option<&str>, line: &str, what: &str) -> io::Result<T> {
+    tok.and_then(|t| t.parse().ok())
+        .ok_or_else(|| bad(format!("manifest line '{line}': bad {what}")))
+}
+
+fn parse3<'a>(
+    f: &mut impl Iterator<Item = &'a str>,
+    line: &str,
+    what: &str,
+) -> io::Result<(u64, u64, u64)> {
+    Ok((
+        parse_tok(f.next(), line, what)?,
+        parse_tok(f.next(), line, what)?,
+        parse_tok(f.next(), line, what)?,
+    ))
+}
+
+fn in_range(r: usize, ranks: usize, line: &str) -> io::Result<usize> {
+    if r < ranks {
+        Ok(r)
+    } else {
+        Err(bad(format!("manifest line '{line}': rank {r} out of range")))
+    }
 }
 
 /// I/O-overhead model: the paper reports a "few percent" of step time for
@@ -281,6 +470,80 @@ mod tests {
                 "id {ia} diverged after restart: {xa} vs {xb}"
             );
         }
+    }
+
+    #[test]
+    fn exact_resume_restores_identical_state() {
+        let ic = plummer_sphere(900, 8);
+        let cfg = ClusterConfig::default();
+        let mut c = Cluster::new(ic, 4, cfg.clone());
+        c.step();
+        c.step();
+        let dir = tmp("exact");
+        write_checkpoint(&c, &dir).unwrap();
+        let r = resume_cluster_exact(&dir, cfg).unwrap();
+        assert_eq!(r.rank_count(), 4);
+        assert_eq!(r.step_count(), 2);
+        assert_eq!(r.time().to_bits(), c.time().to_bits());
+        assert_eq!(r.domains(), c.domains());
+        // Per-rank state is adopted verbatim: same particles in the same
+        // order, same accelerations to the bit.
+        for rank in 0..4 {
+            let (a, b) = (c.rank_particles(rank), r.rank_particles(rank));
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.pos, b.pos);
+            assert_eq!(a.vel, b.vel);
+        }
+        let (ca, ra) = (c.accelerations_by_id(), r.accelerations_by_id());
+        for (id, acc) in &ca {
+            assert_eq!(acc, &ra[id], "acc of particle {id} not bit-identical");
+        }
+    }
+
+    #[test]
+    fn exact_resume_rejects_pre_force_checkpoints() {
+        // The constructor writes an initial checkpoint before the first
+        // force evaluation; it has no forces shards and must be refused
+        // with a pointer at restore_cluster.
+        let ic = plummer_sphere(300, 12);
+        let dir = tmp("preforce");
+        let _c = Cluster::with_faults(
+            ic,
+            2,
+            ClusterConfig::default(),
+            bonsai_net::FaultPlan::new(0),
+            Some(crate::cluster::RecoveryConfig {
+                dir: dir.clone(),
+                every: 0,
+            }),
+        );
+        let err = match resume_cluster_exact(&dir, ClusterConfig::default()) {
+            Ok(_) => panic!("pre-force checkpoint must not resume exactly"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("restore_cluster"), "{err}");
+    }
+
+    #[test]
+    fn exact_resume_detects_corrupt_forces_shard() {
+        let ic = plummer_sphere(400, 13);
+        let cfg = ClusterConfig::default();
+        let mut c = Cluster::new(ic, 3, cfg.clone());
+        c.step();
+        let dir = tmp("forces_flip");
+        write_checkpoint(&c, &dir).unwrap();
+        let path = dir.join("forces_2.bin");
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[7] ^= 0x20;
+        std::fs::write(&path, bytes).unwrap();
+        let err = match resume_cluster_exact(&dir, cfg) {
+            Ok(_) => panic!("corrupt forces shard must not resume"),
+            Err(e) => e,
+        };
+        assert!(
+            err.to_string().contains("forces_2.bin") && err.to_string().contains("checksum"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -258,6 +258,74 @@ impl Cluster {
         cluster
     }
 
+    /// Reconstruct a cluster from exact-resume checkpoint state: per-rank
+    /// particles, accelerations, potentials, domains and load weights are
+    /// adopted verbatim, so no fresh decomposition or force phase runs and
+    /// the next [`Cluster::step`] continues bit-for-bit where the
+    /// checkpointed run would have. (Contrast with
+    /// [`restore_cluster`](crate::checkpoint::restore_cluster), which
+    /// re-decomposes and may change the rank count.)
+    pub(crate) fn from_exact_state(
+        ranks: Vec<Particles>,
+        acc: Vec<Vec<Vec3>>,
+        pot: Vec<Vec<f64>>,
+        domains: Vec<KeyRange>,
+        weights: Vec<f64>,
+        time: f64,
+        steps: u64,
+        cfg: ClusterConfig,
+    ) -> Self {
+        let p = ranks.len();
+        assert!(p > 0, "exact resume needs at least one rank");
+        assert!(acc.len() == p && pot.len() == p && domains.len() == p && weights.len() == p);
+        let gpu = GpuModel::new(K20X, KernelVariant::TreeKeplerTuned);
+        let net = NetworkModel::new(cfg.machine);
+        let plan = Arc::new(FaultPlan::new(0));
+        let fault_log = SharedFaultLog::new();
+        let endpoints: Vec<FaultyEndpoint> = Fabric::new(p)
+            .into_iter()
+            .map(|ep| FaultyEndpoint::new(ep, plan.clone(), fault_log.clone()))
+            .collect();
+        Self {
+            cfg,
+            gpu,
+            net,
+            acc,
+            pot,
+            ranks,
+            domains,
+            weights,
+            time,
+            steps,
+            endpoints,
+            plan,
+            fault_log,
+            epoch: 0,
+            dead: vec![false; p],
+            recovery: None,
+            last_measurements: StepMeasurements::default(),
+            trace: TraceStore::new(),
+            registry: MetricsRegistry::new(),
+            trace_clock: 0.0,
+            longrun: None,
+        }
+    }
+
+    /// Per-rank load weights (exact-resume checkpoint state).
+    pub(crate) fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Rank `rank`'s accelerations (aligned with [`Cluster::rank_particles`]).
+    pub(crate) fn rank_acc(&self, rank: usize) -> &[Vec3] {
+        &self.acc[rank]
+    }
+
+    /// Rank `rank`'s potentials (aligned with [`Cluster::rank_particles`]).
+    pub(crate) fn rank_pot(&self, rank: usize) -> &[f64] {
+        &self.pot[rank]
+    }
+
     /// Rank count.
     pub fn rank_count(&self) -> usize {
         self.ranks.len()

@@ -260,3 +260,48 @@ fn zero_velocity_cold_collapse_survives_many_steps() {
         assert!(a.is_finite());
     }
 }
+
+#[test]
+fn exact_resume_trajectory_is_bit_identical() {
+    // The conformance-suite contract (DESIGN.md §6f): restoring from an
+    // exact-resume v2 checkpoint mid-run and stepping on must reproduce the
+    // uninterrupted run's accelerations and positions to the bit — not
+    // within a tolerance. (Contrast with restore_cluster, which rebalances
+    // from scratch and only agrees to ~1e-6 after a few steps.)
+    let ic = plummer_sphere(800, 11);
+    let cfg = ClusterConfig::default();
+    let mut a = Cluster::new(ic.clone(), 4, cfg.clone());
+    a.step();
+    a.step();
+
+    let dir = std::env::temp_dir().join("bonsai_robust").join("exact_resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    bonsai_sim::checkpoint::write_checkpoint(&a, &dir).unwrap();
+    let mut b = bonsai_sim::checkpoint::resume_cluster_exact(&dir, cfg).unwrap();
+
+    for step in 0..3 {
+        a.step();
+        b.step();
+        let (fa, fb) = (a.accelerations_by_id(), b.accelerations_by_id());
+        assert_eq!(fa.len(), fb.len());
+        for (id, acc) in &fa {
+            assert_eq!(
+                acc, &fb[id],
+                "step {step}: acceleration of particle {id} diverged after exact resume"
+            );
+        }
+    }
+    assert_eq!(a.time().to_bits(), b.time().to_bits());
+    assert_eq!(a.step_count(), b.step_count());
+    let mut pa: Vec<(u64, Vec3)> = {
+        let g = a.gather();
+        g.id.iter().copied().zip(g.pos.iter().copied()).collect()
+    };
+    let mut pb: Vec<(u64, Vec3)> = {
+        let g = b.gather();
+        g.id.iter().copied().zip(g.pos.iter().copied()).collect()
+    };
+    pa.sort_by_key(|(i, _)| *i);
+    pb.sort_by_key(|(i, _)| *i);
+    assert_eq!(pa, pb, "positions diverged after exact resume");
+}

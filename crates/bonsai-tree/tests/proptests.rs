@@ -4,10 +4,11 @@
 use bonsai_sfc::Curve;
 use bonsai_tree::build::{Tree, TreeParams};
 use bonsai_tree::direct::direct_self_forces;
+use bonsai_tree::node::NodeKind;
 use bonsai_tree::walk::{self, WalkParams};
-use bonsai_tree::Particles;
+use bonsai_tree::{Node, OpeningCriterion, Particles};
 use bonsai_util::rng::Xoshiro256;
-use bonsai_util::{Sym3, Vec3};
+use bonsai_util::{Aabb, Sym3, Vec3};
 use proptest::prelude::*;
 
 fn make_particles(n: usize, seed: u64, clustered: bool) -> Particles {
@@ -114,6 +115,107 @@ proptest! {
             // |φ| ≤ Σ m / ε (worst case: everything at zero distance)
             let bound = tree.particles.total_mass() / eps;
             prop_assert!(forces.pot[i].abs() <= bound * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn mac_is_monotone_in_theta(seed in any::<u64>(), t_lo in 0.05f64..1.2, t_hi in 0.05f64..1.2) {
+        // Shrinking θ grows the opening radius l/θ + s, so the set of
+        // (target, cell) pairs a walk opens at θ_hi is a subset of what it
+        // opens at θ_lo ≤ θ_hi: a smaller θ never opens fewer nodes.
+        let (t_lo, t_hi) = if t_lo <= t_hi { (t_lo, t_hi) } else { (t_hi, t_lo) };
+        let mut rng = Xoshiro256::seed_from(seed);
+        for _ in 0..16 {
+            let center = rng.unit_sphere() * (4.0 * rng.uniform());
+            let half = rng.uniform_in(0.01, 1.5);
+            // COM anywhere inside the geometric cell (offset MAC territory).
+            let com = center
+                + Vec3::new(
+                    half * (2.0 * rng.uniform() - 1.0),
+                    half * (2.0 * rng.uniform() - 1.0),
+                    half * (2.0 * rng.uniform() - 1.0),
+                );
+            let node = Node {
+                com,
+                mass: 1.0,
+                quad: Sym3::zero(),
+                bbox: Aabb::cube(center, half),
+                geo_center: center,
+                geo_half: half,
+                first: 0,
+                count: 0,
+                kind: NodeKind::Internal,
+                level: 1,
+            };
+            let target = Aabb::cube(rng.unit_sphere() * (6.0 * rng.uniform()), rng.uniform_in(0.01, 2.0));
+            if OpeningCriterion::new(t_hi).must_open(&target, &node) {
+                prop_assert!(
+                    OpeningCriterion::new(t_lo).must_open(&target, &node),
+                    "θ={t_lo} accepted a cell that θ={t_hi} opened"
+                );
+            }
+            let point = rng.unit_sphere() * (6.0 * rng.uniform());
+            if OpeningCriterion::new(t_hi).must_open_point(point, &node) {
+                prop_assert!(OpeningCriterion::new(t_lo).must_open_point(point, &node));
+            }
+            // Group acceptance must be conservative for every member point.
+            if !OpeningCriterion::new(t_hi).must_open(&target, &node) {
+                let inside = Vec3::new(
+                    target.min.x + (target.max.x - target.min.x) * rng.uniform(),
+                    target.min.y + (target.max.y - target.min.y) * rng.uniform(),
+                    target.min.z + (target.max.z - target.min.z) * rng.uniform(),
+                );
+                prop_assert!(!OpeningCriterion::new(t_hi).must_open_point(inside, &node));
+            }
+        }
+    }
+
+    #[test]
+    fn walk_opens_monotonically_more_as_theta_shrinks(n in 100usize..300, seed in any::<u64>()) {
+        // Whole-walk corollary of the MAC monotonicity: at smaller θ the
+        // walk resolves more cells, so p-p work never decreases and p-c
+        // approximations never increase.
+        let p = make_particles(n, seed, true);
+        let tree = Tree::build(p, TreeParams::default());
+        let mut prev: Option<bonsai_tree::InteractionCounts> = None;
+        for theta in [0.8, 0.5, 0.3, 0.15] {
+            let (_, stats) = walk::self_gravity(&tree, &WalkParams::new(theta, 0.05));
+            if let Some(c) = prev {
+                prop_assert!(
+                    stats.counts.pp >= c.pp,
+                    "θ={theta}: pp fell {} -> {}", c.pp, stats.counts.pp
+                );
+            }
+            prev = Some(stats.counts);
+        }
+    }
+
+    #[test]
+    fn forces_invariant_under_particle_permutation(n in 2usize..250, seed in any::<u64>(),
+                                                   theta in 0.2f64..0.9) {
+        // The SFC sort canonicalizes particle order before the walk, so the
+        // same point set fed in any order must give bit-identical per-id
+        // forces (same tree, same groups, same summation order).
+        let p = make_particles(n, seed, true);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = Xoshiro256::seed_from(seed ^ 0x5EED);
+        for i in (1..n).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let mut q = Particles::with_capacity(n);
+        for &i in &order {
+            q.push(p.pos[i], p.vel[i], p.mass[i], p.id[i]);
+        }
+        let ta = Tree::build(p, TreeParams::default());
+        let tb = Tree::build(q, TreeParams::default());
+        let (fa, _) = walk::self_gravity(&ta, &WalkParams::new(theta, 0.05));
+        let (fb, _) = walk::self_gravity(&tb, &WalkParams::new(theta, 0.05));
+        for i in 0..n {
+            let id = ta.particles.id[i];
+            let j = tb.particles.id.iter().position(|&x| x == id).unwrap();
+            prop_assert_eq!(fa.acc[i], fb.acc[j], "id {} acc differs under permutation", id);
+            prop_assert_eq!(fa.pot[i], fb.pot[j], "id {} pot differs under permutation", id);
         }
     }
 

@@ -1,0 +1,126 @@
+//! Integration tests for the differential force oracle: the full
+//! family × θ × kernel conformance sweep at the calibration scale
+//! (N = 4096), the Fig. 2 qualitative orderings, and the proof that the
+//! deliberate θ-inflation hook trips the tolerance bands.
+
+use bonsai_verify::{measure, tolerance_band, ErrorPercentiles, Family, FAMILIES, THETA_SWEEP};
+
+const N: usize = 4096;
+const SEED: u64 = 42;
+
+/// Run the whole sweep once and hand each observation to `visit`.
+fn sweep(mut visit: impl FnMut(Family, f64, bool, ErrorPercentiles)) {
+    for &family in &FAMILIES {
+        for &theta in &THETA_SWEEP {
+            for quadrupole in [true, false] {
+                visit(
+                    family,
+                    theta,
+                    quadrupole,
+                    measure(family, N, SEED, theta, quadrupole, 1.0),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_sweep_stays_inside_tolerance_bands() {
+    let mut violations = Vec::new();
+    sweep(|family, theta, quadrupole, p| {
+        if let Some(why) = tolerance_band(theta, quadrupole).violation(&p) {
+            violations.push(format!(
+                "{} θ={theta} {}: {why}",
+                family.name(),
+                if quadrupole { "quad" } else { "mono" }
+            ));
+        }
+    });
+    assert!(violations.is_empty(), "band violations:\n{}", violations.join("\n"));
+}
+
+#[test]
+fn fig2_error_orderings_hold() {
+    // Collect the sweep into a lookup keyed by (family, θ-index, kernel).
+    let mut p95 = std::collections::HashMap::new();
+    sweep(|family, theta, quadrupole, p| {
+        p95.insert((family.name(), theta.to_bits(), quadrupole), p.p95);
+    });
+    for &family in &FAMILIES {
+        // Ordering 1 (Fig. 2 x-axis): error grows monotonically with θ.
+        for quadrupole in [true, false] {
+            for w in THETA_SWEEP.windows(2) {
+                let lo = p95[&(family.name(), w[0].to_bits(), quadrupole)];
+                let hi = p95[&(family.name(), w[1].to_bits(), quadrupole)];
+                assert!(
+                    lo <= hi,
+                    "{} quad={quadrupole}: p95(θ={}) = {lo:.3e} > p95(θ={}) = {hi:.3e}",
+                    family.name(),
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+        // Ordering 2 (Fig. 2 curve separation): quadrupole beats monopole
+        // at every θ.
+        for &theta in &THETA_SWEEP {
+            let quad = p95[&(family.name(), theta.to_bits(), true)];
+            let mono = p95[&(family.name(), theta.to_bits(), false)];
+            assert!(
+                quad <= mono,
+                "{} θ={theta}: quadrupole p95 {quad:.3e} worse than monopole {mono:.3e}",
+                family.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn bands_are_seed_robust_at_production_theta() {
+    // The bands carry ~4× headroom over the calibration seed; a different
+    // realization of each family must not eat that margin.
+    for seed in [7u64, 1234] {
+        for &family in &FAMILIES {
+            for quadrupole in [true, false] {
+                let p = measure(family, N, seed, 0.4, quadrupole, 1.0);
+                assert!(
+                    tolerance_band(0.4, quadrupole).violation(&p).is_none(),
+                    "{} seed={seed} quad={quadrupole}: {p:?}",
+                    family.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theta_inflation_hook_trips_the_gate() {
+    // The CI gate's self-test, exercising both of its tripwires.
+    //
+    // Absolute tolerance bands: for the families whose error is dominated
+    // by genuine MAC acceptances, walking at 2.5×θ while checking against
+    // the nominal-θ band must be flagged. (deep_clusters is excluded by
+    // design: its levels are so well separated that even θ = 1 stays
+    // inside the Fig. 2 band — the drift gate below is what covers it.)
+    for family in [Family::Plummer, Family::MilkyWay, Family::NearCoincident, Family::ColdCube] {
+        let p = measure(family, N, SEED, 0.4, true, 2.5);
+        assert!(
+            tolerance_band(0.4, true).violation(&p).is_some(),
+            "{}: inflated walk escaped the band ({p:?})",
+            family.name()
+        );
+    }
+    // Baseline drift: the `--check` gate allows 25% relative drift per
+    // percentile; a 2×θ walk must blow far past that for every family.
+    for &family in &FAMILIES {
+        let honest = measure(family, N, SEED, 0.4, true, 1.0);
+        let inflated = measure(family, N, SEED, 0.4, true, 2.0);
+        assert!(
+            inflated.p95 > 2.0 * honest.p95,
+            "{}: p95 {:.3e} → {:.3e} would slip past the drift gate",
+            family.name(),
+            honest.p95,
+            inflated.p95
+        );
+    }
+}

@@ -1,0 +1,91 @@
+//! Integration tests for the distributed equivalence oracle: the rank
+//! ladder against the serial reference, fault-plan runs proving recovery
+//! is physics-preserving, and the graceful-degradation contract of the
+//! boundary-tree fallback.
+
+use bonsai_ic::plummer_sphere;
+use bonsai_net::fault::{FaultKind, FaultPlan};
+use bonsai_sim::ClusterConfig;
+use bonsai_verify::{equivalence, equivalence_band, serial_reference};
+
+const N: usize = 2048;
+const IC_SEED: u64 = 9;
+
+#[test]
+fn rank_ladder_matches_serial_reference() {
+    let cfg = ClusterConfig::default();
+    let ic = plummer_sphere(N, IC_SEED);
+    let reference = serial_reference(&ic, &cfg);
+    for ranks in [1usize, 2, 4, 8] {
+        let rep = equivalence(&ic, ranks, &cfg, None, &reference);
+        assert_eq!(rep.faults_injected, 0);
+        assert_eq!(rep.degraded_lets, 0);
+        let band = equivalence_band(cfg.theta, ranks);
+        assert!(
+            band.violation(&rep.diff).is_none(),
+            "R={ranks}: {:?} outside {band:?}",
+            rep.diff
+        );
+    }
+}
+
+#[test]
+fn single_rank_is_exactly_the_serial_walk() {
+    // R = 1 builds the same tree over the same SFC order and runs the same
+    // kernels; the distributed plumbing must be invisible to round-off.
+    let cfg = ClusterConfig::default();
+    let ic = plummer_sphere(N, IC_SEED);
+    let rep = equivalence(&ic, 1, &cfg, None, &serial_reference(&ic, &cfg));
+    assert_eq!(rep.diff.max, 0.0, "R=1 must be bit-identical to serial");
+}
+
+#[test]
+fn recovered_message_faults_are_physics_invisible() {
+    // Drop/duplicate/corrupt/reorder at rates the retransmission machinery
+    // fully absorbs: the accepted gravity epoch must be *identical* to the
+    // clean run — recovery is physics-preserving, not merely crash-free.
+    let cfg = ClusterConfig::default();
+    let ic = plummer_sphere(N, IC_SEED);
+    let reference = serial_reference(&ic, &cfg);
+    let clean = equivalence(&ic, 8, &cfg, None, &reference);
+    let plan = FaultPlan::new(0xFA17)
+        .with_rate(FaultKind::Drop, 0.04)
+        .with_rate(FaultKind::Duplicate, 0.03)
+        .with_rate(FaultKind::Corrupt, 0.03)
+        .with_rate(FaultKind::Reorder, 0.05);
+    let faulty = equivalence(&ic, 8, &cfg, Some((plan, None)), &reference);
+    assert!(faulty.faults_injected > 0, "plan injected nothing");
+    assert_eq!(
+        faulty.degraded_lets, 0,
+        "at these rates every LET must survive retransmission"
+    );
+    assert_eq!(
+        (faulty.diff.median, faulty.diff.p95, faulty.diff.max),
+        (clean.diff.median, clean.diff.p95, clean.diff.max),
+        "recovered faults must not perturb the force field at all"
+    );
+}
+
+#[test]
+fn boundary_fallback_degrades_gracefully() {
+    // A drop rate high enough to defeat the LET retry budget (original +
+    // 2 retries) forces the receiver onto the sender's boundary tree.
+    // That is an *availability* trade: the walk proceeds with forced cuts
+    // and the error leaves the MAC band — the contract is that it stays
+    // bounded and every particle keeps a finite force, not that Fig. 2
+    // accuracy survives. (Seed chosen so heartbeats live; a rank death
+    // without a RecoveryConfig is a documented panic.)
+    let cfg = ClusterConfig::default();
+    let ic = plummer_sphere(1024, IC_SEED);
+    let reference = serial_reference(&ic, &cfg);
+    let plan = FaultPlan::new(14).with_rate(FaultKind::Drop, 0.35);
+    let rep = equivalence(&ic, 8, &cfg, Some((plan, None)), &reference);
+    assert!(rep.degraded_lets >= 1, "fallback path not exercised");
+    assert!(rep.forced_cuts > 0, "degraded walk should force MAC cuts");
+    assert!(rep.diff.median < 1e-3, "median {:.3e}", rep.diff.median);
+    assert!(
+        rep.diff.max.is_finite() && rep.diff.max < 0.5,
+        "max {:.3e} unbounded",
+        rep.diff.max
+    );
+}

@@ -15,6 +15,12 @@ cargo test -q -p bonsai-sim --test robustness
 echo "== tier-1.5: observability gate =="
 cargo test -q -p bonsai-obs
 
+echo "== tier-1.5: accuracy conformance suite =="
+# A modest case count keeps the proptest layer fast on PRs; scheduled
+# runs can export CI_PROPTEST_CASES=256 for deeper coverage.
+CI_PROPTEST_CASES="${CI_PROPTEST_CASES:-32}" cargo test -q -p bonsai-tree --test proptests
+cargo test -q -p bonsai-verify
+
 scratch="$(mktemp -d)"
 trap 'rm -rf "$scratch"' EXIT
 
@@ -32,6 +38,27 @@ cmp BENCH_scaling.json "$scratch/BENCH_scaling.1.json"
 
 echo "== regression gate: obs_scaling --check =="
 cargo run -q --release -p bonsai-bench --bin obs_scaling -- --check baselines/scaling.json
+
+echo "== determinism: verify_accuracy double run =="
+cargo run -q --release -p bonsai-bench --bin verify_accuracy >/dev/null
+cp BENCH_accuracy.json "$scratch/BENCH_accuracy.1.json"
+cargo run -q --release -p bonsai-bench --bin verify_accuracy >/dev/null
+cmp BENCH_accuracy.json "$scratch/BENCH_accuracy.1.json"
+
+echo "== regression gate: verify_accuracy --check =="
+cargo run -q --release -p bonsai-bench --bin verify_accuracy -- --check baselines/accuracy.json
+
+echo "== gate self-test: loosened MAC must fail the accuracy gate =="
+# Inflating the walk's θ while the bands stay nominal simulates an
+# accuracy regression; the gate is only trustworthy if this exits 1.
+if cargo run -q --release -p bonsai-bench --bin verify_accuracy -- \
+    --inflate-theta 1.5 --check baselines/accuracy.json >/dev/null 2>&1; then
+  echo "accuracy gate failed to catch an inflated θ" >&2
+  exit 1
+fi
+# Restore the honest artefact clobbered by the inflated run.
+cargo run -q --release -p bonsai-bench --bin verify_accuracy >/dev/null
+cmp BENCH_accuracy.json "$scratch/BENCH_accuracy.1.json"
 
 echo "== long-run gate: obs_longrun double run + alert lifecycle =="
 cargo run -q --release -p bonsai-bench --bin obs_longrun >/dev/null

@@ -208,6 +208,18 @@ impl ProptestConfig {
     pub fn with_cases(cases: u32) -> Self {
         Self { cases }
     }
+
+    /// The case count the runner actually uses: the `CI_PROPTEST_CASES`
+    /// environment variable, when set to a positive integer, overrides the
+    /// configured value — CI cranks coverage up on scheduled runs and
+    /// smoke-tests quickly on pull requests without touching the source.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("CI_PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&c| c > 0)
+            .unwrap_or(self.cases)
+    }
 }
 
 impl Default for ProptestConfig {
@@ -245,7 +257,7 @@ macro_rules! __proptest_body {
             #[test]
             fn $name() {
                 let __cfg: $crate::ProptestConfig = $cfg;
-                for __case in 0..__cfg.cases {
+                for __case in 0..__cfg.effective_cases() {
                     let mut __rng =
                         $crate::test_runner::TestRng::for_case(stringify!($name), __case);
                     $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )+
@@ -299,6 +311,21 @@ mod tests {
             prop_assert!(v.len() < 16);
             prop_assert_eq!(m % 10, 0);
         }
+    }
+
+    #[test]
+    fn env_overrides_case_count() {
+        // Note: the variable is process-global, so sibling proptest! tests
+        // running concurrently may transiently pick it up — that only
+        // changes how many (passing) cases they run.
+        std::env::set_var("CI_PROPTEST_CASES", "7");
+        assert_eq!(ProptestConfig::with_cases(64).effective_cases(), 7);
+        std::env::set_var("CI_PROPTEST_CASES", "not-a-number");
+        assert_eq!(ProptestConfig::with_cases(64).effective_cases(), 64);
+        std::env::set_var("CI_PROPTEST_CASES", "0");
+        assert_eq!(ProptestConfig::with_cases(64).effective_cases(), 64);
+        std::env::remove_var("CI_PROPTEST_CASES");
+        assert_eq!(ProptestConfig::with_cases(64).effective_cases(), 64);
     }
 
     #[test]
