@@ -1,0 +1,83 @@
+//! Elastic-membership bench and gate: a scaled Milky Way run with scripted
+//! grow/shrink churn over a faulty fabric, gated on particle conservation,
+//! energy drift and force-field equivalence against the serial oracle.
+//! Writes the byte-deterministic `BENCH_membership.json` (schema
+//! `bonsai-membership-v1`) at the repo root and exits nonzero when the
+//! gate fails.
+//!
+//! `--drop-migrants` flips the cluster's sabotage hook (migrants drained
+//! but never shipped): the run must then lose particles and exit 1 — CI
+//! uses it to prove the gate actually bites.
+
+use bonsai_bench::arg_usize;
+use bonsai_bench::membership::{membership_json, run, MembershipBenchConfig};
+
+fn main() {
+    let d = MembershipBenchConfig::default();
+    let cfg = MembershipBenchConfig {
+        n: arg_usize("--n", d.n),
+        ranks: arg_usize("--ranks", d.ranks),
+        steps: arg_usize("--steps", d.steps),
+        seed: arg_usize("--seed", d.seed as usize) as u64,
+        churn_every: arg_usize("--churn-every", d.churn_every),
+        drop_migrants: std::env::args().any(|a| a == "--drop-migrants"),
+        ..d
+    };
+    println!(
+        "elastic membership: {} particles, {} ranks, {} steps, view change every {} steps{}",
+        cfg.n,
+        cfg.ranks,
+        cfg.steps,
+        cfg.churn_every,
+        if cfg.drop_migrants {
+            " [SABOTAGE: dropping migrants]"
+        } else {
+            ""
+        }
+    );
+    let r = run(cfg);
+
+    println!(
+        "  t = {:.3} Gyr over {} final ranks; {} view changes, {} autoscale decisions",
+        r.time_gyr,
+        r.ranks_final,
+        r.view_changes.len(),
+        r.decisions.len()
+    );
+    for ch in &r.view_changes {
+        println!(
+            "    epoch {}: view {} -> {} ({} -> {} ranks, {} rounds, {} migrants / {} B)",
+            ch.epoch,
+            ch.from_view,
+            ch.to_view,
+            ch.from_world,
+            ch.to_world,
+            ch.rounds,
+            ch.migrated_particles,
+            ch.migrated_bytes
+        );
+    }
+    println!(
+        "  gate: lost {} particles, ids intact {}, energy drift {:.2e} (ok {}), equivalence {}",
+        r.lost_particles,
+        r.ids_intact,
+        r.energy_drift,
+        r.drift_ok,
+        match &r.equivalence {
+            Some(d) => format!(
+                "median {:.2e} p95 {:.2e} max {:.2e} (ok {})",
+                d.median, d.p95, d.max, r.equivalence_ok
+            ),
+            None => "skipped (population broken)".to_string(),
+        }
+    );
+
+    std::fs::write("BENCH_membership.json", membership_json(&r))
+        .expect("write BENCH_membership.json");
+    println!("wrote BENCH_membership.json");
+    if !r.passed() {
+        println!("MEMBERSHIP GATE FAILED");
+        std::process::exit(1);
+    }
+    println!("membership gate passed");
+}

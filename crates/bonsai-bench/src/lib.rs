@@ -23,6 +23,7 @@
 #![deny(missing_docs)]
 
 pub mod longrun;
+pub mod membership;
 pub mod scaling;
 
 use bonsai_ic::MilkyWayModel;

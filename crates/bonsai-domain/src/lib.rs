@@ -10,6 +10,9 @@
 //! * [`load`] — flop-weighted load balancing with the paper's restriction
 //!   that no process exceeds the mean particle count by more than 30%;
 //! * [`exchange`] — the particle-exchange plan after domains move;
+//! * [`remap`] — online re-decomposition across a membership view change:
+//!   re-split the key space for a new world size and migrate particles
+//!   between the old and new rank sets;
 //! * [`lettree`] — the wire format of boundary trees and Local Essential
 //!   Trees: pruned trees with `Cut` nodes, plus byte-level serialization so
 //!   the network model sees real message sizes;
@@ -43,9 +46,11 @@ pub mod exchange;
 pub mod letbuild;
 pub mod lettree;
 pub mod load;
+pub mod remap;
 pub mod sampling;
 
 pub use boundary::boundary_tree;
 pub use exchange::ExchangePlan;
 pub use letbuild::{boundary_sufficient_for, build_let};
 pub use lettree::LetTree;
+pub use remap::{replan, Migration};

@@ -6,8 +6,8 @@ use bonsai_domain::exchange::ExchangePlan;
 use bonsai_domain::letbuild::{boundary_sufficient_for, build_let};
 use bonsai_domain::load::{enforce_particle_cap, populations, weighted_cuts};
 use bonsai_domain::lettree::LetTree;
-use bonsai_domain::{boundary_tree, sampling};
-use bonsai_sfc::range::ranges_from_cuts;
+use bonsai_domain::{boundary_tree, replan, sampling, Migration};
+use bonsai_sfc::range::{find_owner, ranges_from_cuts};
 use bonsai_sfc::{KeyMap, KeyRange, KEY_END};
 use bonsai_tree::build::{Tree, TreeParams};
 use bonsai_tree::node::NodeKind;
@@ -167,6 +167,113 @@ proptest! {
             let idx = (flip as usize) % bytes.len();
             bytes[idx] ^= 1 << (flip % 8) as u8;
             let _ = LetTree::from_bytes(&bytes); // decode or reject, no panic
+        }
+    }
+
+    #[test]
+    fn replan_yields_disjoint_covering_ranges(
+        nkeys in 1usize..600, new_p in 1usize..12, seed in any::<u64>(), cap in 1.05f64..2.0
+    ) {
+        // Any re-partition for any new world size must tile the full key
+        // space with contiguous, disjoint ranges that account for every
+        // live key exactly once — a gap or overlap would lose or duplicate
+        // particles at the next view change.
+        let mut rng = Xoshiro256::seed_from(seed);
+        let mut keys: Vec<u64> = (0..nkeys).map(|_| rng.next_u64() >> 1).collect();
+        keys.sort_unstable();
+        let sorted: Vec<(u64, f64)> =
+            keys.iter().map(|&k| (k, rng.uniform_in(0.1, 10.0))).collect();
+        let domains = replan(&sorted, new_p, cap);
+        prop_assert_eq!(domains.len(), new_p);
+        prop_assert_eq!(domains[0].start, 0u64);
+        prop_assert_eq!(domains.last().unwrap().end, KEY_END);
+        for w in domains.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start, "gap or overlap between ranges");
+        }
+        // Every key has exactly one owner and find_owner agrees with
+        // range membership.
+        for &k in &keys {
+            let owner = find_owner(&domains, k);
+            prop_assert!(domains[owner].contains(k));
+        }
+    }
+
+    #[test]
+    fn migration_preserves_the_exact_id_multiset(
+        old_p in 1usize..7, per_rank in 0usize..80, seed in any::<u64>(),
+        grow in any::<bool>(), delta in 1usize..4
+    ) {
+        // Arbitrary old world, arbitrary grow/shrink: after plan + apply +
+        // routing, the union of kept and landed particles is *exactly* the
+        // original id multiset, every particle sits in its new owner's
+        // domain, and departing ranks end empty.
+        let mut rng = Xoshiro256::seed_from(seed);
+        let keys: Vec<Vec<u64>> = (0..old_p)
+            .map(|_| (0..per_rank).map(|_| rng.next_u64() >> 1).collect())
+            .collect();
+        let (new_p, new_rank): (usize, Vec<Option<usize>>) = if grow {
+            // Joins append: old ranks keep their indices.
+            (old_p + delta, (0..old_p).map(Some).collect())
+        } else {
+            // Retire the highest ranks (at least one survivor).
+            let survivors = (old_p - delta.min(old_p - 1)).max(1);
+            (
+                survivors,
+                (0..old_p).map(|r| if r < survivors { Some(r) } else { None }).collect(),
+            )
+        };
+        let sorted: Vec<(u64, f64)> = {
+            let mut all: Vec<u64> = keys.iter().flatten().copied().collect();
+            all.sort_unstable();
+            all.into_iter().map(|k| (k, 1.0)).collect()
+        };
+        let new_domains = replan(&sorted, new_p, 2.0);
+        let m = Migration::plan(&keys, &new_domains, &new_rank);
+
+        // Drain every old rank and route the buckets like the cluster does.
+        let mut landed: Vec<Particles> = (0..new_p).map(|_| Particles::new()).collect();
+        let mut landed_keys: Vec<Vec<u64>> = vec![Vec::new(); new_p];
+        let mut before: Vec<u64> = Vec::new();
+        let mut shipped_total = 0usize;
+        for (r, ks) in keys.iter().enumerate() {
+            let mut p = Particles::new();
+            for (i, _) in ks.iter().enumerate() {
+                p.push(Vec3::splat(i as f64), Vec3::zero(), 1.0, (r * 1000 + i) as u64);
+            }
+            before.extend(p.id.iter().copied());
+            let buckets = m.apply(r, &mut p);
+            shipped_total += buckets.iter().map(Particles::len).sum::<usize>();
+            match new_rank[r] {
+                Some(d) => {
+                    landed_keys[d].extend(
+                        ks.iter().enumerate()
+                            .filter(|(i, _)| p.id.contains(&((r * 1000 + i) as u64)))
+                            .map(|(_, &k)| k),
+                    );
+                    landed[d].extend_from(&p);
+                }
+                None => prop_assert!(p.is_empty(), "departing rank {} kept particles", r),
+            }
+            for (d, b) in buckets.iter().enumerate() {
+                landed_keys[d].extend(
+                    b.id.iter().map(|&id| keys[(id / 1000) as usize][(id % 1000) as usize]),
+                );
+                landed[d].extend_from(b);
+            }
+        }
+        prop_assert_eq!(shipped_total, m.migrant_count());
+
+        // Exact multiset conservation.
+        let mut after: Vec<u64> = landed.iter().flat_map(|p| p.id.iter().copied()).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(before, after, "id multiset changed across migration");
+
+        // Every landed particle belongs to its new owner's domain.
+        for (d, ks) in landed_keys.iter().enumerate() {
+            for &k in ks {
+                prop_assert!(new_domains[d].contains(k), "key {} landed outside domain {}", k, d);
+            }
         }
     }
 

@@ -104,6 +104,7 @@ pub fn kind_code(kind: MsgKind) -> u8 {
         MsgKind::Particles => 1,
         MsgKind::Let => 2,
         MsgKind::Control => 3,
+        MsgKind::View => 4,
     }
 }
 
@@ -114,6 +115,7 @@ pub fn kind_from_code(code: u8) -> Option<MsgKind> {
         1 => Some(MsgKind::Particles),
         2 => Some(MsgKind::Let),
         3 => Some(MsgKind::Control),
+        4 => Some(MsgKind::View),
         _ => None,
     }
 }
@@ -228,6 +230,7 @@ mod tests {
             MsgKind::Particles,
             MsgKind::Let,
             MsgKind::Control,
+            MsgKind::View,
         ] {
             assert_eq!(kind_from_code(kind_code(kind)), Some(kind));
         }

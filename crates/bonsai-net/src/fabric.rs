@@ -32,6 +32,8 @@ pub enum MsgKind {
     Let,
     /// Small control/reduction payloads (bounding boxes, samples, cuts).
     Control,
+    /// Membership view proposals (join/leave/death gossip rounds).
+    View,
 }
 
 /// A tagged message between ranks.

@@ -167,12 +167,30 @@ impl FaultPlan {
         self
     }
 
-    /// The rank scheduled to crash at `epoch`, if any.
+    /// The rank scheduled to crash at `epoch`, if any. When several ranks
+    /// crash in the same epoch this returns the first-scheduled one; use
+    /// [`FaultPlan::crashed_ranks`] to see them all.
     pub fn crashed_rank(&self, epoch: u64) -> Option<usize> {
         self.crashes
             .iter()
             .find(|&&(_, e)| e == epoch)
             .map(|&(r, _)| r)
+    }
+
+    /// Every rank scheduled to crash at `epoch`, in ascending rank order.
+    /// A correlated failure (e.g. one node hosting several ranks dying)
+    /// schedules multiple crashes in the same epoch; recovery must replace
+    /// all of them in one restore, not one per rollback.
+    pub fn crashed_ranks(&self, epoch: u64) -> Vec<usize> {
+        let mut ranks: Vec<usize> = self
+            .crashes
+            .iter()
+            .filter(|&&(_, e)| e == epoch)
+            .map(|&(r, _)| r)
+            .collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        ranks
     }
 
     /// Whether `rank` stalls during `epoch`.
@@ -301,6 +319,9 @@ pub enum RecoveryAction {
     /// Cluster state was rolled back to the last checkpoint to replace a
     /// dead rank.
     RestoreCheckpoint,
+    /// The membership view changed (join, graceful leave, or a dead rank
+    /// excised) and the cluster re-decomposed onto the new rank set.
+    ViewChange,
 }
 
 impl std::fmt::Display for RecoveryAction {
@@ -313,6 +334,7 @@ impl std::fmt::Display for RecoveryAction {
             RecoveryAction::BoundaryFallback => "boundary-fallback",
             RecoveryAction::DeclareDead => "declare-dead",
             RecoveryAction::RestoreCheckpoint => "restore-checkpoint",
+            RecoveryAction::ViewChange => "view-change",
         };
         f.write_str(s)
     }

@@ -18,6 +18,10 @@
 //!   instead of deserialized;
 //! * [`fault`] — deterministic, seeded fault injection ([`FaultPlan`]) and
 //!   the audit log of injected faults and recovery actions ([`FaultLog`]);
+//! * [`membership`] — coordinator-free epoch-based rank membership: views
+//!   as sorted stable node-id sets, join/leave/death proposals gossiped
+//!   over the faulty fabric until every live rank holds the same next
+//!   view, giving the cluster a dynamic world size;
 //! * [`obs`] — bridges into the unified `bonsai-obs` layer: fault-log
 //!   entries become COMM-track trace events, link traffic lands in the
 //!   metrics registry priced by the cost model;
@@ -40,6 +44,7 @@ pub mod envelope;
 pub mod fabric;
 pub mod fault;
 pub mod machine;
+pub mod membership;
 pub mod obs;
 pub mod placement;
 
@@ -51,4 +56,5 @@ pub use fault::{
     RecoveryEvent, SharedFaultLog,
 };
 pub use machine::{MachineSpec, Topology, PIZ_DAINT, TITAN};
+pub use membership::{Convergence, MembershipEvent, MembershipLog, View, ViewChange};
 pub use placement::{Placement, PlacementStrategy};

@@ -231,6 +231,23 @@ pub fn restore_cluster(dir: &Path, ranks: usize, cfg: ClusterConfig) -> io::Resu
     Ok(Cluster::new(particles, ranks, cfg))
 }
 
+/// Resume a checkpoint into a membership view of a *different* world size
+/// while preserving the simulation clock: the particle set is re-decomposed
+/// over `ranks` ranks and `time`/`steps` continue from the manifest, so a
+/// run checkpointed at R=4 carries straight on at R=6. (Contrast with
+/// [`restore_cluster`], which resets the clock to zero, and with
+/// [`resume_cluster_exact`], which requires the same rank count.)
+pub fn resume_cluster_elastic(dir: &Path, ranks: usize, cfg: ClusterConfig) -> io::Result<Cluster> {
+    let ck = read_checkpoint_full(dir)?;
+    Ok(Cluster::from_redistributed(
+        ck.particles,
+        ranks,
+        cfg,
+        ck.time,
+        ck.steps,
+    ))
+}
+
 /// Resume a cluster *exactly* from a checkpoint: same rank count, same
 /// per-rank particle assignment, and the checkpointed domains, load
 /// weights, accelerations and potentials adopted verbatim. No fresh

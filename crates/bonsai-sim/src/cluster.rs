@@ -32,13 +32,14 @@ use bonsai_domain::exchange::{particles_from_bytes, particles_to_bytes, Exchange
 use bonsai_domain::letbuild::{boundary_sufficient_for, build_let};
 use bonsai_domain::load::enforce_particle_cap;
 use bonsai_domain::sampling::parallel_cuts;
-use bonsai_domain::{boundary_tree, LetTree};
+use bonsai_domain::{boundary_tree, LetTree, Migration};
 use bonsai_gpu::{GpuModel, KernelVariant, K20X};
 use bonsai_net::envelope;
 use bonsai_net::fault::{
     FaultEvent, FaultKind, FaultLog, FaultPlan, FaultyEndpoint, RecoveryAction, RecoveryEvent,
     SharedFaultLog,
 };
+use bonsai_net::membership::{self, MembershipEvent, MembershipLog, View, ViewChange};
 use bonsai_net::{Fabric, MachineSpec, MsgKind, NetworkModel, PIZ_DAINT};
 use bonsai_obs::{Lane, MetricsRegistry, TraceStore};
 use bonsai_sfc::{KeyMap, KeyRange};
@@ -193,6 +194,24 @@ pub struct Cluster {
     /// Long-run monitor (time series + health rules + flight recorder),
     /// enabled via [`Cluster::enable_longrun`].
     longrun: Option<crate::longrun::LongRunMonitor>,
+    /// Current membership view; `view.members[rank]` is the stable node id
+    /// holding `rank`, so the view *is* the rank assignment.
+    view: View,
+    /// Audit log of every completed view change.
+    membership: MembershipLog,
+    /// When true, a crashed rank is *removed from the view* during
+    /// recovery (the survivors re-decompose the checkpoint among
+    /// themselves) instead of being resurrected at the same world size.
+    elastic: bool,
+    /// Health-driven scale-out/in policy, enabled via
+    /// [`Cluster::enable_autoscale`]; consulted after every step's
+    /// long-run observation.
+    autoscale: Option<crate::autoscale::AutoscalePolicy>,
+    /// Validation self-test hook: when true, view-change migrations
+    /// silently discard every outbound migrant instead of shipping it —
+    /// the sabotage the CI membership gate must catch through its particle
+    /// conservation check. Never set in real runs.
+    drop_migrants: bool,
 }
 
 impl Cluster {
@@ -248,6 +267,11 @@ impl Cluster {
             registry: MetricsRegistry::new(),
             trace_clock: 0.0,
             longrun: None,
+            view: View::initial(p),
+            membership: MembershipLog::new(),
+            elastic: false,
+            autoscale: None,
+            drop_migrants: false,
         };
         // Checkpoint the initial conditions *before* the first force
         // computation: a rank can die (or be falsely declared dead under
@@ -308,7 +332,30 @@ impl Cluster {
             registry: MetricsRegistry::new(),
             trace_clock: 0.0,
             longrun: None,
+            view: View::initial(p),
+            membership: MembershipLog::new(),
+            elastic: false,
+            autoscale: None,
+            drop_migrants: false,
         }
+    }
+
+    /// Re-distribute `all` particles over `p` ranks while *preserving* the
+    /// simulation clock — the elastic-resume constructor: a checkpoint
+    /// written at one world size continues at another without resetting
+    /// `time`/`steps` to zero (contrast with
+    /// [`restore_cluster`](crate::checkpoint::restore_cluster)).
+    pub(crate) fn from_redistributed(
+        all: Particles,
+        p: usize,
+        cfg: ClusterConfig,
+        time: f64,
+        steps: u64,
+    ) -> Self {
+        let mut c = Self::new(all, p, cfg);
+        c.time = time;
+        c.steps = steps;
+        c
     }
 
     /// Per-rank load weights (exact-resume checkpoint state).
@@ -361,6 +408,44 @@ impl Cluster {
     /// construction.
     pub fn fault_log(&self) -> FaultLog {
         self.fault_log.snapshot()
+    }
+
+    /// The current membership view (the rank assignment).
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// Audit log of every view change the cluster went through.
+    pub fn membership_log(&self) -> &MembershipLog {
+        &self.membership
+    }
+
+    /// Make crash recovery *elastic*: a dead rank is agreed out of the
+    /// view by the survivors (gossip over the fabric) and the last
+    /// checkpoint is re-decomposed among the smaller world, instead of
+    /// resurrecting the rank at a fixed world size.
+    pub fn enable_elastic_recovery(&mut self) {
+        self.elastic = true;
+    }
+
+    /// Enable health-driven autoscaling. Requires long-run monitoring
+    /// ([`Cluster::enable_longrun`]) — the policy consumes the alerts its
+    /// rules fire. Each step may then admit or retire ranks per the policy.
+    pub fn enable_autoscale(&mut self, cfg: crate::autoscale::AutoscaleConfig) {
+        self.autoscale = Some(crate::autoscale::AutoscalePolicy::new(cfg));
+    }
+
+    /// The autoscaling policy, if enabled (decision audit log).
+    pub fn autoscale(&self) -> Option<&crate::autoscale::AutoscalePolicy> {
+        self.autoscale.as_ref()
+    }
+
+    /// Sabotage hook for the CI membership gate's self-test: when set,
+    /// every view-change migration silently discards its outbound migrants
+    /// (they are drained from the sender but never shipped), so the gate's
+    /// particle-conservation check must fail. Never set in real runs.
+    pub fn set_drop_migrants(&mut self, yes: bool) {
+        self.drop_migrants = yes;
     }
 
     /// The unified observability trace: spans for every Table II phase of
@@ -517,10 +602,21 @@ impl Cluster {
                 }
             }
             // Longitudinal bookkeeping (take/put-back so the monitor can
-            // borrow the cluster freely).
+            // borrow the cluster freely), then the scaling policy: health
+            // alerts opening this step may grow the world, sustained idle
+            // may shrink it.
             if let Some(mut lr) = self.longrun.take() {
-                lr.observe(self, &breakdown);
+                let alerts = lr.observe(self, &breakdown);
                 self.longrun = Some(lr);
+                if let Some(mut policy) = self.autoscale.take() {
+                    let mean = self.total_particles() as f64 / self.rank_count() as f64;
+                    match policy.decide(self.steps, self.rank_count(), mean, &alerts) {
+                        crate::autoscale::ScaleDecision::Grow(k) => self.admit_ranks(k),
+                        crate::autoscale::ScaleDecision::Shrink(k) => self.retire_ranks(k),
+                        crate::autoscale::ScaleDecision::Hold => {}
+                    }
+                    self.autoscale = Some(policy);
+                }
             }
             return breakdown;
         }
@@ -536,9 +632,11 @@ impl Cluster {
     /// checkpoint when a rank dies. Returns the successful breakdown and
     /// whether any rollback happened (the caller must then redo its step).
     fn compute_forces_with_recovery(&mut self) -> (StepBreakdown, bool) {
-        let p = self.ranks.len();
         let mut restored = false;
         loop {
+            // Elastic recovery changes the world size, so the rank count is
+            // re-read on every attempt.
+            let p = self.ranks.len();
             self.epoch += 1;
             // Frames held back by Delay/Stall surface now, carrying their
             // old epoch — receive-side validation discards them as stale.
@@ -546,7 +644,13 @@ impl Cluster {
                 ep.flush_delayed();
             }
             if p > 1 {
-                if let Some(r) = self.plan.crashed_rank(self.epoch) {
+                // Every rank the plan schedules to die this epoch dies —
+                // simultaneous crashes are one detection pass, not a chain
+                // of separate recoveries.
+                for r in self.plan.crashed_ranks(self.epoch) {
+                    if r >= p || self.dead[r] {
+                        continue;
+                    }
                     // Hard crash: the rank's in-memory state is gone and it
                     // sends nothing from here on.
                     self.fault_log.record_fault(FaultEvent {
@@ -576,6 +680,11 @@ impl Cluster {
     /// Declare `dead` dead and roll the whole cluster back to the last
     /// checkpoint (the paper-scale recovery path: restart from the most
     /// recent snapshot, §VI-C). The epoch keeps advancing.
+    ///
+    /// With [`Cluster::enable_elastic_recovery`] the dead node is instead
+    /// agreed *out of the view* by the survivors, and the checkpoint is
+    /// re-decomposed over the shrunken world — the run continues with one
+    /// rank fewer rather than pretending the node came back.
     fn restore_from_checkpoint(&mut self, dead: usize) {
         self.fault_log.record_recovery(RecoveryEvent {
             epoch: self.epoch,
@@ -585,6 +694,7 @@ impl Cluster {
             action: RecoveryAction::DeclareDead,
             detail: format!("rank {dead} missed every retry window"),
         });
+        self.dead[dead] = true;
         let rec = self.recovery.clone().unwrap_or_else(|| {
             panic!(
                 "rank {dead} declared dead at epoch {} but no recovery checkpoint is \
@@ -595,6 +705,10 @@ impl Cluster {
         });
         let ck = checkpoint::read_checkpoint_full(&rec.dir)
             .expect("checkpoint unreadable during crash recovery");
+        if self.elastic && self.dead.iter().any(|&d| !d) && self.dead.len() > 1 {
+            self.restore_elastic(&ck, dead);
+            return;
+        }
         let p = self.dead.len();
         let (ranks, domains) = seed_decomposition(&ck.particles, p, &self.cfg);
         self.ranks = ranks;
@@ -613,6 +727,436 @@ impl Cluster {
             action: RecoveryAction::RestoreCheckpoint,
             detail: format!("rolled back to step {} (t = {})", ck.steps, ck.time),
         });
+    }
+
+    /// Elastic crash recovery: the survivors gossip the death(s) to
+    /// agreement, the dead node(s) leave the view, and the checkpoint is
+    /// re-decomposed over the smaller world with the simulation clock
+    /// rolled back to the snapshot. A rank that goes silent *during* the
+    /// death gossip is added to the casualty list and the round restarts.
+    fn restore_elastic(&mut self, ck: &checkpoint::Checkpoint, first_dead: usize) {
+        let conv = loop {
+            self.epoch += 1;
+            for ep in &mut self.endpoints {
+                ep.flush_delayed();
+            }
+            let p = self.ranks.len();
+            let deaths: Vec<MembershipEvent> = (0..p)
+                .filter(|&r| self.dead[r])
+                .map(|r| MembershipEvent::Death(self.view.members[r]))
+                .collect();
+            let sponsor = (0..p)
+                .find(|&r| !self.dead[r])
+                .expect("no live rank left to recover the cluster");
+            let mut events_at = vec![Vec::new(); p];
+            events_at[sponsor] = deaths;
+            let live: Vec<bool> = self.dead.iter().map(|&d| !d).collect();
+            match membership::converge(
+                &mut self.endpoints,
+                &self.fault_log,
+                &live,
+                self.epoch,
+                &self.view,
+                &events_at,
+                MAX_RETRIES_HARD,
+            ) {
+                Ok(c) => break c,
+                Err(also) => {
+                    self.fault_log.record_recovery(RecoveryEvent {
+                        epoch: self.epoch,
+                        rank: also,
+                        peer: None,
+                        kind: Some(MsgKind::View),
+                        action: RecoveryAction::DeclareDead,
+                        detail: "silent during death gossip".to_string(),
+                    });
+                    self.dead[also] = true;
+                }
+            }
+        };
+        let old_view = std::mem::replace(&mut self.view, conv.view.clone());
+        let new_p = conv.view.world();
+        self.rebuild_fabric(new_p);
+        let (ranks, domains) = seed_decomposition(&ck.particles, new_p, &self.cfg);
+        self.ranks = ranks;
+        self.domains = domains;
+        self.acc = vec![Vec::new(); new_p];
+        self.pot = vec![Vec::new(); new_p];
+        self.weights = vec![1.0; new_p];
+        self.time = ck.time;
+        self.steps = ck.steps;
+        self.dead = vec![false; new_p];
+        self.fault_log.record_recovery(RecoveryEvent {
+            epoch: self.epoch,
+            rank: first_dead,
+            peer: None,
+            kind: None,
+            action: RecoveryAction::RestoreCheckpoint,
+            detail: format!(
+                "rolled back to step {} (t = {}) over {} survivors",
+                ck.steps, ck.time, new_p
+            ),
+        });
+        self.fault_log.record_recovery(RecoveryEvent {
+            epoch: self.epoch,
+            rank: first_dead,
+            peer: None,
+            kind: Some(MsgKind::View),
+            action: RecoveryAction::ViewChange,
+            detail: format!(
+                "view {} -> {} ({} -> {} ranks)",
+                old_view.number,
+                conv.view.number,
+                old_view.world(),
+                new_p
+            ),
+        });
+        self.membership.push(ViewChange {
+            epoch: self.epoch,
+            from_view: old_view.number,
+            to_view: conv.view.number,
+            from_world: old_view.world(),
+            to_world: new_p,
+            events: conv.events,
+            rounds: conv.rounds,
+            migrated_particles: 0,
+            migrated_bytes: 0,
+        });
+    }
+
+    /// Replace the fabric with a fresh one spanning `p` ranks (fault plan
+    /// and log carry over; fault decisions are pure functions of the
+    /// monotone epoch, so determinism survives the rebuild).
+    fn rebuild_fabric(&mut self, p: usize) {
+        self.endpoints = Fabric::new(p)
+            .into_iter()
+            .map(|ep| FaultyEndpoint::new(ep, self.plan.clone(), self.fault_log.clone()))
+            .collect();
+    }
+
+    /// Grow the cluster online: admit `k` fresh ranks. Every member
+    /// sponsors the same deterministic node ids for the joiners
+    /// ([`View::next_node_id`]), the join is gossiped to agreement over
+    /// the fabric, the key space is re-split for the new world, and each
+    /// joiner receives its domain from the old owners — then forces are
+    /// re-evaluated on the new decomposition (positions are untouched, so
+    /// the physics is unchanged up to MAC-level summation order).
+    pub fn admit_ranks(&mut self, k: usize) {
+        assert!(k > 0, "admit at least one rank");
+        let next = self.view.next_node_id();
+        let events: Vec<MembershipEvent> = (0..k as u64)
+            .map(|i| MembershipEvent::Join(next + i))
+            .collect();
+        self.change_view(events);
+    }
+
+    /// Shrink the cluster online: gracefully retire the `k` newest
+    /// (highest node id) members. The leave is gossiped to agreement, the
+    /// departing ranks ship their entire populations to the survivors'
+    /// re-split domains, and the world compacts to the remaining members.
+    pub fn retire_ranks(&mut self, k: usize) {
+        assert!(k > 0, "retire at least one rank");
+        assert!(
+            k < self.view.world(),
+            "cannot retire every rank ({k} of {})",
+            self.view.world()
+        );
+        let events: Vec<MembershipEvent> = self
+            .view
+            .members
+            .iter()
+            .rev()
+            .take(k)
+            .map(|&n| MembershipEvent::Leave(n))
+            .collect();
+        self.change_view(events);
+    }
+
+    /// Agree `events` through membership gossip and apply the resulting
+    /// view change. A rank that dies before or during the gossip is
+    /// recovered first (checkpoint rollback, elastic or fixed) and the
+    /// change retried against the recovered cluster.
+    fn change_view(&mut self, events: Vec<MembershipEvent>) {
+        loop {
+            self.epoch += 1;
+            for ep in &mut self.endpoints {
+                ep.flush_delayed();
+            }
+            let p = self.ranks.len();
+            // Crashes the plan schedules for this epoch fire during the
+            // gossip round, exactly as they would during a physics phase.
+            if p > 1 {
+                for r in self.plan.crashed_ranks(self.epoch) {
+                    if r >= p || self.dead[r] {
+                        continue;
+                    }
+                    self.fault_log.record_fault(FaultEvent {
+                        epoch: self.epoch,
+                        from: r,
+                        to: r,
+                        kind: MsgKind::View,
+                        fault: FaultKind::Crash,
+                        attempt: 0,
+                    });
+                    self.dead[r] = true;
+                    self.ranks[r] = Particles::new();
+                    self.acc[r].clear();
+                    self.pot[r].clear();
+                }
+            }
+            if let Some(first) = (0..p).find(|&r| self.dead[r]) {
+                // A member is down: its particles are gone, so recover
+                // before changing the view — the change must not launder a
+                // particle loss.
+                self.restore_from_checkpoint(first);
+                continue;
+            }
+            // Events the (possibly recovered) current view makes moot are
+            // dropped; an all-moot change is a no-op.
+            let evs: Vec<MembershipEvent> = events
+                .iter()
+                .copied()
+                .filter(|e| match e {
+                    MembershipEvent::Join(n) => !self.view.contains(*n),
+                    MembershipEvent::Leave(n) | MembershipEvent::Death(n) => {
+                        self.view.contains(*n)
+                    }
+                })
+                .collect();
+            if evs.is_empty() {
+                return;
+            }
+            let mut events_at = vec![Vec::new(); p];
+            events_at[0] = evs;
+            let live = vec![true; p];
+            match membership::converge(
+                &mut self.endpoints,
+                &self.fault_log,
+                &live,
+                self.epoch,
+                &self.view,
+                &events_at,
+                MAX_RETRIES_HARD,
+            ) {
+                Ok(conv) => {
+                    self.apply_view_change(conv);
+                    return;
+                }
+                Err(silent) => {
+                    // Gossip silence is a missed heartbeat: recover, retry.
+                    self.restore_from_checkpoint(silent);
+                }
+            }
+        }
+    }
+
+    /// Apply an agreed view change: re-split the key space for the new
+    /// world ([`bonsai_domain::replan`]), migrate particles between the
+    /// old and new rank sets over the fabric, compact or extend per-rank
+    /// state, and re-evaluate forces on the new decomposition.
+    fn apply_view_change(&mut self, conv: membership::Convergence) {
+        let new_view = conv.view.clone();
+        let old_view = self.view.clone();
+        let (old_p, new_p) = (old_view.world(), new_view.world());
+        debug_assert_eq!(old_p, self.ranks.len());
+        let has_joiners = new_view.members.iter().any(|n| !old_view.contains(*n));
+        let has_leavers = old_view.members.iter().any(|n| !new_view.contains(*n));
+        assert!(
+            !(has_joiners && has_leavers),
+            "mixed join+leave view changes must be applied as separate changes"
+        );
+        let new_rank: Vec<Option<usize>> = old_view
+            .members
+            .iter()
+            .map(|&n| new_view.rank_of(n))
+            .collect();
+
+        // Re-split the key space from the global (key, flop-weight)
+        // multiset — the same balance objective as the steady-state
+        // decomposition, evaluated driver-side like the sample sort.
+        let mut bounds = Aabb::empty();
+        for shard in &self.ranks {
+            if !shard.is_empty() {
+                bounds.merge(&shard.bounds());
+            }
+        }
+        let keymap = KeyMap::new(&bounds, self.cfg.tree.curve);
+        let keys: Vec<Vec<u64>> = self.ranks.iter().map(|r| keymap.keys_of(&r.pos)).collect();
+        let mut pairs: Vec<(u64, f64)> = Vec::with_capacity(self.total_particles());
+        for (r, ks) in keys.iter().enumerate() {
+            let w = self.weights[r].max(1e-30);
+            for &k in ks {
+                pairs.push((k, w));
+            }
+        }
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let new_domains = bonsai_domain::replan(&pairs, new_p, self.cfg.cap);
+        let migration = Migration::plan(&keys, &new_domains, &new_rank);
+        let migrated_particles = migration.migrant_count();
+        let migrated_bytes = migration.wire_bytes();
+
+        // Drain every old rank's emigrants into per-new-rank buckets. The
+        // sabotage hook discards them here — drained but never shipped —
+        // which retransmission cannot heal: exactly the loss the CI
+        // conservation gate must catch.
+        let mut buckets: Vec<Vec<Particles>> = Vec::with_capacity(old_p);
+        for r in 0..old_p {
+            let mut b = migration.apply(r, &mut self.ranks[r]);
+            if self.drop_migrants {
+                for pk in &mut b {
+                    *pk = Particles::new();
+                }
+            }
+            buckets.push(b);
+        }
+        let empty = particles_to_bytes(&Particles::new());
+        let mut retx = 0usize;
+
+        if new_p >= old_p {
+            // Growth: joiners only exist on the new fabric, and old ranks
+            // keep their indices (fresh ids sort last), so the migration
+            // runs on the rebuilt world. Every pair exchanges a (possibly
+            // empty) payload so receivers know exactly what to expect.
+            debug_assert!(new_rank.iter().enumerate().all(|(r, &s)| s == Some(r)));
+            self.rebuild_fabric(new_p);
+            self.ranks.resize_with(new_p, Particles::new);
+            self.acc = vec![Vec::new(); new_p];
+            self.pot = vec![Vec::new(); new_p];
+            let mut w = vec![1.0; new_p];
+            w[..old_p].copy_from_slice(&self.weights);
+            self.weights = w;
+            self.dead = vec![false; new_p];
+            self.view = new_view.clone();
+            self.domains = new_domains;
+            let mut payloads: Vec<Vec<Option<Bytes>>> = vec![vec![None; new_p]; new_p];
+            for (from, row) in payloads.iter_mut().enumerate() {
+                for (to, slot) in row.iter_mut().enumerate() {
+                    if to == from {
+                        continue;
+                    }
+                    *slot = Some(if from < old_p && !buckets[from][to].is_empty() {
+                        particles_to_bytes(&buckets[from][to])
+                    } else {
+                        empty.clone()
+                    });
+                }
+            }
+            let expected = all_pairs_expected(new_p);
+            let (got, missing) = exchange_validated(
+                &mut self.endpoints,
+                &self.fault_log,
+                MsgKind::Particles,
+                self.epoch,
+                &payloads,
+                &expected,
+                MAX_RETRIES_HARD,
+                &mut retx,
+                |_, _, b| particles_from_bytes(b),
+            );
+            if let Some(&(_, from)) = missing.first() {
+                self.restore_from_checkpoint(from);
+                return;
+            }
+            for (to, row) in got.into_iter().enumerate() {
+                for pk in row.into_iter().flatten() {
+                    if !pk.is_empty() {
+                        self.ranks[to].extend_from(&pk);
+                    }
+                }
+            }
+        } else {
+            // Shrink: departing ranks only exist on the old fabric, so the
+            // migration runs there; the world compacts afterwards.
+            let mut payloads: Vec<Vec<Option<Bytes>>> = vec![vec![None; old_p]; old_p];
+            for (from, row) in payloads.iter_mut().enumerate() {
+                for (to, slot) in row.iter_mut().enumerate() {
+                    if to == from {
+                        continue;
+                    }
+                    let bucket = new_view
+                        .rank_of(old_view.members[to])
+                        .map(|d| &buckets[from][d])
+                        .filter(|b| !b.is_empty());
+                    *slot = Some(match bucket {
+                        Some(b) => particles_to_bytes(b),
+                        None => empty.clone(),
+                    });
+                }
+            }
+            let expected = all_pairs_expected(old_p);
+            let (got, missing) = exchange_validated(
+                &mut self.endpoints,
+                &self.fault_log,
+                MsgKind::Particles,
+                self.epoch,
+                &payloads,
+                &expected,
+                MAX_RETRIES_HARD,
+                &mut retx,
+                |_, _, b| particles_from_bytes(b),
+            );
+            if let Some(&(_, from)) = missing.first() {
+                self.restore_from_checkpoint(from);
+                return;
+            }
+            for (to, row) in got.into_iter().enumerate() {
+                for pk in row.into_iter().flatten() {
+                    if !pk.is_empty() {
+                        self.ranks[to].extend_from(&pk);
+                    }
+                }
+            }
+            // Compact state to the surviving members, in new-view order.
+            let survivors: Vec<usize> = new_view
+                .members
+                .iter()
+                .map(|&n| old_view.rank_of(n).expect("survivor was a member"))
+                .collect();
+            self.ranks = survivors
+                .iter()
+                .map(|&o| std::mem::replace(&mut self.ranks[o], Particles::new()))
+                .collect();
+            self.weights = survivors.iter().map(|&o| self.weights[o]).collect();
+            self.acc = vec![Vec::new(); new_p];
+            self.pot = vec![Vec::new(); new_p];
+            self.dead = vec![false; new_p];
+            self.rebuild_fabric(new_p);
+            self.view = new_view.clone();
+            self.domains = new_domains;
+        }
+
+        self.fault_log.record_recovery(RecoveryEvent {
+            epoch: self.epoch,
+            rank: 0,
+            peer: None,
+            kind: Some(MsgKind::View),
+            action: RecoveryAction::ViewChange,
+            detail: format!(
+                "view {} -> {} ({} -> {} ranks, {} migrants)",
+                old_view.number,
+                new_view.number,
+                old_p,
+                new_p,
+                migrated_particles
+            ),
+        });
+        self.membership.push(ViewChange {
+            epoch: self.epoch,
+            from_view: old_view.number,
+            to_view: new_view.number,
+            from_world: old_p,
+            to_world: new_p,
+            events: conv.events,
+            rounds: conv.rounds,
+            migrated_particles,
+            migrated_bytes,
+        });
+        // Fresh forces on the new decomposition; positions are unchanged,
+        // so this is an observation change, not a physics change. Also
+        // checkpoints the post-change state so a later crash does not roll
+        // back across the membership boundary.
+        self.compute_forces_with_recovery();
+        self.write_recovery_checkpoint();
     }
 
     /// The distributed force computation: heartbeat + bounds, domain

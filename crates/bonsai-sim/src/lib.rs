@@ -42,6 +42,7 @@
 
 #![deny(missing_docs)]
 
+pub mod autoscale;
 pub mod breakdown;
 pub mod checkpoint;
 pub mod cluster;
@@ -50,6 +51,7 @@ pub mod longrun;
 pub mod model;
 pub mod trace;
 
+pub use autoscale::{AutoscaleConfig, AutoscalePolicy, ScaleDecision};
 pub use breakdown::StepBreakdown;
 pub use checkpoint::Checkpoint;
 pub use cluster::{Cluster, ClusterConfig, RecoveryConfig};

@@ -107,8 +107,9 @@ impl LongRunMonitor {
 
     /// One step's longitudinal bookkeeping; called by [`Cluster::step`]
     /// after the step completes (monitor taken out of the cluster, so
-    /// `cluster` is freely borrowable).
-    pub(crate) fn observe(&mut self, cluster: &mut Cluster, b: &StepBreakdown) {
+    /// `cluster` is freely borrowable). Returns the alert transitions the
+    /// step fired — the signal the autoscaling policy scales on.
+    pub(crate) fn observe(&mut self, cluster: &mut Cluster, b: &StepBreakdown) -> Vec<AlertEvent> {
         let step = cluster.step_count();
         let epoch = cluster.current_epoch();
 
@@ -197,6 +198,7 @@ impl LongRunMonitor {
             let min = epoch.saturating_sub(self.cfg.flight_window.max(1) as u64 - 1);
             cluster.trace_mut().retain_steps(min);
         }
+        fired
     }
 }
 

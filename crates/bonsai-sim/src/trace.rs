@@ -173,7 +173,7 @@ pub fn render_fault_summary(meas: &StepMeasurements) -> String {
             out.push_str(&format!("  injected {kind:<10} × {n}\n"));
         }
     }
-    const ACTIONS: [RecoveryAction; 7] = [
+    const ACTIONS: [RecoveryAction; 8] = [
         RecoveryAction::Retransmit,
         RecoveryAction::DiscardCorrupt,
         RecoveryAction::DiscardDuplicate,
@@ -181,6 +181,7 @@ pub fn render_fault_summary(meas: &StepMeasurements) -> String {
         RecoveryAction::BoundaryFallback,
         RecoveryAction::DeclareDead,
         RecoveryAction::RestoreCheckpoint,
+        RecoveryAction::ViewChange,
     ];
     for action in ACTIONS {
         let n = log.recoveries_of(action);

@@ -9,6 +9,7 @@ use bonsai_net::{Fabric, FaultKind, FaultPlan, Injection, MsgKind, RecoveryActio
 use bonsai_sim::{Cluster, ClusterConfig, RecoveryConfig};
 use bonsai_tree::Particles;
 use bonsai_util::Vec3;
+use bonsai_verify::{acceleration_diff, equivalence_band, serial_reference};
 use bytes::Bytes;
 
 #[test]
@@ -238,6 +239,105 @@ fn chaos_crash_without_recovery_config_panics_loudly() {
         .cloned()
         .unwrap_or_default();
     assert!(msg.contains("no recovery checkpoint"), "panic message: {msg}");
+}
+
+#[test]
+fn simultaneous_crashes_in_one_epoch_recover_in_one_pass() {
+    // Two ranks scheduled to die in the *same* epoch: detection must treat
+    // them as one casualty set — a single rollback, not a chain of partial
+    // recoveries that could observe a half-dead world.
+    let dir = chaos_dir("double_crash");
+    let plan = FaultPlan::new(13).with_crash(1, 5).with_crash(3, 5);
+    let mut c = Cluster::with_faults(
+        plummer_sphere(2000, 19),
+        5,
+        ClusterConfig::default(),
+        plan,
+        Some(RecoveryConfig { dir, every: 1 }),
+    );
+    for _ in 0..8 {
+        c.step();
+    }
+    assert_eq!(c.rank_count(), 5, "fixed-world recovery resized the world");
+    assert_eq!(c.total_particles(), 2000);
+    let mut ids = c.gather().id;
+    ids.sort_unstable();
+    assert_eq!(ids, (0..2000).collect::<Vec<u64>>());
+    for a in c.accelerations_by_id().values() {
+        assert!(a.is_finite());
+    }
+    let log = c.fault_log();
+    assert_eq!(
+        log.injected_of(FaultKind::Crash),
+        2,
+        "both scheduled crashes must fire"
+    );
+    assert!(log.recoveries_of(RecoveryAction::RestoreCheckpoint) >= 1);
+}
+
+#[test]
+fn simultaneous_crashes_with_elastic_recovery_drop_both_from_view() {
+    // The elastic variant of the same-epoch double crash: one death-gossip
+    // round agrees both nodes out, and the world shrinks by two at once.
+    let dir = chaos_dir("double_crash_elastic");
+    let plan = FaultPlan::new(13).with_crash(1, 5).with_crash(3, 5);
+    let mut c = Cluster::with_faults(
+        plummer_sphere(2000, 19),
+        5,
+        ClusterConfig::default(),
+        plan,
+        Some(RecoveryConfig { dir, every: 1 }),
+    );
+    c.enable_elastic_recovery();
+    for _ in 0..8 {
+        c.step();
+    }
+    assert_eq!(c.rank_count(), 3, "both dead ranks must leave the world");
+    assert_eq!(c.view().world(), 3);
+    assert!(!c.view().contains(1) && !c.view().contains(3));
+    assert_eq!(c.total_particles(), 2000);
+    let mut ids = c.gather().id;
+    ids.sort_unstable();
+    assert_eq!(ids, (0..2000).collect::<Vec<u64>>());
+    let ch = c.membership_log().changes().last().expect("deaths logged");
+    assert_eq!((ch.from_world, ch.to_world), (5, 3));
+}
+
+#[test]
+fn checkpoint_resumes_across_changed_world_size() {
+    // A manifest written at R = 4 resumed at R = 6: the population is
+    // re-decomposed over the new world, the simulation clock carries over,
+    // and the resumed force field matches the serial oracle.
+    let ic = plummer_sphere(1600, 47);
+    let cfg = ClusterConfig::default();
+    let mut a = Cluster::new(ic, 4, cfg.clone());
+    for _ in 0..3 {
+        a.step();
+    }
+    let dir = chaos_dir("elastic_resume");
+    bonsai_sim::checkpoint::write_checkpoint(&a, &dir).unwrap();
+
+    let b = bonsai_sim::checkpoint::resume_cluster_elastic(&dir, 6, cfg.clone()).unwrap();
+    assert_eq!(b.rank_count(), 6);
+    assert_eq!(b.step_count(), a.step_count(), "resume reset the step count");
+    assert_eq!(b.time().to_bits(), a.time().to_bits(), "resume reset the clock");
+    assert_eq!(b.total_particles(), 1600);
+    let mut ids = b.gather().id;
+    ids.sort_unstable();
+    assert_eq!(ids, (0..1600).collect::<Vec<u64>>());
+
+    let reference = serial_reference(&b.gather(), &cfg);
+    let diff = acceleration_diff(&b.accelerations_by_id(), &reference);
+    let band = equivalence_band(cfg.theta, 6);
+    assert!(
+        band.violation(&diff).is_none(),
+        "resumed forces {diff:?} outside {band:?}"
+    );
+
+    // The widened world keeps stepping and keeps every particle.
+    let mut b = b;
+    b.step();
+    assert_eq!(b.total_particles(), 1600);
 }
 
 #[test]

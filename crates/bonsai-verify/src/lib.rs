@@ -27,7 +27,9 @@ pub mod ic;
 pub mod oracle;
 pub mod report;
 
-pub use distributed::{equivalence, equivalence_band, serial_reference, EquivalenceReport};
+pub use distributed::{
+    acceleration_diff, equivalence, equivalence_band, serial_reference, EquivalenceReport,
+};
 pub use ic::{Family, FAMILIES};
 pub use oracle::{measure, tolerance_band, ErrorPercentiles, ToleranceBand, THETA_SWEEP};
 pub use report::{accuracy_json, check_accuracy, run, AccuracyReport, RunConfig};

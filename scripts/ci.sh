@@ -12,6 +12,10 @@ cargo test -q
 echo "== tier-1.5: robustness gate =="
 cargo test -q -p bonsai-sim --test robustness
 
+echo "== tier-1.5: elastic membership gate =="
+cargo test -q -p bonsai-sim --test membership
+cargo test -q -p bonsai-domain --test proptests
+
 echo "== tier-1.5: observability gate =="
 cargo test -q -p bonsai-obs
 
@@ -70,5 +74,24 @@ cmp out/longrun_report.html "$scratch/longrun_report.1.html"
 # The seeded fault storm must open AND close at least one recovery alert.
 grep -q '"rule": "recovery-storm", .*"kind": "open"' BENCH_longrun.json
 grep -q '"rule": "recovery-storm", .*"kind": "close"' BENCH_longrun.json
+
+echo "== membership gate: obs_membership double run + churn invariants =="
+cargo run -q --release -p bonsai-bench --bin obs_membership >/dev/null
+cp BENCH_membership.json "$scratch/BENCH_membership.1.json"
+cargo run -q --release -p bonsai-bench --bin obs_membership >/dev/null
+cmp BENCH_membership.json "$scratch/BENCH_membership.1.json"
+grep -q '"passed": true' BENCH_membership.json
+
+echo "== gate self-test: dropped migrants must fail the membership gate =="
+# The sabotage hook drains migrants but never ships them; the gate is only
+# trustworthy if that conservation violation makes the run exit 1.
+if cargo run -q --release -p bonsai-bench --bin obs_membership -- \
+    --drop-migrants >/dev/null 2>&1; then
+  echo "membership gate failed to catch dropped migrants" >&2
+  exit 1
+fi
+# Restore the honest artefact clobbered by the sabotaged run.
+cargo run -q --release -p bonsai-bench --bin obs_membership >/dev/null
+cmp BENCH_membership.json "$scratch/BENCH_membership.1.json"
 
 echo "CI line green"
