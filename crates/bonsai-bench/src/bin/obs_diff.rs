@@ -1,0 +1,98 @@
+//! `obs_diff` — the bench-regression explainer: load two same-schema
+//! `BENCH_*.json` artifacts and print a ranked, human-readable attribution
+//! of every out-of-tolerance delta to the phase × rank × metric it belongs
+//! to.
+//!
+//! ```text
+//! obs_diff <base.json> <current.json> [--tol-rel X] [--tol-abs Y]
+//! obs_diff --against baselines/profile.json [--tol-rel X] [--tol-abs Y]
+//! ```
+//!
+//! `--against <base>` resolves the current artifact from the baseline's
+//! own schema kind: a `bonsai-profile-v1` baseline compares against
+//! `BENCH_profile.json` in the working directory.
+//!
+//! Exit codes: `0` no deltas, `1` deltas found, `2` unusable input
+//! (missing file, malformed artifact, schema mismatch).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bonsai_bench::artifact::{load_artifact, BenchArtifact};
+use bonsai_bench::diff::{diff_values, rank, render_report, Tolerance};
+use bonsai_bench::{arg_f64, arg_str};
+
+fn load_or_exit(path: &PathBuf) -> Result<BenchArtifact, ExitCode> {
+    load_artifact(path).map_err(|e| {
+        eprintln!("obs_diff: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn main() -> ExitCode {
+    let tol = Tolerance {
+        rel: arg_f64("--tol-rel", Tolerance::default().rel),
+        abs: arg_f64("--tol-abs", Tolerance::default().abs),
+    };
+    // Positional args: everything that is not a --flag or a flag's value.
+    let mut positional = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i].starts_with("--") {
+            i += if args[i] == "--against" || args[i].starts_with("--tol-") { 2 } else { 1 };
+        } else {
+            positional.push(PathBuf::from(&args[i]));
+            i += 1;
+        }
+    }
+    let (base_path, cur_path) = if let Some(baseline) = arg_str("--against") {
+        let base_path = PathBuf::from(baseline);
+        let base = match load_or_exit(&base_path) {
+            Ok(a) => a,
+            Err(code) => return code,
+        };
+        (base_path, PathBuf::from(format!("BENCH_{}.json", base.kind)))
+    } else if positional.len() == 2 {
+        (positional[0].clone(), positional[1].clone())
+    } else {
+        eprintln!(
+            "usage: obs_diff <base.json> <current.json> [--tol-rel X] [--tol-abs Y]\n\
+             \x20      obs_diff --against <baseline.json> [--tol-rel X] [--tol-abs Y]"
+        );
+        return ExitCode::from(2);
+    };
+
+    let base = match load_or_exit(&base_path) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let cur = match load_or_exit(&cur_path) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    if base.schema != cur.schema {
+        eprintln!(
+            "obs_diff: schema mismatch: {} is {}, {} is {}",
+            base_path.display(),
+            base.schema,
+            cur_path.display(),
+            cur.schema
+        );
+        return ExitCode::from(2);
+    }
+
+    println!(
+        "comparing {} ({}) -> {}",
+        base_path.display(),
+        base.schema,
+        cur_path.display()
+    );
+    let deltas = rank(diff_values(&base.value, &cur.value, tol));
+    print!("{}", render_report(&deltas, tol));
+    if deltas.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

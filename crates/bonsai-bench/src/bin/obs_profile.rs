@@ -1,0 +1,80 @@
+//! Roofline-profiler bench: a scaled Milky Way run reduced to the roofline
+//! placement of every GPU kernel, the signed cost-model residuals against
+//! the Table II analytic model, and a folded self/total span profile.
+//! Artifacts, byte-deterministic per seed:
+//!
+//! * `BENCH_profile.json` (repo root) — schema `bonsai-profile-v1`:
+//!   per-kernel × per-rank roofline rows (attained Gflop/s, binding
+//!   ceiling, attained fraction), per-term residuals and the folded
+//!   profile.
+//! * `out/profile_report.html` — self-contained zero-dependency report:
+//!   log-log roofline scatter (inline SVG), residual table and span
+//!   profile.
+//!
+//! `--sandbag-kernel` multiplies the gravity kernels' seconds by 1.5
+//! before the reduction — the CI self-test proving `obs_diff` catches a
+//! slowed kernel.
+
+use bonsai_bench::profile::{profile_json, render_html, run, ProfileBenchConfig};
+use bonsai_bench::{arg_usize, has_flag, out_dir};
+
+fn main() {
+    let d = ProfileBenchConfig::default();
+    let cfg = ProfileBenchConfig {
+        n: arg_usize("--n", d.n),
+        ranks: arg_usize("--ranks", d.ranks),
+        steps: arg_usize("--steps", d.steps),
+        seed: arg_usize("--seed", d.seed as usize) as u64,
+        sandbag: if has_flag("--sandbag-kernel") { 1.5 } else { d.sandbag },
+    };
+    println!(
+        "roofline profiler: {} particles over {} ranks, {} steps{}",
+        cfg.n,
+        cfg.ranks,
+        cfg.steps,
+        if cfg.sandbag != 1.0 {
+            format!(" (gravity sandbagged x{})", cfg.sandbag)
+        } else {
+            String::new()
+        }
+    );
+    let r = run(cfg);
+
+    println!(
+        "  step total {:.4} ms, {} roofline points, telescoping error {:.3} ns",
+        r.breakdown.total() * 1e3,
+        r.roofline.len(),
+        r.telescoping_error_s * 1e9
+    );
+    for p in &r.roofline {
+        println!(
+            "  {:<10} rank {}: {:>8.1} Gflop/s, {:>9} bound, {:>5.1}% of ceiling",
+            p.kernel,
+            p.rank,
+            p.attained_gflops(),
+            p.binding_ceiling(),
+            100.0 * p.attained_fraction()
+        );
+    }
+    let worst = r
+        .residuals
+        .iter()
+        .max_by(|a, b| {
+            a.residual_s()
+                .abs()
+                .partial_cmp(&b.residual_s().abs())
+                .unwrap()
+        })
+        .expect("twelve residual terms");
+    println!(
+        "  largest residual: {} {:+.4} ms ({:+.1}%)",
+        worst.term,
+        worst.residual_s() * 1e3,
+        100.0 * worst.relative()
+    );
+
+    std::fs::write("BENCH_profile.json", profile_json(&r)).expect("write BENCH_profile.json");
+    let html_path = out_dir().join("profile_report.html");
+    std::fs::write(&html_path, render_html(&r)).expect("write report");
+    println!("wrote BENCH_profile.json and {}", html_path.display());
+}

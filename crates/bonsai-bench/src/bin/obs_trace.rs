@@ -67,6 +67,7 @@ fn main() {
     let total_bytes = boundary + lets + exchange + m.retransmit_bytes;
 
     let mut j = String::from("{\n");
+    j.push_str("  \"schema\": \"bonsai-step-v1\",\n");
     j.push_str(&format!(
         "  \"config\": {{\"particles\": {n}, \"ranks\": {p}, \"seed\": {seed}}},\n"
     ));

@@ -22,8 +22,11 @@
 
 #![deny(missing_docs)]
 
+pub mod artifact;
+pub mod diff;
 pub mod longrun;
 pub mod membership;
+pub mod profile;
 pub mod scaling;
 
 use bonsai_ic::MilkyWayModel;
@@ -56,6 +59,35 @@ pub fn arg_usize(name: &str, default: usize) -> usize {
         }
     }
     default
+}
+
+/// Parse `--flag value` style float arguments with a default.
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name {
+            if let Some(v) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                return v;
+            }
+        }
+    }
+    default
+}
+
+/// Parse a `--flag value` string argument.
+pub fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == name {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
+}
+
+/// Whether a bare `--flag` is present.
+pub fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
 }
 
 /// One line of a paper-vs-reproduction comparison.

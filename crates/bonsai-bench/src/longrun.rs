@@ -35,6 +35,10 @@ pub struct LongRunBenchConfig {
     pub max_bins: usize,
     /// `[first, last)` gravity epochs of the injected drop storm.
     pub storm_epochs: (u64, u64),
+    /// Step after which one rank is admitted (0 = no grow).
+    pub grow_at: usize,
+    /// Step after which one rank is retired (0 = no shrink).
+    pub shrink_at: usize,
 }
 
 impl Default for LongRunBenchConfig {
@@ -46,6 +50,8 @@ impl Default for LongRunBenchConfig {
             seed: 2014,
             max_bins: 160,
             storm_epochs: (261, 281),
+            grow_at: 120,
+            shrink_at: 380,
         }
     }
 }
@@ -73,6 +79,9 @@ pub struct LongRunResult {
     pub time_gyr: f64,
     /// Final relative energy drift.
     pub energy_drift: f64,
+    /// Per-change audit rows from the cluster's membership log (the
+    /// scripted grow/shrink churn).
+    pub view_changes: Vec<bonsai_net::ViewChange>,
 }
 
 /// Drive the run: scaled Milky Way over `ranks` ranks with the monitor
@@ -99,17 +108,27 @@ pub fn run(cfg: LongRunBenchConfig) -> LongRunResult {
         max_bins: cfg.max_bins,
         ..LongRunConfig::default()
     });
-    for _ in 0..cfg.steps {
+    for step in 0..cfg.steps {
         cluster.step();
+        // Scripted elastic churn: one rank in, later one rank out, so the
+        // run exercises a view change in each direction mid-flight.
+        if cfg.grow_at > 0 && step + 1 == cfg.grow_at {
+            cluster.admit_ranks(1);
+        }
+        if cfg.shrink_at > 0 && step + 1 == cfg.shrink_at {
+            cluster.retire_ranks(1);
+        }
     }
     let energy_drift = cluster.energy_report().drift_from(&baseline);
     let time_gyr = units::internal_to_gyr(cluster.time());
+    let view_changes = cluster.membership_log().changes().to_vec();
     let monitor = cluster.take_longrun().expect("monitor was enabled");
     LongRunResult {
         config: cfg,
         monitor,
         time_gyr,
         energy_drift,
+        view_changes,
     }
 }
 
@@ -187,8 +206,25 @@ pub fn longrun_json(r: &LongRunResult) -> String {
             )
         })
         .collect();
+    let changes: Vec<String> = r
+        .view_changes
+        .iter()
+        .map(|ch| {
+            format!(
+                "    {{\"epoch\": {}, \"from_view\": {}, \"to_view\": {}, \"from_world\": {}, \"to_world\": {}, \"rounds\": {}, \"migrated_particles\": {}, \"migrated_bytes\": {}}}",
+                ch.epoch,
+                ch.from_view,
+                ch.to_view,
+                ch.from_world,
+                ch.to_world,
+                ch.rounds,
+                ch.migrated_particles,
+                ch.migrated_bytes
+            )
+        })
+        .collect();
     format!(
-        "{{\n  \"schema\": \"bonsai-longrun-v1\",\n  \"config\": {{\"n\": {}, \"ranks\": {}, \"steps\": {}, \"seed\": {}, \"max_bins\": {}, \"storm_epochs\": [{}, {}]}},\n  \"final\": {{\"time_gyr\": {}, \"energy_drift\": {}}},\n  \"series\": {{\n{}\n  }},\n  \"alerts\": [\n{}\n  ],\n  \"incidents\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"bonsai-longrun-v1\",\n  \"config\": {{\"n\": {}, \"ranks\": {}, \"steps\": {}, \"seed\": {}, \"max_bins\": {}, \"storm_epochs\": [{}, {}], \"grow_at\": {}, \"shrink_at\": {}}},\n  \"final\": {{\"time_gyr\": {}, \"energy_drift\": {}}},\n  \"series\": {{\n{}\n  }},\n  \"alerts\": [\n{}\n  ],\n  \"incidents\": [\n{}\n  ],\n  \"view_changes\": [\n{}\n  ]\n}}\n",
         c.n,
         c.ranks,
         c.steps,
@@ -196,11 +232,14 @@ pub fn longrun_json(r: &LongRunResult) -> String {
         c.max_bins,
         c.storm_epochs.0,
         c.storm_epochs.1,
+        c.grow_at,
+        c.shrink_at,
         fmt_f64(r.time_gyr),
         fmt_f64(r.energy_drift),
         series.join(",\n"),
         alerts.join(",\n"),
-        incidents.join(",\n")
+        incidents.join(",\n"),
+        changes.join(",\n")
     )
 }
 
@@ -239,10 +278,45 @@ fn sev_color(sev: Severity) -> &'static str {
     }
 }
 
+/// `(step, label, color)` vertical annotation marks for membership churn:
+/// green for a grow, amber for a shrink.
+fn churn_marks(r: &LongRunResult) -> Vec<(u64, String, &'static str)> {
+    r.view_changes
+        .iter()
+        .map(|ch| {
+            let (kind, color) = if ch.to_world >= ch.from_world {
+                ("grow", "#16a34a")
+            } else {
+                ("shrink", "#d97706")
+            };
+            (
+                ch.epoch,
+                format!(
+                    "view {} -> {} ({kind} {} -> {} ranks, {} particles / {} B migrated)",
+                    ch.from_view,
+                    ch.to_view,
+                    ch.from_world,
+                    ch.to_world,
+                    ch.migrated_particles,
+                    ch.migrated_bytes
+                ),
+                color,
+            )
+        })
+        .collect()
+}
+
 /// One inline-SVG sparkline: min–max band + mean polyline over step
-/// number, with translucent alert-interval rects and native `<title>`
-/// tooltips. Exactly one series per chart — the title names it.
-fn sparkline(name: &str, s: &Series, alerts: &[(u64, u64, Severity)], steps: u64) -> String {
+/// number, with translucent alert-interval rects, dashed view-change
+/// marker lines and native `<title>` tooltips. Exactly one series per
+/// chart — the title names it.
+fn sparkline(
+    name: &str,
+    s: &Series,
+    alerts: &[(u64, u64, Severity)],
+    marks: &[(u64, String, &'static str)],
+    steps: u64,
+) -> String {
     const W: f64 = 440.0;
     const H: f64 = 110.0;
     const L: f64 = 8.0; // left pad
@@ -273,6 +347,14 @@ fn sparkline(name: &str, s: &Series, alerts: &[(u64, u64, Severity)], steps: u64
             H - T - B,
             sev_color(sev),
             sev.name()
+        ));
+    }
+    // View-change markers: one dashed vertical line per membership epoch.
+    for (step, label, color) in marks {
+        let xm = x(*step as f64);
+        svg.push_str(&format!(
+            "<line x1=\"{xm:.1}\" y1=\"{T}\" x2=\"{xm:.1}\" y2=\"{:.1}\" stroke=\"{color}\" stroke-width=\"1.5\" stroke-dasharray=\"3 2\"><title>{label}</title></line>\n",
+            H - B
         ));
     }
     // min–max band.
@@ -342,8 +424,10 @@ pub fn render_html(r: &LongRunResult) -> String {
         "<p>{} particles over {} ranks, {} steps to t = {} Gyr (seed {}). Final relative \
          energy drift {}. Shaded spans mark steps where a health rule was open \
          (<span class=\"sev\" style=\"background:#d97706\"></span>warning, \
-         <span class=\"sev\" style=\"background:#dc2626\"></span>critical); the band is the \
-         per-bin min–max envelope, the line the bin mean.</p>\n",
+         <span class=\"sev\" style=\"background:#dc2626\"></span>critical); dashed vertical \
+         lines mark membership view changes (<span class=\"sev\" style=\"background:#16a34a\">\
+         </span>grow, <span class=\"sev\" style=\"background:#d97706\"></span>shrink); the band \
+         is the per-bin min–max envelope, the line the bin mean.</p>\n",
         c.n,
         c.ranks,
         c.steps,
@@ -352,13 +436,39 @@ pub fn render_html(r: &LongRunResult) -> String {
         short(r.energy_drift)
     ));
     s.push_str("<div class=\"charts\">\n");
+    let marks = churn_marks(r);
     for name in HEADLINE {
         if let Some(ser) = r.monitor.series().series(name) {
             let alerts = alert_intervals(r, name);
-            s.push_str(&sparkline(name, ser, &alerts, steps));
+            s.push_str(&sparkline(name, ser, &alerts, &marks, steps));
         }
     }
     s.push_str("</div>\n");
+
+    // Membership churn table.
+    s.push_str("<h2>Membership</h2>\n");
+    if r.view_changes.is_empty() {
+        s.push_str("<p>No view changes — the world held its initial size.</p>\n");
+    } else {
+        s.push_str(
+            "<table>\n<tr><th>epoch</th><th>view</th><th>world</th><th>rounds</th>\
+             <th>migrated particles</th><th>migrated bytes</th></tr>\n",
+        );
+        for ch in &r.view_changes {
+            s.push_str(&format!(
+                "<tr><td>{}</td><td>{} → {}</td><td>{} → {}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
+                ch.epoch,
+                ch.from_view,
+                ch.to_view,
+                ch.from_world,
+                ch.to_world,
+                ch.rounds,
+                ch.migrated_particles,
+                ch.migrated_bytes
+            ));
+        }
+        s.push_str("</table>\n");
+    }
 
     // Incident table.
     s.push_str("<h2>Incidents</h2>\n");
@@ -447,6 +557,10 @@ mod tests {
             seed: 7,
             max_bins: 16,
             storm_epochs: (11, 16),
+            // Churn after the storm window so the recovery-storm lifecycle
+            // assertions see the same epochs with or without elasticity.
+            grow_at: 25,
+            shrink_at: 33,
         }
     }
 
@@ -486,6 +600,22 @@ mod tests {
         assert_eq!(v.get("schema").unwrap().as_str(), Some("bonsai-longrun-v1"));
         let alerts = v.get("alerts").unwrap().as_arr().unwrap();
         assert!(!alerts.is_empty());
+    }
+
+    #[test]
+    fn scripted_churn_lands_in_report_and_json() {
+        let r = run(tiny());
+        // One grow + one shrink, back at the initial world size.
+        assert_eq!(r.view_changes.len(), 2, "{:?}", r.view_changes.len());
+        assert_eq!(r.view_changes[0].to_world, 5);
+        assert_eq!(r.view_changes[1].to_world, 4);
+        assert!(r.view_changes[1].migrated_particles > 0);
+        let v = bonsai_obs::json::parse(&longrun_json(&r)).expect("valid JSON");
+        assert_eq!(v.get("view_changes").unwrap().as_arr().unwrap().len(), 2);
+        let html = render_html(&r);
+        assert!(html.contains("<h2>Membership</h2>"));
+        assert!(html.contains("stroke-dasharray"), "churn marker lines missing");
+        assert!(html.contains("grow 4 -&gt; 5 ranks") || html.contains("grow 4 -> 5 ranks"));
     }
 
     #[test]

@@ -86,6 +86,18 @@ pub struct KernelModel {
     pub occupancy: f64,
 }
 
+/// Device-memory bytes charged per particle-particle interaction. A source
+/// body is one 16-byte `float4` fetched once and broadcast to the 32 lanes
+/// of the warp that shares it (shared memory on Fermi, `__shfl` on Kepler),
+/// so the per-lane DRAM cost is 16/32 B. With 23 flops against half a byte
+/// the kernel sits far right on the roofline — compute-bound, as Fig. 1's
+/// near-peak bars require.
+pub const PP_BYTES_PER_INTERACTION: f64 = 16.0 / 32.0;
+/// Device-memory bytes charged per particle-cell interaction: a 64-byte
+/// multipole record (COM `float4` + quadrupole moments), warp-shared like
+/// the p-p sources, so 64/32 B per lane-interaction.
+pub const PC_BYTES_PER_INTERACTION: f64 = 64.0 / 32.0;
+
 /// Threads per block used by all force kernels.
 pub const THREADS_PER_BLOCK: u32 = 256;
 /// Shared memory per block of the Fermi-style kernel (interaction staging).
@@ -143,6 +155,22 @@ impl KernelModel {
         let cycles = counts.pp as f64 * self.cycles_per_interaction(InstrMix::PP)
             + counts.pc as f64 * self.cycles_per_interaction(InstrMix::PC);
         cycles / self.device.lane_rate()
+    }
+
+    /// Device-memory bytes a batch moves under the warp-shared fetch model
+    /// ([`PP_BYTES_PER_INTERACTION`] / [`PC_BYTES_PER_INTERACTION`]).
+    pub fn bytes_for(&self, counts: InteractionCounts) -> f64 {
+        counts.pp as f64 * PP_BYTES_PER_INTERACTION + counts.pc as f64 * PC_BYTES_PER_INTERACTION
+    }
+
+    /// Occupancy-limited compute ceiling in Gflops: the device's single-
+    /// precision peak scaled by the achieved occupancy. This is the roofline
+    /// the force kernels can actually reach — latency hiding, not raw issue
+    /// width, is what occupancy buys — and [`KernelModel::achieved_gflops`]
+    /// can never exceed it: the cycle model charges at most 2 flops per
+    /// lane-cycle and inflates cycles by `1/occupancy`.
+    pub fn compute_ceiling_gflops(&self) -> f64 {
+        self.device.peak_sp_gflops() * self.occupancy
     }
 
     /// Achieved Gflops (at the §VI-A flop rates) for a batch.
@@ -242,5 +270,56 @@ mod tests {
         let m = KernelModel::new(K20X, KernelVariant::Direct);
         assert_eq!(m.time_for(InteractionCounts::zero()), 0.0);
         assert_eq!(m.achieved_gflops(InteractionCounts::zero()), 0.0);
+    }
+
+    #[test]
+    fn attained_never_exceeds_the_compute_ceiling() {
+        // The roofline invariant at the kernel-model level: for every
+        // (device, variant) pair and every mix, achieved Gflops stay under
+        // the occupancy-scaled peak.
+        let pairs = [
+            (K20X, KernelVariant::Direct),
+            (K20X, KernelVariant::TreeKeplerOriginal),
+            (K20X, KernelVariant::TreeKeplerTuned),
+            (C2075, KernelVariant::Direct),
+            (C2075, KernelVariant::TreeFermi),
+        ];
+        for (dev, var) in pairs {
+            let m = KernelModel::new(dev, var);
+            let ceiling = m.compute_ceiling_gflops();
+            for counts in [
+                InteractionCounts { pp: 1_000_000, pc: 0 },
+                InteractionCounts { pp: 0, pc: 1_000_000 },
+                paper_mix(1_000_000),
+            ] {
+                let got = m.achieved_gflops(counts);
+                assert!(
+                    got <= ceiling * (1.0 + 1e-12),
+                    "{dev:?}/{var:?}: attained {got} > ceiling {ceiling}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_scale_linearly_with_counts() {
+        let m = KernelModel::new(K20X, KernelVariant::TreeKeplerTuned);
+        let b1 = m.bytes_for(paper_mix(1_000_000));
+        let b2 = m.bytes_for(paper_mix(2_000_000));
+        assert!((b2 / b1 - 2.0).abs() < 1e-12);
+        let pp_only = m.bytes_for(InteractionCounts { pp: 64, pc: 0 });
+        assert_eq!(pp_only, 64.0 * PP_BYTES_PER_INTERACTION);
+    }
+
+    #[test]
+    fn gravity_is_compute_bound_on_the_roofline() {
+        // Arithmetic intensity of the production mix is high enough that
+        // the bandwidth roof sits far above the compute roof — the binding
+        // ceiling of every gravity kernel must be compute.
+        let m = KernelModel::new(K20X, KernelVariant::TreeKeplerTuned);
+        let counts = paper_mix(1_000_000);
+        let intensity = counts.flops() as f64 / m.bytes_for(counts);
+        let bw_ceiling = intensity * K20X.mem_bw_gbs;
+        assert!(bw_ceiling > m.compute_ceiling_gflops(), "bw roof {bw_ceiling}");
     }
 }

@@ -43,4 +43,6 @@ pub mod power;
 
 pub use device::{Arch, DeviceSpec, C2075, K20X};
 pub use kernel::{KernelModel, KernelVariant};
-pub use pipeline::GpuModel;
+pub use pipeline::{
+    GpuModel, StreamCost, BUILD_COST, DOMAIN_COST, INTEGRATE_COST, PROPS_COST, SORT_COST,
+};

@@ -59,6 +59,7 @@ pub mod folded;
 pub mod health;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod prom;
 pub mod span;
 pub mod timeseries;
@@ -72,5 +73,8 @@ pub use health::{
     default_rules, AlertEvent, AlertKind, Condition, HealthMonitor, Rule, Severity,
 };
 pub use metrics::{LogHistogram, MetricsRegistry};
+pub use profile::{
+    folded_profile, roofline, telescoping_error, ProfileRow, RooflinePoint, TermResidual,
+};
 pub use span::{interval_union, overlap_with_union, ArgValue, Instant, Lane, Span, SpanId, TraceStore};
 pub use timeseries::{Bin, Series, SeriesConfig, SeriesStore};

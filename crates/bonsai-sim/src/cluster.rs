@@ -33,7 +33,9 @@ use bonsai_domain::letbuild::{boundary_sufficient_for, build_let};
 use bonsai_domain::load::enforce_particle_cap;
 use bonsai_domain::sampling::parallel_cuts;
 use bonsai_domain::{boundary_tree, LetTree, Migration};
-use bonsai_gpu::{GpuModel, KernelVariant, K20X};
+use bonsai_gpu::{
+    GpuModel, KernelVariant, BUILD_COST, DOMAIN_COST, INTEGRATE_COST, K20X, PROPS_COST, SORT_COST,
+};
 use bonsai_net::envelope;
 use bonsai_net::fault::{
     FaultEvent, FaultKind, FaultLog, FaultPlan, FaultyEndpoint, RecoveryAction, RecoveryEvent,
@@ -41,7 +43,7 @@ use bonsai_net::fault::{
 };
 use bonsai_net::membership::{self, MembershipEvent, MembershipLog, View, ViewChange};
 use bonsai_net::{Fabric, MachineSpec, MsgKind, NetworkModel, PIZ_DAINT};
-use bonsai_obs::{Lane, MetricsRegistry, TraceStore};
+use bonsai_obs::{ArgValue, Lane, MetricsRegistry, TraceStore};
 use bonsai_sfc::{KeyMap, KeyRange};
 use bonsai_tree::build::{Tree, TreeParams};
 use bonsai_tree::stats::record_walk_counts;
@@ -515,6 +517,73 @@ impl Cluster {
         &mut self.trace
     }
 
+    /// The observability surface of a completed view change: an instant on
+    /// the coordinator's CPU lane (so membership epochs are visible next to
+    /// the phase spans in Perfetto), plus the membership/migration counters
+    /// the Prometheus exporter snapshots — epoch gauge, world-size gauge,
+    /// and monotonic view-change / migrated-particle / migrated-byte
+    /// totals.
+    fn record_membership_change(&mut self, change: &ViewChange) {
+        let kind = if change.to_world >= change.from_world {
+            "grow"
+        } else {
+            "shrink"
+        };
+        let at = self.trace.makespan();
+        let inst = self.trace.instant(
+            0,
+            change.epoch,
+            Lane::Cpu,
+            format!("membership:view-change:{kind}"),
+            at,
+        );
+        inst.args.push(("from_world", ArgValue::U64(change.from_world as u64)));
+        inst.args.push(("to_world", ArgValue::U64(change.to_world as u64)));
+        inst.args.push(("to_view", ArgValue::U64(change.to_view)));
+        inst.args.push((
+            "migrated_particles",
+            ArgValue::U64(change.migrated_particles as u64),
+        ));
+        inst.args
+            .push(("migrated_bytes", ArgValue::U64(change.migrated_bytes as u64)));
+        self.registry
+            .gauge_set("bonsai_membership_epoch", &[], change.to_view as f64);
+        self.registry
+            .gauge_set("bonsai_membership_world", &[], change.to_world as f64);
+        self.registry
+            .counter_add("bonsai_membership_view_changes_total", &[], 1);
+        self.registry.counter_add(
+            "bonsai_membership_migrated_particles_total",
+            &[],
+            change.migrated_particles as u64,
+        );
+        self.registry.counter_add(
+            "bonsai_membership_migrated_bytes_total",
+            &[],
+            change.migrated_bytes as u64,
+        );
+    }
+
+    /// An autoscale decision's observability surface: an instant marking
+    /// the policy's order (distinct from the view change that executes it)
+    /// and a per-direction decision counter.
+    fn record_autoscale_decision(&mut self, direction: &'static str, k: usize) {
+        let at = self.trace.makespan();
+        let inst = self.trace.instant(
+            0,
+            self.epoch,
+            Lane::Cpu,
+            format!("autoscale:{direction}"),
+            at,
+        );
+        inst.args.push(("ranks", ArgValue::U64(k as u64)));
+        self.registry.counter_add(
+            "bonsai_autoscale_decisions_total",
+            &[("decision", direction)],
+            1,
+        );
+    }
+
     /// Borrow one rank's particle shard (checkpointing, inspection).
     pub fn rank_particles(&self, rank: usize) -> &Particles {
         &self.ranks[rank]
@@ -611,8 +680,14 @@ impl Cluster {
                 if let Some(mut policy) = self.autoscale.take() {
                     let mean = self.total_particles() as f64 / self.rank_count() as f64;
                     match policy.decide(self.steps, self.rank_count(), mean, &alerts) {
-                        crate::autoscale::ScaleDecision::Grow(k) => self.admit_ranks(k),
-                        crate::autoscale::ScaleDecision::Shrink(k) => self.retire_ranks(k),
+                        crate::autoscale::ScaleDecision::Grow(k) => {
+                            self.record_autoscale_decision("grow", k);
+                            self.admit_ranks(k)
+                        }
+                        crate::autoscale::ScaleDecision::Shrink(k) => {
+                            self.record_autoscale_decision("shrink", k);
+                            self.retire_ranks(k)
+                        }
                         crate::autoscale::ScaleDecision::Hold => {}
                     }
                     self.autoscale = Some(policy);
@@ -811,7 +886,7 @@ impl Cluster {
                 new_p
             ),
         });
-        self.membership.push(ViewChange {
+        let change = ViewChange {
             epoch: self.epoch,
             from_view: old_view.number,
             to_view: conv.view.number,
@@ -821,7 +896,9 @@ impl Cluster {
             rounds: conv.rounds,
             migrated_particles: 0,
             migrated_bytes: 0,
-        });
+        };
+        self.record_membership_change(&change);
+        self.membership.push(change);
     }
 
     /// Replace the fabric with a fresh one spanning `p` ranks (fault plan
@@ -1140,7 +1217,7 @@ impl Cluster {
                 migrated_particles
             ),
         });
-        self.membership.push(ViewChange {
+        let change = ViewChange {
             epoch: self.epoch,
             from_view: old_view.number,
             to_view: new_view.number,
@@ -1150,7 +1227,9 @@ impl Cluster {
             rounds: conv.rounds,
             migrated_particles,
             migrated_bytes,
-        });
+        };
+        self.record_membership_change(&change);
+        self.membership.push(change);
         // Fresh forces on the new decomposition; positions are unchanged,
         // so this is an observation change, not a physics change. Also
         // checkpoints the post-change state so a later crash does not roll
@@ -1557,14 +1636,14 @@ impl Cluster {
             let n = self.ranks[r].len() as u64;
             let rank = r as u32;
             let mut t = base;
-            for (name, dur, rate) in [
-                ("sort", gpu.sort_time(n), gpu.sort_rate),
-                ("domain", n as f64 / classify_rate, classify_rate),
-                ("build", gpu.build_time(n), gpu.build_rate),
-                ("props", gpu.props_time(n), gpu.props_rate),
+            for (name, dur, rate, cost) in [
+                ("sort", gpu.sort_time(n), gpu.sort_rate, SORT_COST),
+                ("domain", n as f64 / classify_rate, classify_rate, DOMAIN_COST),
+                ("build", gpu.build_time(n), gpu.build_rate, BUILD_COST),
+                ("props", gpu.props_time(n), gpu.props_rate, PROPS_COST),
             ] {
                 let id = self.trace.span(rank, step, Lane::Gpu, name, t, t + dur);
-                gpu.annotate_stream_span(&mut self.trace, id, n, rate);
+                gpu.annotate_stream_span(&mut self.trace, id, n, rate, cost);
                 t += dur;
             }
             let local_start = t;
@@ -1581,7 +1660,13 @@ impl Cluster {
             // host orchestration on the CPU lane.
             let d_int = n as f64 / crate::breakdown::INTEGRATE_RATE;
             let id = self.trace.span(rank, step, Lane::Gpu, "integrate", t, t + d_int);
-            gpu.annotate_stream_span(&mut self.trace, id, n, crate::breakdown::INTEGRATE_RATE);
+            gpu.annotate_stream_span(
+                &mut self.trace,
+                id,
+                n,
+                crate::breakdown::INTEGRATE_RATE,
+                INTEGRATE_COST,
+            );
             t += d_int;
             let d_bal = meas.sampled_keys[r] as f64 / classify_rate;
             let id = self.trace.span(rank, step, Lane::Cpu, "balance", t, t + d_bal);

@@ -49,6 +49,7 @@ pub mod cluster;
 pub mod live;
 pub mod longrun;
 pub mod model;
+pub mod profile;
 pub mod trace;
 
 pub use autoscale::{AutoscaleConfig, AutoscalePolicy, ScaleDecision};
@@ -57,3 +58,4 @@ pub use checkpoint::Checkpoint;
 pub use cluster::{Cluster, ClusterConfig, RecoveryConfig};
 pub use longrun::{LongRunConfig, LongRunMonitor};
 pub use model::ScalingModel;
+pub use profile::cost_model_attribution;

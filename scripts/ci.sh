@@ -94,4 +94,26 @@ fi
 cargo run -q --release -p bonsai-bench --bin obs_membership >/dev/null
 cmp BENCH_membership.json "$scratch/BENCH_membership.1.json"
 
+echo "== profile gate: obs_profile double run + roofline baseline diff =="
+cargo run -q --release -p bonsai-bench --bin obs_profile >/dev/null
+cp BENCH_profile.json "$scratch/BENCH_profile.1.json"
+cp out/profile_report.html "$scratch/profile_report.1.html"
+cargo run -q --release -p bonsai-bench --bin obs_profile >/dev/null
+cmp BENCH_profile.json "$scratch/BENCH_profile.1.json"
+cmp out/profile_report.html "$scratch/profile_report.1.html"
+cargo run -q --release -p bonsai-bench --bin obs_diff -- --against baselines/profile.json
+
+echo "== gate self-test: a sandbagged kernel must fail the profile diff =="
+# Slowing the gravity kernels 1.5x moves the roofline points and the
+# gravity residuals; the diff gate is only trustworthy if it exits 1.
+cargo run -q --release -p bonsai-bench --bin obs_profile -- --sandbag-kernel >/dev/null
+if cargo run -q --release -p bonsai-bench --bin obs_diff -- \
+    --against baselines/profile.json >/dev/null 2>&1; then
+  echo "profile diff gate failed to catch a sandbagged kernel" >&2
+  exit 1
+fi
+# Restore the honest artefact clobbered by the sandbagged run.
+cargo run -q --release -p bonsai-bench --bin obs_profile >/dev/null
+cmp BENCH_profile.json "$scratch/BENCH_profile.1.json"
+
 echo "CI line green"
