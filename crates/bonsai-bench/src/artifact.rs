@@ -136,13 +136,14 @@ mod tests {
             kinds,
             vec![
                 "accuracy",
+                "flows",
                 "longrun",
                 "membership",
                 "profile",
                 "scaling",
                 "step"
             ],
-            "expected the six canonical bench artifacts at the repo root"
+            "expected the seven canonical bench artifacts at the repo root"
         );
     }
 }

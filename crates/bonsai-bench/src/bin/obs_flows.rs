@@ -1,0 +1,75 @@
+//! Message-flow bench: a seeded faulty step ladder whose flow ledger and
+//! trace are reduced to the causal message-flow artifacts. Byte-deterministic
+//! per seed:
+//!
+//! * `BENCH_flows.json` (repo root) — schema `bonsai-flows-v1`:
+//!   conservation totals, critical-path wait attribution by cause, the
+//!   per-directed-link ledger (bytes, attempts, retransmit ratio, delivery
+//!   latency percentiles) and per-step digests.
+//! * `out/flows_report.html` — self-contained zero-dependency report: link
+//!   matrix, wait-attribution table, latency sparklines.
+//!
+//! `--mask-retransmits` rewrites every flow to a clean first-attempt
+//! delivery before the reduction — the CI self-test proving `obs_diff`
+//! catches a doctored ledger.
+
+use bonsai_bench::flows::{flows_json, render_html, run, FlowsBenchConfig};
+use bonsai_bench::{arg_usize, has_flag, out_dir};
+
+fn main() {
+    let d = FlowsBenchConfig::default();
+    let cfg = FlowsBenchConfig {
+        n: arg_usize("--n", d.n),
+        ranks: arg_usize("--ranks", d.ranks),
+        steps: arg_usize("--steps", d.steps),
+        seed: arg_usize("--seed", d.seed as usize) as u64,
+        mask_retransmits: has_flag("--mask-retransmits"),
+    };
+    println!(
+        "message-flow tracer: {} particles over {} ranks, {} faulty steps{}",
+        cfg.n,
+        cfg.ranks,
+        cfg.steps,
+        if cfg.mask_retransmits {
+            " (retransmits masked)"
+        } else {
+            ""
+        }
+    );
+    let r = run(cfg);
+
+    let k = &r.conservation;
+    println!(
+        "  conservation: {} sealed = {} delivered + {} fallback + {} dead (+{} pending) — {}",
+        k.sealed,
+        k.delivered,
+        k.fallback,
+        k.dead,
+        k.pending,
+        if k.holds() { "holds" } else { "VIOLATED" }
+    );
+    println!(
+        "  waits: {:.4} ms on the critical path, {:.2}% unattributed",
+        r.wait_total_s() * 1e3,
+        100.0 * r.unattributed_fraction()
+    );
+    for (cause, secs) in &r.wait_by_cause {
+        println!("    {cause:<16} {:.4} ms", secs * 1e3);
+    }
+    for l in &r.links {
+        println!(
+            "  {:<6} {:>4} flows, {:>7} B, retx ratio {:.2}, p50 {:.3} ms, max {:.3} ms",
+            l.label(),
+            l.flows,
+            l.bytes,
+            l.retransmit_ratio(),
+            l.latency_p50 * 1e3,
+            l.latency_max * 1e3
+        );
+    }
+
+    std::fs::write("BENCH_flows.json", flows_json(&r)).expect("write BENCH_flows.json");
+    let html_path = out_dir().join("flows_report.html");
+    std::fs::write(&html_path, render_html(&r)).expect("write report");
+    println!("wrote BENCH_flows.json and {}", html_path.display());
+}

@@ -16,10 +16,11 @@ use bonsai_obs::json::{fmt_f64, Value};
 /// Keys that identify an array element (checked in order; the first ones
 /// present form the element's label). These are the dimension columns of
 /// every bench schema: a roofline row is `kernel` × `rank`, a residual row
-/// is `term`, an alert row is `rule` × `step`, a view change is `epoch`.
-const IDENTITY_KEYS: [&str; 12] = [
+/// is `term`, an alert row is `rule` × `step`, a view change is `epoch`,
+/// a flow-ledger row is `link`, a wait-attribution row is `cause`.
+const IDENTITY_KEYS: [&str; 15] = [
     "kernel", "phase", "term", "rule", "metric", "family", "name", "id", "rank", "step", "epoch",
-    "decision",
+    "decision", "link", "cause", "kind",
 ];
 
 /// Numeric comparison tolerance: `a` and `b` agree when

@@ -1,0 +1,579 @@
+//! The message-flow bench: a seeded faulty Milky Way step ladder whose
+//! flow ledger is reduced to (a) conservation totals (every sealed envelope
+//! delivered, recovered by fallback, or dead — nothing pending), (b) a
+//! per-directed-link ledger (traffic, retransmit ratio, delivery-latency
+//! percentiles), (c) the critical-path wait attribution by causal class,
+//! and (d) per-step exposed-communication intervals tied to their causal
+//! flows. Exported as the byte-deterministic `BENCH_flows.json` (schema
+//! `bonsai-flows-v1`) plus a zero-dependency `out/flows_report.html` with
+//! the link matrix, the wait-attribution table and per-link latency
+//! sparklines.
+//!
+//! The gate is self-testing: [`FlowsBenchConfig::mask_retransmits`]
+//! rewrites every flow summary to a clean single-attempt delivery before
+//! the reduction — a masked run *must* diff against the honest baseline,
+//! which is how CI proves the flow gate has teeth.
+
+use bonsai_net::fault::{FaultKind, FaultPlan};
+use bonsai_net::flow::FlowConservation;
+use bonsai_obs::json::fmt_f64;
+use bonsai_obs::{
+    critical_path, exposed_comm, link_ledger, ArgValue, FlowSummary, LinkStats, WaitCause,
+};
+use bonsai_sim::{Cluster, ClusterConfig};
+use bonsai_util::units;
+
+use crate::milky_way_snapshot;
+
+/// The flows bench configuration.
+#[derive(Clone, Debug)]
+pub struct FlowsBenchConfig {
+    /// Total particles of the scaled Milky Way model.
+    pub n: usize,
+    /// Logical ranks.
+    pub ranks: usize,
+    /// Steps to drive under the fault plan.
+    pub steps: usize,
+    /// IC + fault-plan seed.
+    pub seed: u64,
+    /// Sabotage hook: rewrite every flow to a clean first-attempt delivery
+    /// before the reduction. The CI self-test sets this to prove the diff
+    /// gate catches a masked ledger.
+    pub mask_retransmits: bool,
+}
+
+impl Default for FlowsBenchConfig {
+    fn default() -> Self {
+        Self {
+            n: 4_000,
+            ranks: 4,
+            steps: 8,
+            seed: 2014,
+            mask_retransmits: false,
+        }
+    }
+}
+
+/// The seeded fault plan the bench drives: every message-level fault kind
+/// at a rate high enough that retransmissions are common, plus two LET
+/// stalls that force the fabric fallback path. No crashes — the ladder
+/// must complete without rollback so the artifact stays byte-stable.
+pub fn bench_fault_plan(seed: u64, steps: usize) -> FaultPlan {
+    let mut plan = FaultPlan::new(seed)
+        .with_rate(FaultKind::Drop, 0.08)
+        .with_rate(FaultKind::Corrupt, 0.05)
+        .with_rate(FaultKind::Duplicate, 0.04)
+        .with_rate(FaultKind::Delay, 0.04)
+        .with_rate(FaultKind::Reorder, 0.04)
+        .with_rate(FaultKind::Truncate, 0.03);
+    // Stall the dedicated-LET sends of two ranks mid-ladder: the stalled
+    // boundaries exhaust their retry budget and resolve by fallback.
+    if steps >= 3 {
+        plan = plan.with_stall(1, 3);
+    }
+    if steps >= 6 {
+        plan = plan.with_stall(2, 6);
+    }
+    plan
+}
+
+/// Per-step flow digest (one artifact row per driven step).
+#[derive(Clone, Debug)]
+pub struct StepFlows {
+    /// The step (= protocol epoch) the row describes.
+    pub step: u64,
+    /// Flows sealed in the step.
+    pub flows: usize,
+    /// Retransmitted attempts beyond each flow's first.
+    pub retransmits: u64,
+    /// Flows resolved by the fabric fallback.
+    pub fallbacks: usize,
+    /// Exposed-communication intervals found in the step.
+    pub exposed_intervals: usize,
+    /// Total exposed-communication seconds in the step.
+    pub exposed_s: f64,
+    /// Critical-path wait seconds in the step.
+    pub wait_s: f64,
+}
+
+/// Everything the exporters need from one completed flows run.
+pub struct FlowsResult {
+    /// The configuration that produced it.
+    pub config: FlowsBenchConfig,
+    /// Every flow summary of the run (post-mask when sabotaged).
+    pub flows: Vec<FlowSummary>,
+    /// Per-directed-link ledger.
+    pub links: Vec<LinkStats>,
+    /// Whole-run conservation totals from the cluster's own ledger.
+    pub conservation: FlowConservation,
+    /// Critical-path wait seconds per causal class, summed over steps.
+    pub wait_by_cause: Vec<(String, f64)>,
+    /// Exposed-communication seconds per causal class, summed over steps.
+    pub exposed_by_cause: Vec<(String, f64)>,
+    /// Per-step digests.
+    pub steps: Vec<StepFlows>,
+}
+
+impl FlowsResult {
+    /// Total critical-path wait seconds.
+    pub fn wait_total_s(&self) -> f64 {
+        self.wait_by_cause.iter().map(|(_, s)| s).sum()
+    }
+
+    /// Fraction of critical-path wait seconds with no identified cause
+    /// (the acceptance bar is < 5%).
+    pub fn unattributed_fraction(&self) -> f64 {
+        let total = self.wait_total_s();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        // Fold from +0.0: an empty sum must not leak a −0.0 into the
+        // byte-deterministic artifact.
+        self.wait_by_cause
+            .iter()
+            .filter(|(c, _)| c == WaitCause::Unattributed.name())
+            .fold(0.0, |a, (_, s)| a + s)
+            / total
+    }
+}
+
+/// Drive the faulty ladder and reduce its ledger + trace.
+pub fn run(cfg: FlowsBenchConfig) -> FlowsResult {
+    let ic = milky_way_snapshot(cfg.n, cfg.seed);
+    let mut ccfg = ClusterConfig::default();
+    ccfg.g = units::G;
+    ccfg.eps = 0.1 * (2.0e5_f64 / cfg.n as f64).powf(1.0 / 3.0);
+    ccfg.dt = units::myr_to_internal(3.0);
+    let plan = bench_fault_plan(cfg.seed, cfg.steps);
+    let mut cluster = Cluster::with_faults(ic, cfg.ranks, ccfg, plan, None);
+
+    let mut flows: Vec<FlowSummary> = Vec::new();
+    for _ in 0..cfg.steps {
+        cluster.step();
+        flows.extend(cluster.last_flow_summaries().iter().cloned());
+    }
+    if cfg.mask_retransmits {
+        // The sabotage hook: pretend every flow was a clean first-attempt
+        // delivery. The link ledger and the step rows collapse, which the
+        // diff gate must flag against the honest baseline.
+        for f in &mut flows {
+            f.attempts = 1;
+            f.faults.clear();
+        }
+    }
+
+    let mut step_ids: Vec<u64> = flows.iter().map(|f| f.step).collect();
+    step_ids.sort_unstable();
+    step_ids.dedup();
+
+    let mut wait_by_cause: std::collections::BTreeMap<String, f64> = Default::default();
+    let mut exposed_by_cause: std::collections::BTreeMap<String, f64> = Default::default();
+    let mut steps = Vec::new();
+    for &step in &step_ids {
+        let step_flows: Vec<FlowSummary> =
+            flows.iter().filter(|f| f.step == step).cloned().collect();
+        let exposed = exposed_comm(cluster.trace(), step, &step_flows);
+        for x in &exposed {
+            *exposed_by_cause.entry(x.cause.name().to_string()).or_insert(0.0) += x.seconds();
+        }
+        // Wait seconds of the step: the explicit barrier fills the cluster
+        // records per non-straggler rank (each carries the causal class of
+        // the straggler's flow set) plus any synthetic waits the critical
+        // path had to invent to cover the wall time.
+        let mut wait_s = 0.0;
+        for span in cluster
+            .trace()
+            .spans()
+            .iter()
+            .filter(|s| s.step == step && s.name == "wait")
+        {
+            let cause = span
+                .args
+                .iter()
+                .find_map(|(k, v)| match (k, v) {
+                    (&"cause", ArgValue::Str(c)) => Some(c.clone()),
+                    _ => None,
+                })
+                .unwrap_or_else(|| WaitCause::Unattributed.name().to_string());
+            let secs = (span.end - span.start).max(0.0);
+            wait_s += secs;
+            *wait_by_cause.entry(cause).or_insert(0.0) += secs;
+        }
+        if let Some(cp) = critical_path(cluster.trace(), step) {
+            for (cause, secs) in cp.wait_seconds_by_cause() {
+                wait_s += secs;
+                *wait_by_cause.entry(cause).or_insert(0.0) += secs;
+            }
+        }
+        steps.push(StepFlows {
+            step,
+            flows: step_flows.len(),
+            retransmits: step_flows
+                .iter()
+                .map(|f| f.attempts.saturating_sub(1) as u64)
+                .sum(),
+            fallbacks: step_flows.iter().filter(|f| f.fell_back()).count(),
+            exposed_intervals: exposed.len(),
+            exposed_s: exposed.iter().map(|x| x.seconds()).sum(),
+            wait_s,
+        });
+    }
+
+    FlowsResult {
+        links: link_ledger(&flows),
+        conservation: cluster.flow_conservation(),
+        wait_by_cause: wait_by_cause.into_iter().collect(),
+        exposed_by_cause: exposed_by_cause.into_iter().collect(),
+        steps,
+        flows,
+        config: cfg,
+    }
+}
+
+/// Render a row list as a JSON array (`[]` when empty, one row per line
+/// otherwise).
+fn json_rows(rows: &[String]) -> String {
+    if rows.is_empty() {
+        "[]".to_string()
+    } else {
+        format!("[\n{}\n  ]", rows.join(",\n"))
+    }
+}
+
+/// `BENCH_flows.json`: schema `bonsai-flows-v1`, byte-deterministic per
+/// seed.
+pub fn flows_json(r: &FlowsResult) -> String {
+    let c = &r.config;
+    let total_wait = r.wait_total_s();
+    let waits: Vec<String> = r
+        .wait_by_cause
+        .iter()
+        .map(|(cause, secs)| {
+            format!(
+                "    {{\"cause\": \"{}\", \"seconds\": {}, \"share\": {}}}",
+                cause,
+                fmt_f64(*secs),
+                fmt_f64(if total_wait > 0.0 { secs / total_wait } else { 0.0 })
+            )
+        })
+        .collect();
+    let exposed: Vec<String> = r
+        .exposed_by_cause
+        .iter()
+        .map(|(cause, secs)| {
+            format!(
+                "    {{\"cause\": \"{}\", \"seconds\": {}}}",
+                cause,
+                fmt_f64(*secs)
+            )
+        })
+        .collect();
+    let links: Vec<String> = r
+        .links
+        .iter()
+        .map(|l| {
+            format!(
+                "    {{\"link\": \"{}\", \"from\": {}, \"to\": {}, \"flows\": {}, \"bytes\": {}, \"attempts\": {}, \"retransmits\": {}, \"retransmit_ratio\": {}, \"delivered\": {}, \"fallback\": {}, \"dead\": {}, \"latency_p50\": {}, \"latency_p90\": {}, \"latency_max\": {}}}",
+                l.label(),
+                l.from,
+                l.to,
+                l.flows,
+                l.bytes,
+                l.attempts,
+                l.retransmits,
+                fmt_f64(l.retransmit_ratio()),
+                l.delivered,
+                l.fallback,
+                l.dead,
+                fmt_f64(l.latency_p50),
+                fmt_f64(l.latency_p90),
+                fmt_f64(l.latency_max)
+            )
+        })
+        .collect();
+    let steps: Vec<String> = r
+        .steps
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"step\": {}, \"flows\": {}, \"retransmits\": {}, \"fallbacks\": {}, \"exposed_intervals\": {}, \"exposed_s\": {}, \"wait_s\": {}}}",
+                s.step,
+                s.flows,
+                s.retransmits,
+                s.fallbacks,
+                s.exposed_intervals,
+                fmt_f64(s.exposed_s),
+                fmt_f64(s.wait_s)
+            )
+        })
+        .collect();
+    let k = &r.conservation;
+    format!(
+        "{{\n  \"schema\": \"bonsai-flows-v1\",\n  \"config\": {{\"n\": {}, \"ranks\": {}, \"steps\": {}, \"seed\": {}, \"mask_retransmits\": {}}},\n  \"conservation\": {{\"sealed\": {}, \"delivered\": {}, \"fallback\": {}, \"dead\": {}, \"pending\": {}, \"holds\": {}}},\n  \"wait_total_s\": {},\n  \"unattributed_fraction\": {},\n  \"wait_attribution\": {},\n  \"exposed\": {},\n  \"links\": {},\n  \"steps\": {}\n}}\n",
+        c.n,
+        c.ranks,
+        c.steps,
+        c.seed,
+        c.mask_retransmits,
+        k.sealed,
+        k.delivered,
+        k.fallback,
+        k.dead,
+        k.pending,
+        k.holds(),
+        fmt_f64(total_wait),
+        fmt_f64(r.unattributed_fraction()),
+        json_rows(&waits),
+        json_rows(&exposed),
+        json_rows(&links),
+        json_rows(&steps)
+    )
+}
+
+/// Cell shade for the link matrix: white (clean) → red (high retransmit
+/// ratio).
+fn ratio_color(ratio: f64) -> String {
+    let t = (ratio * 2.5).clamp(0.0, 1.0);
+    let g = (255.0 - t * 140.0) as u8;
+    format!("#ff{g:02x}{g:02x}")
+}
+
+/// A tiny inline-SVG sparkline of a link's delivery-latency percentiles
+/// (p50, p90, max) as bars scaled against the run-wide worst latency.
+fn latency_sparkline(l: &LinkStats, lat_max: f64) -> String {
+    const W: f64 = 64.0;
+    const H: f64 = 18.0;
+    if lat_max <= 0.0 || l.delivered == 0 {
+        return String::from("<span style=\"color:#a1a1aa\">—</span>");
+    }
+    let bars = [l.latency_p50, l.latency_p90, l.latency_max];
+    let mut s = format!("<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" role=\"img\"><title>p50 {:.2} ms · p90 {:.2} ms · max {:.2} ms</title>", l.latency_p50 * 1e3, l.latency_p90 * 1e3, l.latency_max * 1e3);
+    for (i, v) in bars.iter().enumerate() {
+        let h = (v / lat_max * (H - 2.0)).max(1.0);
+        s.push_str(&format!(
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"18\" height=\"{:.1}\" fill=\"#2563eb\" fill-opacity=\"{}\"/>",
+            2.0 + i as f64 * 21.0,
+            H - h,
+            h,
+            0.45 + 0.25 * i as f64
+        ));
+    }
+    s.push_str("</svg>");
+    s
+}
+
+/// `out/flows_report.html`: self-contained, zero JavaScript.
+pub fn render_html(r: &FlowsResult) -> String {
+    let c = &r.config;
+    let mut s = String::from(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>bonsai message-flow report</title>\n<style>\n\
+         body { font: 14px/1.5 system-ui, sans-serif; color: #18181b; margin: 2rem auto; max-width: 72rem; padding: 0 1rem; }\n\
+         table { border-collapse: collapse; margin: 0.75rem 0 1.5rem; }\n\
+         th, td { border: 1px solid #d4d4d8; padding: 0.25rem 0.6rem; text-align: right; }\n\
+         th { background: #f4f4f5; } td.l, th.l { text-align: left; }\n\
+         .ok { color: #16a34a; } .bad { color: #dc2626; }\n\
+         </style>\n</head>\n<body>\n",
+    );
+    let k = &r.conservation;
+    s.push_str(&format!(
+        "<h1>Message-flow trace</h1>\n<p>{} particles × {} ranks × {} steps under the seeded \
+         fault ladder (seed {}){}.</p>\n",
+        c.n,
+        c.ranks,
+        c.steps,
+        c.seed,
+        if c.mask_retransmits {
+            " — <strong>retransmits masked (sabotage run)</strong>"
+        } else {
+            ""
+        }
+    ));
+    s.push_str(&format!(
+        "<h2>Conservation</h2>\n<p class=\"{}\">{} sealed = {} delivered + {} fallback + {} dead \
+         (+ {} pending) — {}</p>\n",
+        if k.holds() { "ok" } else { "bad" },
+        k.sealed,
+        k.delivered,
+        k.fallback,
+        k.dead,
+        k.pending,
+        if k.holds() { "holds" } else { "VIOLATED" }
+    ));
+
+    // Wait attribution.
+    let total_wait = r.wait_total_s();
+    s.push_str(&format!(
+        "<h2>Critical-path wait attribution</h2>\n\
+         <p>{:.4} ms of critical-path waits, {:.2}% unattributed.</p>\n\
+         <table>\n<tr><th class=\"l\">cause</th><th>seconds</th><th>share</th></tr>\n",
+        total_wait * 1e3,
+        100.0 * r.unattributed_fraction()
+    ));
+    for (cause, secs) in &r.wait_by_cause {
+        s.push_str(&format!(
+            "<tr><td class=\"l\">{}</td><td>{:.6}</td><td>{:.1}%</td></tr>\n",
+            cause,
+            secs,
+            if total_wait > 0.0 { 100.0 * secs / total_wait } else { 0.0 }
+        ));
+    }
+    s.push_str("</table>\n");
+    if !r.exposed_by_cause.is_empty() {
+        s.push_str(
+            "<h3>Exposed communication by cause</h3>\n\
+             <table>\n<tr><th class=\"l\">cause</th><th>seconds</th></tr>\n",
+        );
+        for (cause, secs) in &r.exposed_by_cause {
+            s.push_str(&format!(
+                "<tr><td class=\"l\">{cause}</td><td>{secs:.6}</td></tr>\n"
+            ));
+        }
+        s.push_str("</table>\n");
+    }
+
+    // Per-link matrix: rows = sender, columns = receiver.
+    s.push_str(
+        "<h2>Link matrix</h2>\n<p>Cells show flows sealed / retransmit ratio; shading tracks \
+         the retransmit ratio.</p>\n<table>\n<tr><th class=\"l\">from \\ to</th>",
+    );
+    for to in 0..c.ranks {
+        s.push_str(&format!("<th>{to}</th>"));
+    }
+    s.push_str("</tr>\n");
+    for from in 0..c.ranks {
+        s.push_str(&format!("<tr><th class=\"l\">{from}</th>"));
+        for to in 0..c.ranks {
+            match r.links.iter().find(|l| l.from == from && l.to == to) {
+                Some(l) => s.push_str(&format!(
+                    "<td style=\"background:{}\">{} / {:.2}</td>",
+                    ratio_color(l.retransmit_ratio()),
+                    l.flows,
+                    l.retransmit_ratio()
+                )),
+                None => s.push_str("<td style=\"color:#a1a1aa\">·</td>"),
+            }
+        }
+        s.push_str("</tr>\n");
+    }
+    s.push_str("</table>\n");
+
+    // Full link ledger with latency sparklines.
+    let lat_max = r.links.iter().map(|l| l.latency_max).fold(0.0_f64, f64::max);
+    s.push_str(
+        "<h2>Link ledger</h2>\n<table>\n<tr><th class=\"l\">link</th><th>flows</th>\
+         <th>bytes</th><th>attempts</th><th>retx</th><th>delivered</th><th>fallback</th>\
+         <th>dead</th><th>p50 ms</th><th>p90 ms</th><th>max ms</th><th class=\"l\">latency</th></tr>\n",
+    );
+    for l in &r.links {
+        s.push_str(&format!(
+            "<tr><td class=\"l\">{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{:.3}</td><td>{:.3}</td><td>{:.3}</td>\
+             <td class=\"l\">{}</td></tr>\n",
+            l.label(),
+            l.flows,
+            l.bytes,
+            l.attempts,
+            l.retransmits,
+            l.delivered,
+            l.fallback,
+            l.dead,
+            l.latency_p50 * 1e3,
+            l.latency_p90 * 1e3,
+            l.latency_max * 1e3,
+            latency_sparkline(l, lat_max)
+        ));
+    }
+    s.push_str("</table>\n");
+
+    // Per-step digest.
+    s.push_str(
+        "<h2>Per-step digest</h2>\n<table>\n<tr><th>step</th><th>flows</th><th>retx</th>\
+         <th>fallbacks</th><th>exposed intervals</th><th>exposed ms</th><th>wait ms</th></tr>\n",
+    );
+    for st in &r.steps {
+        s.push_str(&format!(
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{:.4}</td><td>{:.4}</td></tr>\n",
+            st.step,
+            st.flows,
+            st.retransmits,
+            st.fallbacks,
+            st.exposed_intervals,
+            st.exposed_s * 1e3,
+            st.wait_s * 1e3
+        ));
+    }
+    s.push_str("</table>\n</body>\n</html>\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FlowsBenchConfig {
+        FlowsBenchConfig {
+            n: 1_200,
+            ranks: 3,
+            steps: 4,
+            seed: 7,
+            mask_retransmits: false,
+        }
+    }
+
+    #[test]
+    fn exports_are_deterministic_and_self_contained() {
+        let a = run(tiny());
+        let b = run(tiny());
+        assert_eq!(flows_json(&a), flows_json(&b), "JSON not byte-stable");
+        assert_eq!(render_html(&a), render_html(&b), "HTML not byte-stable");
+        let html = render_html(&a);
+        assert!(!html.contains("<script"), "report must be zero-JS");
+        assert!(html.contains("<svg"));
+        assert!(html.contains("Critical-path wait attribution"));
+        assert!(html.contains("Link matrix"));
+    }
+
+    #[test]
+    fn json_parses_and_the_ledger_conserves_flows() {
+        let r = run(tiny());
+        let v = bonsai_obs::json::parse(&flows_json(&r)).expect("valid JSON");
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("bonsai-flows-v1"));
+        assert!(
+            matches!(
+                v.get("conservation").unwrap().get("holds").unwrap(),
+                bonsai_obs::json::Value::Bool(true)
+            ),
+            "every sealed flow must resolve: {:?}",
+            r.conservation
+        );
+        // Under the bench fault ladder retransmissions are guaranteed.
+        let retx: f64 = v
+            .get("links")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|l| l.get("retransmits").unwrap().as_f64().unwrap())
+            .sum();
+        assert!(retx > 0.0, "fault ladder produced no retransmissions");
+        // Every critical-path wait second lands in a named cause bucket.
+        let frac = v.get("unattributed_fraction").unwrap().as_f64().unwrap();
+        assert!(frac < 0.05, "unattributed fraction {frac} ≥ 5%");
+        assert!(!v.get("wait_attribution").unwrap().as_arr().unwrap().is_empty());
+        assert!(!v.get("steps").unwrap().as_arr().unwrap().is_empty());
+    }
+
+    #[test]
+    fn masking_retransmits_is_caught_by_the_artifact() {
+        let honest = run(tiny());
+        let masked = run(FlowsBenchConfig {
+            mask_retransmits: true,
+            ..tiny()
+        });
+        assert_ne!(flows_json(&honest), flows_json(&masked));
+        let total_retx = |r: &FlowsResult| -> u64 { r.links.iter().map(|l| l.retransmits).sum() };
+        assert!(total_retx(&honest) > 0);
+        assert_eq!(total_retx(&masked), 0, "mask must hide every retransmit");
+    }
+}

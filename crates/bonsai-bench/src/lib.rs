@@ -24,6 +24,7 @@
 
 pub mod artifact;
 pub mod diff;
+pub mod flows;
 pub mod longrun;
 pub mod membership;
 pub mod profile;

@@ -1,30 +1,41 @@
 //! Versioned, checksummed message framing.
 //!
-//! Every payload that crosses the fabric is sealed in a fixed 32-byte
-//! envelope carrying the message kind, sending rank, step epoch, payload
-//! length and a CRC-64 over header and payload. The receive side validates
-//! strictly: truncated frames, bad magic/version, length mismatches and
-//! checksum failures are *detected* and reported as [`EnvelopeError`]s
-//! instead of being deserialized into garbage, and stale-epoch duplicates
-//! can be discarded by comparing [`Envelope::epoch`] against the current
-//! step. This is the detection half of the fault-tolerance story; recovery
-//! (retransmission, boundary-tree fallback, checkpoint restore) is driven
-//! by the cluster on top of these errors.
+//! Every payload that crosses the fabric is sealed in a fixed-size envelope
+//! carrying the message kind, sending rank, step epoch, a unique **flow id**
+//! with its attempt sequence number, the payload length and a CRC-64 over
+//! header and payload. The receive side validates strictly: truncated
+//! frames, bad magic/version, length mismatches and checksum failures are
+//! *detected* and reported as [`EnvelopeError`]s instead of being
+//! deserialized into garbage, and stale-epoch duplicates can be discarded by
+//! comparing [`Envelope::epoch`] against the current step. This is the
+//! detection half of the fault-tolerance story; recovery (retransmission,
+//! boundary-tree fallback, checkpoint restore) is driven by the cluster on
+//! top of these errors. The flow id ties every frame — original or
+//! retransmission — back to one logical message in the
+//! [`FlowLedger`](crate::flow::FlowLedger), which is what makes per-message
+//! causal tracing possible.
 //!
-//! Wire layout (little-endian):
+//! Version-2 wire layout (little-endian):
 //!
 //! ```text
 //! offset  size  field
 //!      0     4  magic  "BNET"
-//!      4     2  version (currently 1)
+//!      4     2  version (currently 2)
 //!      6     1  kind    (MsgKind code)
 //!      7     1  reserved (0)
 //!      8     4  from    (sending rank)
 //!     12     8  epoch   (step epoch of the sender)
-//!     20     4  payload length
-//!     24     8  CRC-64/XZ over bytes [0, 24) ++ payload
-//!     32     …  payload
+//!     20     8  flow    (ledger-assigned flow id)
+//!     28     4  seq     (attempt number: 0 original, 1.. retransmits)
+//!     32     4  payload length
+//!     36     8  CRC-64/XZ over bytes [0, 36) ++ payload
+//!     44     …  payload
 //! ```
+//!
+//! Version-1 frames (the pre-flow layout: payload length at offset 20, CRC
+//! over bytes `[0, 24)` at offset 24, payload at 32) are still accepted by
+//! [`open`]; they surface with `flow = 0, seq = 0`, the reserved
+//! "no recorded flow" id.
 
 use crate::fabric::MsgKind;
 use bonsai_util::hash::Crc64;
@@ -33,9 +44,14 @@ use bytes::Bytes;
 /// Frame magic: `b"BNET"` little-endian.
 pub const ENVELOPE_MAGIC: u32 = u32::from_le_bytes(*b"BNET");
 /// Current envelope wire version.
-pub const ENVELOPE_VERSION: u16 = 1;
-/// Fixed header size in bytes.
-pub const ENVELOPE_HEADER_LEN: usize = 32;
+pub const ENVELOPE_VERSION: u16 = 2;
+/// Fixed header size in bytes for the current (v2) layout.
+pub const ENVELOPE_HEADER_LEN: usize = 44;
+/// Header size of the legacy v1 layout, still accepted by [`open`].
+pub const ENVELOPE_V1_HEADER_LEN: usize = 32;
+/// Flow id carried by frames sealed without a ledger (and by all v1
+/// frames): "no recorded flow".
+pub const NO_FLOW: u64 = 0;
 
 /// Why a received frame was rejected.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -77,7 +93,7 @@ impl std::fmt::Display for EnvelopeError {
             }
             Self::BadMagic(m) => write!(f, "bad magic {m:#010x} (expected \"BNET\")"),
             Self::BadVersion(v) => {
-                write!(f, "unsupported envelope version {v} (expected {ENVELOPE_VERSION})")
+                write!(f, "unsupported envelope version {v} (expected 1 or {ENVELOPE_VERSION})")
             }
             Self::BadKind(k) => write!(f, "unknown message kind code {k}"),
             Self::LengthMismatch {
@@ -129,15 +145,54 @@ pub struct Envelope<'a> {
     pub from: usize,
     /// Sender's step epoch when the frame was sealed.
     pub epoch: u64,
+    /// Ledger flow id ([`NO_FLOW`] for v1 frames and untracked sends).
+    pub flow: u64,
+    /// Attempt number of this frame within its flow (0 = original send).
+    pub seq: u32,
     /// The validated payload bytes.
     pub payload: &'a [u8],
 }
 
-/// Seal `payload` into a checksummed frame.
-pub fn seal(kind: MsgKind, from: usize, epoch: u64, payload: &[u8]) -> Bytes {
+/// Seal `payload` into a checksummed v2 frame carrying a flow id and an
+/// attempt sequence number.
+pub fn seal_flow(
+    kind: MsgKind,
+    from: usize,
+    epoch: u64,
+    flow: u64,
+    seq: u32,
+    payload: &[u8],
+) -> Bytes {
     let mut frame = Vec::with_capacity(ENVELOPE_HEADER_LEN + payload.len());
     frame.extend_from_slice(&ENVELOPE_MAGIC.to_le_bytes());
     frame.extend_from_slice(&ENVELOPE_VERSION.to_le_bytes());
+    frame.push(kind_code(kind));
+    frame.push(0); // reserved
+    frame.extend_from_slice(&(from as u32).to_le_bytes());
+    frame.extend_from_slice(&epoch.to_le_bytes());
+    frame.extend_from_slice(&flow.to_le_bytes());
+    frame.extend_from_slice(&seq.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let mut crc = Crc64::new();
+    crc.update(&frame[..36]);
+    crc.update(payload);
+    frame.extend_from_slice(&crc.finish().to_le_bytes());
+    frame.extend_from_slice(payload);
+    Bytes::from(frame)
+}
+
+/// Seal `payload` into a checksummed frame with no recorded flow
+/// ([`NO_FLOW`], attempt 0).
+pub fn seal(kind: MsgKind, from: usize, epoch: u64, payload: &[u8]) -> Bytes {
+    seal_flow(kind, from, epoch, NO_FLOW, 0, payload)
+}
+
+/// Seal `payload` into a legacy v1 frame (32-byte header, no flow field).
+/// Kept for wire backward-compatibility tests and mixed-version fabrics.
+pub fn seal_v1(kind: MsgKind, from: usize, epoch: u64, payload: &[u8]) -> Bytes {
+    let mut frame = Vec::with_capacity(ENVELOPE_V1_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&ENVELOPE_MAGIC.to_le_bytes());
+    frame.extend_from_slice(&1u16.to_le_bytes());
     frame.push(kind_code(kind));
     frame.push(0); // reserved
     frame.extend_from_slice(&(from as u32).to_le_bytes());
@@ -151,11 +206,14 @@ pub fn seal(kind: MsgKind, from: usize, epoch: u64, payload: &[u8]) -> Bytes {
     Bytes::from(frame)
 }
 
-/// Open and strictly validate a frame.
+/// Open and strictly validate a frame. Accepts the current v2 layout and
+/// the legacy v1 layout (which opens with `flow = NO_FLOW, seq = 0`).
 pub fn open(frame: &[u8]) -> Result<Envelope<'_>, EnvelopeError> {
-    if frame.len() < ENVELOPE_HEADER_LEN {
+    // The version field sits at the same offset in both layouts, but we
+    // need at least the short (v1) header to read it safely.
+    if frame.len() < ENVELOPE_V1_HEADER_LEN {
         return Err(EnvelopeError::Truncated {
-            need: ENVELOPE_HEADER_LEN,
+            need: ENVELOPE_V1_HEADER_LEN,
             have: frame.len(),
         });
     }
@@ -164,19 +222,31 @@ pub fn open(frame: &[u8]) -> Result<Envelope<'_>, EnvelopeError> {
         return Err(EnvelopeError::BadMagic(magic));
     }
     let version = u16::from_le_bytes(frame[4..6].try_into().unwrap());
-    if version != ENVELOPE_VERSION {
-        return Err(EnvelopeError::BadVersion(version));
-    }
+    let (header_len, flow, seq, len_at, crc_at) = match version {
+        1 => (ENVELOPE_V1_HEADER_LEN, NO_FLOW, 0u32, 20usize, 24usize),
+        2 => {
+            if frame.len() < ENVELOPE_HEADER_LEN {
+                return Err(EnvelopeError::Truncated {
+                    need: ENVELOPE_HEADER_LEN,
+                    have: frame.len(),
+                });
+            }
+            let flow = u64::from_le_bytes(frame[20..28].try_into().unwrap());
+            let seq = u32::from_le_bytes(frame[28..32].try_into().unwrap());
+            (ENVELOPE_HEADER_LEN, flow, seq, 32usize, 36usize)
+        }
+        v => return Err(EnvelopeError::BadVersion(v)),
+    };
     let kind = kind_from_code(frame[6]).ok_or(EnvelopeError::BadKind(frame[6]))?;
     let from = u32::from_le_bytes(frame[8..12].try_into().unwrap()) as usize;
     let epoch = u64::from_le_bytes(frame[12..20].try_into().unwrap());
-    let declared = u32::from_le_bytes(frame[20..24].try_into().unwrap()) as usize;
-    let available = frame.len() - ENVELOPE_HEADER_LEN;
+    let declared = u32::from_le_bytes(frame[len_at..len_at + 4].try_into().unwrap()) as usize;
+    let available = frame.len() - header_len;
     if declared != available {
         // Distinguish a short (torn) frame from a trailing-garbage frame.
         if declared > available {
             return Err(EnvelopeError::Truncated {
-                need: ENVELOPE_HEADER_LEN + declared,
+                need: header_len + declared,
                 have: frame.len(),
             });
         }
@@ -185,10 +255,10 @@ pub fn open(frame: &[u8]) -> Result<Envelope<'_>, EnvelopeError> {
             available,
         });
     }
-    let payload = &frame[ENVELOPE_HEADER_LEN..];
-    let stored = u64::from_le_bytes(frame[24..32].try_into().unwrap());
+    let payload = &frame[header_len..];
+    let stored = u64::from_le_bytes(frame[crc_at..crc_at + 8].try_into().unwrap());
     let mut crc = Crc64::new();
-    crc.update(&frame[..24]);
+    crc.update(&frame[..crc_at]);
     crc.update(payload);
     let computed = crc.finish();
     if stored != computed {
@@ -198,6 +268,8 @@ pub fn open(frame: &[u8]) -> Result<Envelope<'_>, EnvelopeError> {
         kind,
         from,
         epoch,
+        flow,
+        seq,
         payload,
     })
 }
@@ -213,12 +285,44 @@ mod tests {
         assert_eq!(env.kind, MsgKind::Let);
         assert_eq!(env.from, 7);
         assert_eq!(env.epoch, 42);
+        assert_eq!(env.flow, NO_FLOW);
+        assert_eq!(env.seq, 0);
+        assert_eq!(env.payload, b"let tree bytes");
+    }
+
+    #[test]
+    fn flow_id_round_trips() {
+        let frame = seal_flow(MsgKind::Particles, 3, 11, 0xDEAD_BEEF_0042, 5, b"migrants");
+        let env = open(&frame).unwrap();
+        assert_eq!(env.flow, 0xDEAD_BEEF_0042);
+        assert_eq!(env.seq, 5);
+        assert_eq!(env.kind, MsgKind::Particles);
+        assert_eq!(env.from, 3);
+        assert_eq!(env.epoch, 11);
+        assert_eq!(env.payload, b"migrants");
+    }
+
+    #[test]
+    fn v1_frames_still_open() {
+        // A legacy 32-byte-header frame opens fine and reports NO_FLOW —
+        // old checkpoints / mixed-version peers keep working.
+        let frame = seal_v1(MsgKind::Let, 7, 42, b"let tree bytes");
+        assert_eq!(u16::from_le_bytes([frame[4], frame[5]]), 1);
+        let env = open(&frame).unwrap();
+        assert_eq!(env.kind, MsgKind::Let);
+        assert_eq!(env.from, 7);
+        assert_eq!(env.epoch, 42);
+        assert_eq!(env.flow, NO_FLOW);
+        assert_eq!(env.seq, 0);
         assert_eq!(env.payload, b"let tree bytes");
     }
 
     #[test]
     fn empty_payload_round_trips() {
         let frame = seal(MsgKind::Control, 0, 1, b"");
+        let env = open(&frame).unwrap();
+        assert_eq!(env.payload, b"");
+        let frame = seal_v1(MsgKind::Control, 0, 1, b"");
         let env = open(&frame).unwrap();
         assert_eq!(env.payload, b"");
     }
@@ -240,6 +344,18 @@ mod tests {
     #[test]
     fn truncation_detected_at_every_cut() {
         let frame = seal(MsgKind::Boundary, 3, 9, &[0xAA; 100]);
+        for cut in [0, 1, 16, 31, 32, 43, 44, 80, frame.len() - 1] {
+            let err = open(&frame[..cut]).unwrap_err();
+            assert!(
+                matches!(err, EnvelopeError::Truncated { .. }),
+                "cut {cut}: got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_truncation_detected_at_every_cut() {
+        let frame = seal_v1(MsgKind::Boundary, 3, 9, &[0xAA; 100]);
         for cut in [0, 1, 16, 31, 32, 80, frame.len() - 1] {
             let err = open(&frame[..cut]).unwrap_err();
             assert!(
@@ -251,15 +367,19 @@ mod tests {
 
     #[test]
     fn every_bit_flip_detected() {
-        let frame = seal(MsgKind::Particles, 2, 5, b"sixteen particles");
-        for i in 0..frame.len() {
-            for bit in 0..8 {
-                let mut bad = frame.to_vec();
-                bad[i] ^= 1 << bit;
-                assert!(
-                    open(&bad).is_err(),
-                    "flip at byte {i} bit {bit} went undetected"
-                );
+        for frame in [
+            seal_flow(MsgKind::Particles, 2, 5, 77, 1, b"sixteen particles"),
+            seal_v1(MsgKind::Particles, 2, 5, b"sixteen particles"),
+        ] {
+            for i in 0..frame.len() {
+                for bit in 0..8 {
+                    let mut bad = frame.to_vec();
+                    bad[i] ^= 1 << bit;
+                    assert!(
+                        open(&bad).is_err(),
+                        "flip at byte {i} bit {bit} went undetected"
+                    );
+                }
             }
         }
     }
@@ -284,5 +404,11 @@ mod tests {
         bad[last] ^= 0x01;
         let msg = open(&bad).unwrap_err().to_string();
         assert!(msg.contains("checksum mismatch"), "{msg}");
+
+        let mut bad = seal(MsgKind::Let, 0, 0, b"x").to_vec();
+        bad[4] = 9;
+        bad[5] = 0;
+        let msg = open(&bad).unwrap_err().to_string();
+        assert!(msg.contains("version 9"), "{msg}");
     }
 }

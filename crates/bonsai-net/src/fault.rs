@@ -21,8 +21,9 @@
 //! so a run can be audited: every injected fault is either recovered or
 //! explicitly surfaced.
 
-use crate::envelope::{kind_code, seal};
+use crate::envelope::{kind_code, seal_flow};
 use crate::fabric::{Endpoint, Message, MsgKind};
+use crate::flow::SharedFlowLedger;
 use bonsai_util::hash::mix_many;
 use bytes::Bytes;
 use std::sync::{Arc, Mutex};
@@ -460,6 +461,7 @@ pub struct FaultyEndpoint {
     ep: Endpoint,
     plan: Arc<FaultPlan>,
     log: SharedFaultLog,
+    flows: SharedFlowLedger,
     /// Frames held back by `Reorder`, delivered at the end of the send
     /// burst (i.e. after the sender's subsequent messages).
     reordered: Vec<(usize, MsgKind, Bytes)>,
@@ -469,12 +471,20 @@ pub struct FaultyEndpoint {
 }
 
 impl FaultyEndpoint {
-    /// Wrap `ep` with the given plan and shared log.
-    pub fn new(ep: Endpoint, plan: Arc<FaultPlan>, log: SharedFaultLog) -> Self {
+    /// Wrap `ep` with the given plan, shared log and shared flow ledger.
+    /// Every endpoint of one cluster shares a single ledger so flow ids are
+    /// assigned globally in driver-thread send order.
+    pub fn new(
+        ep: Endpoint,
+        plan: Arc<FaultPlan>,
+        log: SharedFaultLog,
+        flows: SharedFlowLedger,
+    ) -> Self {
         Self {
             ep,
             plan,
             log,
+            flows,
             reordered: Vec::new(),
             delayed: Vec::new(),
         }
@@ -495,43 +505,63 @@ impl FaultyEndpoint {
         &self.log
     }
 
+    /// The shared flow ledger.
+    pub fn flows(&self) -> &SharedFlowLedger {
+        &self.flows
+    }
+
     /// Seal `payload` in an envelope and send it to `to`, applying the
     /// fault plan. `attempt` is 0 for the original transmission and
-    /// increments on each retransmission.
-    pub fn send_framed(&mut self, to: usize, kind: MsgKind, epoch: u64, attempt: u32, payload: &[u8]) {
-        let frame = seal(kind, self.ep.rank, epoch, payload);
+    /// increments on each retransmission. Returns the ledger flow id the
+    /// frame carries: attempt 0 seals a fresh flow, retransmissions re-use
+    /// the open flow on the same `(epoch, from, to, kind)` coordinate.
+    pub fn send_framed(
+        &mut self,
+        to: usize,
+        kind: MsgKind,
+        epoch: u64,
+        attempt: u32,
+        payload: &[u8],
+    ) -> u64 {
+        let flow = if attempt == 0 {
+            self.flows.seal(epoch, self.ep.rank, to, kind, payload.len())
+        } else {
+            self.flows
+                .retransmit_latest(epoch, self.ep.rank, to, kind, payload.len())
+        };
+        let frame = seal_flow(kind, self.ep.rank, epoch, flow, attempt, payload);
         if self.plan.is_empty() {
             self.ep.send(to, kind, frame);
-            return;
+            return flow;
         }
 
         // A stalled rank's dedicated-LET sends hang until the next epoch.
         if kind == MsgKind::Let && self.plan.stalled(self.ep.rank, epoch) {
-            self.record(to, kind, epoch, attempt, FaultKind::Stall);
+            self.record(to, kind, epoch, attempt, flow, FaultKind::Stall);
             self.delayed.push((to, kind, frame));
-            return;
+            return flow;
         }
 
         match self.plan.message_fault(self.ep.rank, to, kind, epoch, attempt) {
             None => self.ep.send(to, kind, frame),
             Some(FaultKind::Drop) => {
-                self.record(to, kind, epoch, attempt, FaultKind::Drop);
+                self.record(to, kind, epoch, attempt, flow, FaultKind::Drop);
             }
             Some(FaultKind::Duplicate) => {
-                self.record(to, kind, epoch, attempt, FaultKind::Duplicate);
+                self.record(to, kind, epoch, attempt, flow, FaultKind::Duplicate);
                 self.ep.send(to, kind, frame.clone());
                 self.ep.send(to, kind, frame);
             }
             Some(FaultKind::Reorder) => {
-                self.record(to, kind, epoch, attempt, FaultKind::Reorder);
+                self.record(to, kind, epoch, attempt, flow, FaultKind::Reorder);
                 self.reordered.push((to, kind, frame));
             }
             Some(FaultKind::Delay) => {
-                self.record(to, kind, epoch, attempt, FaultKind::Delay);
+                self.record(to, kind, epoch, attempt, flow, FaultKind::Delay);
                 self.delayed.push((to, kind, frame));
             }
             Some(FaultKind::Truncate) => {
-                self.record(to, kind, epoch, attempt, FaultKind::Truncate);
+                self.record(to, kind, epoch, attempt, flow, FaultKind::Truncate);
                 let cut = self
                     .plan
                     .truncate_len(self.ep.rank, to, kind, epoch, frame.len());
@@ -539,7 +569,7 @@ impl FaultyEndpoint {
                     .send(to, kind, Bytes::copy_from_slice(&frame[..cut]));
             }
             Some(FaultKind::Corrupt) => {
-                self.record(to, kind, epoch, attempt, FaultKind::Corrupt);
+                self.record(to, kind, epoch, attempt, flow, FaultKind::Corrupt);
                 let (byte, mask) = self
                     .plan
                     .corrupt_position(self.ep.rank, to, kind, epoch, frame.len());
@@ -549,9 +579,10 @@ impl FaultyEndpoint {
             }
             Some(rank_level) => unreachable!("{rank_level} cannot be a message fault"),
         }
+        flow
     }
 
-    fn record(&self, to: usize, kind: MsgKind, epoch: u64, attempt: u32, fault: FaultKind) {
+    fn record(&self, to: usize, kind: MsgKind, epoch: u64, attempt: u32, flow: u64, fault: FaultKind) {
         self.log.record_fault(FaultEvent {
             epoch,
             from: self.ep.rank,
@@ -560,6 +591,7 @@ impl FaultyEndpoint {
             fault,
             attempt,
         });
+        self.flows.inject(flow, attempt, fault);
     }
 
     /// Deliver frames held back by `Reorder`. Call at the end of a send
@@ -599,9 +631,10 @@ mod tests {
     fn pair(plan: FaultPlan) -> (FaultyEndpoint, FaultyEndpoint, SharedFaultLog) {
         let mut eps = Fabric::new(2);
         let log = SharedFaultLog::new();
+        let flows = SharedFlowLedger::new();
         let plan = Arc::new(plan);
-        let e1 = FaultyEndpoint::new(eps.pop().unwrap(), plan.clone(), log.clone());
-        let e0 = FaultyEndpoint::new(eps.pop().unwrap(), plan, log.clone());
+        let e1 = FaultyEndpoint::new(eps.pop().unwrap(), plan.clone(), log.clone(), flows.clone());
+        let e0 = FaultyEndpoint::new(eps.pop().unwrap(), plan, log.clone(), flows);
         (e0, e1, log)
     }
 

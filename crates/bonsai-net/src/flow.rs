@@ -1,0 +1,407 @@
+//! Deterministic per-message flow ledger.
+//!
+//! Every logical message sealed on the fabric — original transmission plus
+//! all its retransmissions — is one **flow**. The ledger records the full
+//! lifecycle: seal → inject(drop/dup/corrupt/…) → retransmit → deliver |
+//! fallback | dead, keyed by a dense flow id that also rides inside the
+//! [envelope](crate::envelope) so the receive side can close the loop
+//! exactly. All mutations happen on the simulation driver thread in rank
+//! order, so ids, record order and outcomes are byte-deterministic per
+//! seed — the property the `obs_flows` bench gate relies on.
+//!
+//! The conservation invariant the chaos suites assert: at any epoch
+//! boundary, every sealed flow is **exactly one** of delivered /
+//! recovered-by-fallback / dead-by-crash (no flow left `Pending`).
+
+use crate::envelope::NO_FLOW;
+use crate::fabric::MsgKind;
+use crate::fault::FaultKind;
+use std::sync::{Arc, Mutex};
+
+/// Terminal (or not-yet-terminal) state of one flow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowOutcome {
+    /// Sealed, not yet resolved.
+    Pending,
+    /// The payload was validated and accepted by the receiver.
+    Delivered {
+        /// Attempt number of the frame that got through (0 = original).
+        attempt: u32,
+    },
+    /// Never delivered; the receiver recovered through a fabric fallback
+    /// (e.g. boundary-tree LET substitution).
+    Fallback,
+    /// Never delivered and no fallback: the epoch was abandoned (crash,
+    /// rollback, or a peer declared dead).
+    Dead,
+}
+
+impl FlowOutcome {
+    /// Stable lower-case label (`pending`/`delivered`/`fallback`/`dead`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Pending => "pending",
+            Self::Delivered { .. } => "delivered",
+            Self::Fallback => "fallback",
+            Self::Dead => "dead",
+        }
+    }
+}
+
+/// One logical message and its recorded lifecycle.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlowRecord {
+    /// Ledger-assigned id, dense and 1-based (0 is the reserved
+    /// [`NO_FLOW`]).
+    pub id: u64,
+    /// Sender's epoch at seal time.
+    pub epoch: u64,
+    /// Sending rank.
+    pub from: usize,
+    /// Receiving rank.
+    pub to: usize,
+    /// Message kind.
+    pub kind: MsgKind,
+    /// Payload bytes (pre-envelope).
+    pub bytes: usize,
+    /// Transmissions attempted so far (1 = original only).
+    pub attempts: u32,
+    /// Faults injected on this flow, as `(attempt, fault)` pairs.
+    pub injected: Vec<(u32, FaultKind)>,
+    /// Lifecycle state.
+    pub outcome: FlowOutcome,
+}
+
+/// Totals for the conservation check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowConservation {
+    /// Flows sealed.
+    pub sealed: u64,
+    /// Flows delivered.
+    pub delivered: u64,
+    /// Flows resolved by a fabric fallback.
+    pub fallback: u64,
+    /// Flows dead by crash/abort.
+    pub dead: u64,
+    /// Flows still pending (must be 0 at epoch boundaries).
+    pub pending: u64,
+}
+
+impl FlowConservation {
+    /// True iff every sealed flow has exactly one terminal outcome.
+    pub fn holds(&self) -> bool {
+        self.pending == 0 && self.sealed == self.delivered + self.fallback + self.dead
+    }
+}
+
+/// The append-only flow ledger. See the module docs for the lifecycle.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FlowLedger {
+    records: Vec<FlowRecord>,
+}
+
+impl FlowLedger {
+    /// Fresh empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All records, in seal order.
+    pub fn records(&self) -> &[FlowRecord] {
+        &self.records
+    }
+
+    /// Number of flows sealed so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been sealed.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Record a fresh flow; returns its id.
+    pub fn seal(&mut self, epoch: u64, from: usize, to: usize, kind: MsgKind, bytes: usize) -> u64 {
+        let id = self.records.len() as u64 + 1;
+        self.records.push(FlowRecord {
+            id,
+            epoch,
+            from,
+            to,
+            kind,
+            bytes,
+            attempts: 1,
+            injected: Vec::new(),
+            outcome: FlowOutcome::Pending,
+        });
+        id
+    }
+
+    fn get_mut(&mut self, id: u64) -> Option<&mut FlowRecord> {
+        if id == NO_FLOW {
+            return None;
+        }
+        self.records.get_mut(id as usize - 1)
+    }
+
+    /// A retransmission re-uses the most recent still-pending flow on the
+    /// same `(epoch, from, to, kind)` coordinate, bumping its attempt
+    /// count; if none is open (shouldn't happen in a well-formed exchange)
+    /// a fresh flow is sealed so nothing goes unrecorded.
+    pub fn retransmit_latest(
+        &mut self,
+        epoch: u64,
+        from: usize,
+        to: usize,
+        kind: MsgKind,
+        bytes: usize,
+    ) -> u64 {
+        let found = self
+            .records
+            .iter_mut()
+            .rev()
+            .find(|r| {
+                r.epoch == epoch
+                    && r.from == from
+                    && r.to == to
+                    && r.kind == kind
+                    && r.outcome == FlowOutcome::Pending
+            })
+            .map(|r| {
+                r.attempts += 1;
+                r.id
+            });
+        found.unwrap_or_else(|| self.seal(epoch, from, to, kind, bytes))
+    }
+
+    /// Record a fault injected on `flow` at transmission `attempt`.
+    pub fn inject(&mut self, flow: u64, attempt: u32, fault: FaultKind) {
+        if let Some(r) = self.get_mut(flow) {
+            r.injected.push((attempt, fault));
+        }
+    }
+
+    /// Mark `flow` delivered by the frame with sequence `attempt`. Late
+    /// duplicates of an already-resolved flow are ignored.
+    pub fn deliver(&mut self, flow: u64, attempt: u32) {
+        if let Some(r) = self.get_mut(flow) {
+            if r.outcome == FlowOutcome::Pending {
+                r.outcome = FlowOutcome::Delivered { attempt };
+            }
+        }
+    }
+
+    /// Mark every still-pending flow on `(epoch, from → to, kind)` as
+    /// recovered-by-fallback (the receiver substituted local data).
+    pub fn fallback_pending(&mut self, epoch: u64, from: usize, to: usize, kind: MsgKind) {
+        for r in &mut self.records {
+            if r.epoch == epoch
+                && r.from == from
+                && r.to == to
+                && r.kind == kind
+                && r.outcome == FlowOutcome::Pending
+            {
+                r.outcome = FlowOutcome::Fallback;
+            }
+        }
+    }
+
+    /// Close an abandoned epoch: every flow sealed at `epoch` and still
+    /// pending becomes dead-by-crash. Call before a rollback and after a
+    /// completed epoch (where it sweeps flows to/from ranks that died).
+    pub fn close_epoch_dead(&mut self, epoch: u64) {
+        for r in &mut self.records {
+            if r.epoch == epoch && r.outcome == FlowOutcome::Pending {
+                r.outcome = FlowOutcome::Dead;
+            }
+        }
+    }
+
+    /// Conservation totals over the whole ledger.
+    pub fn conservation(&self) -> FlowConservation {
+        let mut c = FlowConservation {
+            sealed: self.records.len() as u64,
+            ..Default::default()
+        };
+        for r in &self.records {
+            match r.outcome {
+                FlowOutcome::Pending => c.pending += 1,
+                FlowOutcome::Delivered { .. } => c.delivered += 1,
+                FlowOutcome::Fallback => c.fallback += 1,
+                FlowOutcome::Dead => c.dead += 1,
+            }
+        }
+        c
+    }
+}
+
+/// A [`FlowLedger`] shared between all of a cluster's endpoints and its
+/// recovery machinery.
+#[derive(Clone, Default)]
+pub struct SharedFlowLedger(Arc<Mutex<FlowLedger>>);
+
+impl SharedFlowLedger {
+    /// Fresh empty shared ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// See [`FlowLedger::seal`].
+    pub fn seal(&self, epoch: u64, from: usize, to: usize, kind: MsgKind, bytes: usize) -> u64 {
+        self.0.lock().unwrap().seal(epoch, from, to, kind, bytes)
+    }
+
+    /// See [`FlowLedger::retransmit_latest`].
+    pub fn retransmit_latest(
+        &self,
+        epoch: u64,
+        from: usize,
+        to: usize,
+        kind: MsgKind,
+        bytes: usize,
+    ) -> u64 {
+        self.0
+            .lock()
+            .unwrap()
+            .retransmit_latest(epoch, from, to, kind, bytes)
+    }
+
+    /// See [`FlowLedger::inject`].
+    pub fn inject(&self, flow: u64, attempt: u32, fault: FaultKind) {
+        self.0.lock().unwrap().inject(flow, attempt, fault);
+    }
+
+    /// See [`FlowLedger::deliver`].
+    pub fn deliver(&self, flow: u64, attempt: u32) {
+        self.0.lock().unwrap().deliver(flow, attempt);
+    }
+
+    /// See [`FlowLedger::fallback_pending`].
+    pub fn fallback_pending(&self, epoch: u64, from: usize, to: usize, kind: MsgKind) {
+        self.0
+            .lock()
+            .unwrap()
+            .fallback_pending(epoch, from, to, kind);
+    }
+
+    /// See [`FlowLedger::close_epoch_dead`].
+    pub fn close_epoch_dead(&self, epoch: u64) {
+        self.0.lock().unwrap().close_epoch_dead(epoch);
+    }
+
+    /// Copy of the full ledger.
+    pub fn snapshot(&self) -> FlowLedger {
+        self.0.lock().unwrap().clone()
+    }
+
+    /// Number of flows sealed so far.
+    pub fn len(&self) -> usize {
+        self.0.lock().unwrap().len()
+    }
+
+    /// True when nothing has been sealed.
+    pub fn is_empty(&self) -> bool {
+        self.0.lock().unwrap().is_empty()
+    }
+
+    /// Conservation totals (see [`FlowLedger::conservation`]).
+    pub fn conservation(&self) -> FlowConservation {
+        self.0.lock().unwrap().conservation()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_delivered_first_try() {
+        let mut l = FlowLedger::new();
+        let id = l.seal(3, 0, 1, MsgKind::Control, 16);
+        assert_eq!(id, 1);
+        l.deliver(id, 0);
+        let r = &l.records()[0];
+        assert_eq!(r.outcome, FlowOutcome::Delivered { attempt: 0 });
+        assert_eq!(r.attempts, 1);
+        assert!(l.conservation().holds());
+    }
+
+    #[test]
+    fn retransmit_reuses_latest_pending() {
+        let mut l = FlowLedger::new();
+        let a = l.seal(3, 0, 1, MsgKind::Let, 100);
+        l.inject(a, 0, FaultKind::Drop);
+        let b = l.retransmit_latest(3, 0, 1, MsgKind::Let, 100);
+        assert_eq!(a, b);
+        assert_eq!(l.records()[0].attempts, 2);
+        l.deliver(a, 1);
+        assert_eq!(l.records()[0].outcome, FlowOutcome::Delivered { attempt: 1 });
+        assert!(l.conservation().holds());
+    }
+
+    #[test]
+    fn retransmit_without_open_flow_seals_fresh() {
+        let mut l = FlowLedger::new();
+        let a = l.seal(3, 0, 1, MsgKind::Let, 100);
+        l.deliver(a, 0);
+        let b = l.retransmit_latest(3, 0, 1, MsgKind::Let, 100);
+        assert_ne!(a, b);
+        assert_eq!(l.len(), 2);
+    }
+
+    #[test]
+    fn same_coordinate_flows_resolve_independently() {
+        // Membership gossip seals several View frames per (epoch, from, to)
+        // across rounds; the latest-pending rule must not cross wires.
+        let mut l = FlowLedger::new();
+        let round1 = l.seal(5, 2, 0, MsgKind::View, 40);
+        l.deliver(round1, 0);
+        let round2 = l.seal(5, 2, 0, MsgKind::View, 44);
+        let re = l.retransmit_latest(5, 2, 0, MsgKind::View, 44);
+        assert_eq!(re, round2);
+        l.deliver(round2, 1);
+        assert!(l.conservation().holds());
+    }
+
+    #[test]
+    fn fallback_and_dead_close_the_books() {
+        let mut l = FlowLedger::new();
+        let stalled = l.seal(7, 1, 2, MsgKind::Let, 500);
+        l.inject(stalled, 0, FaultKind::Stall);
+        let doomed = l.seal(7, 3, 2, MsgKind::Control, 8);
+        l.fallback_pending(7, 1, 2, MsgKind::Let);
+        l.close_epoch_dead(7);
+        assert_eq!(l.records()[0].outcome, FlowOutcome::Fallback);
+        assert_eq!(l.records()[1].outcome, FlowOutcome::Dead);
+        let _ = doomed;
+        let c = l.conservation();
+        assert!(c.holds());
+        assert_eq!((c.delivered, c.fallback, c.dead), (0, 1, 1));
+    }
+
+    #[test]
+    fn late_duplicate_delivery_ignored() {
+        let mut l = FlowLedger::new();
+        let id = l.seal(2, 0, 1, MsgKind::Boundary, 64);
+        l.deliver(id, 0);
+        l.deliver(id, 1); // duplicate copy arrives later
+        assert_eq!(l.records()[0].outcome, FlowOutcome::Delivered { attempt: 0 });
+    }
+
+    #[test]
+    fn no_flow_id_is_inert() {
+        let mut l = FlowLedger::new();
+        l.deliver(NO_FLOW, 0);
+        l.inject(NO_FLOW, 0, FaultKind::Drop);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        assert_eq!(FlowOutcome::Pending.label(), "pending");
+        assert_eq!(FlowOutcome::Delivered { attempt: 2 }.label(), "delivered");
+        assert_eq!(FlowOutcome::Fallback.label(), "fallback");
+        assert_eq!(FlowOutcome::Dead.label(), "dead");
+    }
+}

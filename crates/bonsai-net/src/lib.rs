@@ -18,6 +18,10 @@
 //!   instead of deserialized;
 //! * [`fault`] — deterministic, seeded fault injection ([`FaultPlan`]) and
 //!   the audit log of injected faults and recovery actions ([`FaultLog`]);
+//! * [`flow`] — the per-message flow ledger: every sealed envelope is one
+//!   flow whose lifecycle (seal → inject → retransmit → deliver | fallback
+//!   | dead) is recorded deterministically, with a conservation invariant
+//!   the chaos suites assert;
 //! * [`membership`] — coordinator-free epoch-based rank membership: views
 //!   as sorted stable node-id sets, join/leave/death proposals gossiped
 //!   over the faulty fabric until every live rank holds the same next
@@ -43,6 +47,7 @@ pub mod cost;
 pub mod envelope;
 pub mod fabric;
 pub mod fault;
+pub mod flow;
 pub mod machine;
 pub mod membership;
 pub mod obs;
@@ -55,6 +60,7 @@ pub use fault::{
     FaultEvent, FaultKind, FaultLog, FaultPlan, FaultyEndpoint, Injection, RecoveryAction,
     RecoveryEvent, SharedFaultLog,
 };
+pub use flow::{FlowConservation, FlowLedger, FlowOutcome, FlowRecord, SharedFlowLedger};
 pub use machine::{MachineSpec, Topology, PIZ_DAINT, TITAN};
 pub use membership::{Convergence, MembershipEvent, MembershipLog, View, ViewChange};
 pub use placement::{Placement, PlacementStrategy};

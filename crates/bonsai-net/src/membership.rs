@@ -429,7 +429,10 @@ fn exchange_proposals(
                     continue;
                 }
                 match Proposal::from_bytes(env.payload) {
-                    Ok(prop) if prop.base == base => got[i][j] = Some(prop),
+                    Ok(prop) if prop.base == base => {
+                        endpoints[to].flows().deliver(env.flow, env.seq);
+                        got[i][j] = Some(prop);
+                    }
                     Ok(prop) => discard(
                         RecoveryAction::DiscardStale,
                         Some(env.from),
@@ -554,10 +557,11 @@ mod tests {
 
     fn faulty_world(p: usize, plan: FaultPlan) -> (Vec<FaultyEndpoint>, SharedFaultLog) {
         let log = SharedFaultLog::new();
+        let flows = crate::flow::SharedFlowLedger::new();
         let plan = Arc::new(plan);
         let eps = Fabric::new(p)
             .into_iter()
-            .map(|ep| FaultyEndpoint::new(ep, plan.clone(), log.clone()))
+            .map(|ep| FaultyEndpoint::new(ep, plan.clone(), log.clone(), flows.clone()))
             .collect();
         (eps, log)
     }

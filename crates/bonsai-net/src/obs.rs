@@ -1,28 +1,104 @@
 //! Bridges from the network layer into the unified observability model
-//! (`bonsai-obs`): fault-log entries become trace events on the COMM track,
-//! and measured link traffic lands in the metrics registry priced by the
-//! interconnect cost model.
+//! (`bonsai-obs`): fault-log entries become trace events on the COMM track
+//! anchored at their flow's modeled wire times, and measured link traffic
+//! lands in the metrics registry priced by the interconnect cost model.
 
 use crate::cost::NetworkModel;
-use crate::fault::FaultLog;
+use crate::fault::{FaultLog, RecoveryAction};
+use crate::flow::{FlowLedger, FlowOutcome, FlowRecord};
 use bonsai_obs::{Lane, MetricsRegistry, TraceStore};
 
-/// Spacing between consecutive fault events anchored at the same instant,
-/// so Perfetto renders them in log order instead of stacked.
-const EVENT_SPACING: f64 = 1e-6;
+/// Models where a flow's frames sit on the trace clock.
+///
+/// The fabric itself is instantaneous (in-process channels); what the trace
+/// shows is the *priced* wire time: attempt `k` of a flow leaves its sender
+/// `k` retransmit-timeouts after the sender's communication window opens,
+/// and arrives one modeled point-to-point latency later. The retransmit
+/// timeout is two point-to-point times — a request/ack round trip — so
+/// every retransmission chain is strictly ordered on the timeline.
+pub struct FlowClock<'a> {
+    net: &'a NetworkModel,
+}
+
+impl<'a> FlowClock<'a> {
+    /// A clock pricing frames with `net`.
+    pub fn new(net: &'a NetworkModel) -> Self {
+        Self { net }
+    }
+
+    /// Modeled retransmit timeout for a payload of `bytes`.
+    pub fn rto(&self, bytes: usize) -> f64 {
+        2.0 * self.net.p2p_time(bytes as u64)
+    }
+
+    /// When attempt `k` of `r` leaves the sender, given the sender's
+    /// communication-window start `base_from`.
+    pub fn send_at(&self, r: &FlowRecord, attempt: u32, base_from: f64) -> f64 {
+        base_from + attempt as f64 * self.rto(r.bytes)
+    }
+
+    /// When the delivering frame of `r` lands, if it was delivered.
+    pub fn deliver_at(&self, r: &FlowRecord, base_from: f64) -> Option<f64> {
+        match r.outcome {
+            FlowOutcome::Delivered { attempt } => {
+                Some(self.send_at(r, attempt, base_from) + self.net.p2p_time(r.bytes as u64))
+            }
+            _ => None,
+        }
+    }
+
+    /// When `r` was resolved — delivery time, or for fallback flows the
+    /// moment the receiver gave up waiting (after every attempt's timeout).
+    pub fn resolve_at(&self, r: &FlowRecord, base_from: f64, base_to: f64) -> Option<f64> {
+        match r.outcome {
+            FlowOutcome::Delivered { .. } => self.deliver_at(r, base_from),
+            FlowOutcome::Fallback => Some(
+                base_from.max(base_to)
+                    + r.attempts as f64 * self.rto(r.bytes)
+                    + self.net.p2p_time(r.bytes as u64),
+            ),
+            _ => None,
+        }
+    }
+}
 
 /// Record every entry of `log` as instant events on the COMM lanes of the
-/// involved ranks. `at_for_rank(rank)` gives the anchor time (typically the
-/// rank's communication-window start on the global trace clock); events are
-/// offset by a microsecond each to preserve log order.
+/// involved ranks, anchored at the modeled wire time of the flow each event
+/// belongs to (injection: the faulted attempt's send instant; recovery: the
+/// flow's resolution instant) and carrying the flow id as an arg, so
+/// Perfetto log order is causal. `at_for_rank(rank)` gives each rank's
+/// communication-window start on the global trace clock; events without a
+/// flow (crash handling, checkpoint restores, view changes) anchor there.
 pub fn record_fault_log(
     log: &FaultLog,
+    flows: &FlowLedger,
+    net: &NetworkModel,
     store: &mut TraceStore,
     step: u64,
     at_for_rank: &dyn Fn(usize) -> f64,
 ) {
-    for (i, e) in log.injected.iter().enumerate() {
-        let at = at_for_rank(e.to) + i as f64 * EVENT_SPACING;
+    let clock = FlowClock::new(net);
+    // Injections and ledger `injected` entries were appended in the same
+    // driver order, so the k-th fault event on a coordinate matches the
+    // k-th ledger injection there: walk each flow's injection list with a
+    // per-flow cursor.
+    let mut cursor = vec![0usize; flows.records().len()];
+    for e in &log.injected {
+        let hit = flows.records().iter().find(|r| {
+            r.epoch == e.epoch
+                && r.from == e.from
+                && r.to == e.to
+                && r.kind == e.kind
+                && cursor[(r.id - 1) as usize] < r.injected.len()
+                && r.injected[cursor[(r.id - 1) as usize]] == (e.attempt, e.fault)
+        });
+        let (at, flow_id) = match hit {
+            Some(r) => {
+                cursor[(r.id - 1) as usize] += 1;
+                (clock.send_at(r, e.attempt, at_for_rank(e.from)), r.id)
+            }
+            None => (at_for_rank(e.to), 0),
+        };
         let ev = store.instant(
             e.to as u32,
             step,
@@ -36,9 +112,38 @@ pub fn record_fault_log(
             .push(("kind", bonsai_obs::ArgValue::Str(format!("{:?}", e.kind))));
         ev.args
             .push(("attempt", bonsai_obs::ArgValue::U64(e.attempt as u64)));
+        if flow_id != 0 {
+            ev.args.push(("flow", bonsai_obs::ArgValue::U64(flow_id)));
+        }
     }
-    for (i, e) in log.recoveries.iter().enumerate() {
-        let at = at_for_rank(e.rank) + (log.injected.len() + i) as f64 * EVENT_SPACING;
+    // The k-th Retransmit recovery on a coordinate is the send of attempt
+    // k; other flow-bound recoveries anchor at the flow's resolution.
+    let mut retries: std::collections::BTreeMap<(u64, usize, usize, u8), u32> =
+        std::collections::BTreeMap::new();
+    for e in &log.recoveries {
+        let flow = e.peer.and_then(|peer| {
+            e.kind.and_then(|kind| {
+                flows
+                    .records()
+                    .iter()
+                    .rev()
+                    .find(|r| r.epoch == e.epoch && r.from == peer && r.to == e.rank && r.kind == kind)
+            })
+        });
+        let at = match flow {
+            Some(r) => match e.action {
+                RecoveryAction::Retransmit => {
+                    let key = (e.epoch, r.from, r.to, crate::envelope::kind_code(r.kind));
+                    let k = retries.entry(key).or_insert(0);
+                    *k += 1;
+                    clock.send_at(r, *k, at_for_rank(r.from))
+                }
+                _ => clock
+                    .resolve_at(r, at_for_rank(r.from), at_for_rank(r.to))
+                    .unwrap_or_else(|| at_for_rank(e.rank)),
+            },
+            None => at_for_rank(e.rank),
+        };
         let ev = store.instant(
             e.rank as u32,
             step,
@@ -52,6 +157,9 @@ pub fn record_fault_log(
         if let Some(k) = e.kind {
             ev.args
                 .push(("kind", bonsai_obs::ArgValue::Str(format!("{k:?}"))));
+        }
+        if let Some(r) = flow {
+            ev.args.push(("flow", bonsai_obs::ArgValue::U64(r.id)));
         }
         ev.args
             .push(("detail", bonsai_obs::ArgValue::Str(e.detail.clone())));
@@ -116,19 +224,109 @@ mod tests {
         }
     }
 
+    fn sample_ledger() -> FlowLedger {
+        let mut l = FlowLedger::new();
+        let id = l.seal(3, 0, 1, MsgKind::Let, 2048);
+        l.inject(id, 0, FaultKind::Drop);
+        l.retransmit_latest(3, 0, 1, MsgKind::Let, 2048);
+        l.fallback_pending(3, 0, 1, MsgKind::Let);
+        l
+    }
+
     #[test]
-    fn fault_log_lands_on_comm_track() {
+    fn fault_log_lands_on_comm_track_with_flow_ids() {
+        let net = NetworkModel::new(PIZ_DAINT);
         let mut store = TraceStore::new();
-        record_fault_log(&sample_log(), &mut store, 3, &|_r| 1.5);
+        record_fault_log(
+            &sample_log(),
+            &sample_ledger(),
+            &net,
+            &mut store,
+            3,
+            &|_r| 1.5,
+        );
         assert_eq!(store.instants().len(), 2);
         let inj = &store.instants()[0];
         assert_eq!(inj.rank, 1);
         assert_eq!(inj.lane, Lane::Comm);
         assert_eq!(inj.name, "inject:drop");
-        assert!(inj.at >= 1.5);
+        // Attempt 0 leaves right at the sender's window start.
+        assert_eq!(inj.at, 1.5);
+        assert!(
+            inj.args
+                .iter()
+                .any(|(k, v)| *k == "flow" && *v == bonsai_obs::ArgValue::U64(1)),
+            "injection carries its flow id"
+        );
         let rec = &store.instants()[1];
         assert_eq!(rec.name, "recover:boundary-fallback");
-        assert!(rec.at > inj.at, "log order preserved on the timeline");
+        assert!(
+            rec.at > inj.at,
+            "fallback resolves after the faulted send: {} vs {}",
+            rec.at,
+            inj.at
+        );
+        assert!(rec
+            .args
+            .iter()
+            .any(|(k, v)| *k == "flow" && *v == bonsai_obs::ArgValue::U64(1)));
+    }
+
+    #[test]
+    fn retransmit_chain_is_causally_ordered() {
+        let net = NetworkModel::new(PIZ_DAINT);
+        let mut ledger = FlowLedger::new();
+        let id = ledger.seal(4, 2, 0, MsgKind::Control, 64);
+        ledger.inject(id, 0, FaultKind::Drop);
+        ledger.retransmit_latest(4, 2, 0, MsgKind::Control, 64);
+        ledger.deliver(id, 1);
+        let log = FaultLog {
+            injected: vec![FaultEvent {
+                epoch: 4,
+                from: 2,
+                to: 0,
+                kind: MsgKind::Control,
+                fault: FaultKind::Drop,
+                attempt: 0,
+            }],
+            recoveries: vec![RecoveryEvent {
+                epoch: 4,
+                rank: 0,
+                peer: Some(2),
+                kind: Some(MsgKind::Control),
+                action: RecoveryAction::Retransmit,
+                detail: "attempt 1".to_string(),
+            }],
+        };
+        let mut store = TraceStore::new();
+        record_fault_log(&log, &ledger, &net, &mut store, 4, &|_r| 0.25);
+        let inj = &store.instants()[0];
+        let rec = &store.instants()[1];
+        // The retransmit send sits exactly one RTO after the dropped send.
+        let clock = FlowClock::new(&net);
+        assert!((rec.at - inj.at - clock.rto(64)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn events_without_a_flow_anchor_at_the_rank_window() {
+        let net = NetworkModel::new(PIZ_DAINT);
+        let log = FaultLog {
+            injected: vec![],
+            recoveries: vec![RecoveryEvent {
+                epoch: 9,
+                rank: 2,
+                peer: None,
+                kind: None,
+                action: RecoveryAction::RestoreCheckpoint,
+                detail: "rank 3 crashed".to_string(),
+            }],
+        };
+        let mut store = TraceStore::new();
+        record_fault_log(&log, &FlowLedger::new(), &net, &mut store, 9, &|r| {
+            r as f64
+        });
+        assert_eq!(store.instants()[0].at, 2.0);
+        assert!(!store.instants()[0].args.iter().any(|(k, _)| *k == "flow"));
     }
 
     #[test]

@@ -13,10 +13,13 @@
 
 use std::collections::BTreeMap;
 
-use crate::span::{Lane, Span, TraceStore};
+use crate::span::{ArgValue, Lane, Span, TraceStore};
 
 /// Tolerance when deciding whether two spans abut on the simulated clock.
 const EPS: f64 = 1e-12;
+
+/// Cause label for wait nodes no recorded barrier span explains.
+pub const UNATTRIBUTED: &str = "unattributed";
 
 /// One link of the critical path.
 #[derive(Clone, Debug, PartialEq)]
@@ -33,6 +36,12 @@ pub struct PathNode {
     pub end: f64,
     /// True for synthetic cross-rank wait (slack) nodes.
     pub wait: bool,
+    /// Causal attribution. Work nodes carry the empty string; wait nodes
+    /// carry the wait-attribution taxonomy label (`"late-sender"`,
+    /// `"retransmission"`, `"stall"`, `"fallback"`) harvested from the
+    /// `cause` arg of the producer's overlapping explicit `"wait"` span,
+    /// or [`UNATTRIBUTED`] when no recorded barrier explains the gap.
+    pub cause: String,
 }
 
 impl PathNode {
@@ -81,6 +90,22 @@ impl CriticalPath {
             .filter(|n| n.wait)
             .map(PathNode::duration)
             .fold(0.0, |a, d| a + d)
+    }
+
+    /// Critical wait seconds broken down by attributed cause
+    /// (deterministically ordered; unexplained time lands under
+    /// [`UNATTRIBUTED`]). Values sum to [`CriticalPath::wait_seconds`].
+    pub fn wait_seconds_by_cause(&self) -> BTreeMap<String, f64> {
+        let mut out = BTreeMap::new();
+        for n in self.nodes.iter().filter(|n| n.wait) {
+            let cause = if n.cause.is_empty() {
+                UNATTRIBUTED.to_string()
+            } else {
+                n.cause.clone()
+            };
+            *out.entry(cause).or_insert(0.0) += n.duration();
+        }
+        out
     }
 
     /// Critical-path seconds per phase name (waits under `"wait"`),
@@ -156,6 +181,7 @@ pub fn critical_path(store: &TraceStore, step: u64) -> Option<CriticalPath> {
         start: cur.start,
         end: cur.end,
         wait: false,
+        cause: String::new(),
     });
     // Backward walk to the step start.
     while cur.start > first + EPS {
@@ -177,6 +203,7 @@ pub fn critical_path(store: &TraceStore, step: u64) -> Option<CriticalPath> {
                 start: first,
                 end: cur.start,
                 wait: true,
+                cause: String::new(),
             });
             break;
         };
@@ -190,6 +217,7 @@ pub fn critical_path(store: &TraceStore, step: u64) -> Option<CriticalPath> {
                 start: pred.end,
                 end: cur.start,
                 wait: true,
+                cause: String::new(),
             });
         }
         rev.push(PathNode {
@@ -199,6 +227,7 @@ pub fn critical_path(store: &TraceStore, step: u64) -> Option<CriticalPath> {
             start: pred.start,
             end: pred.end,
             wait: false,
+            cause: String::new(),
         });
         cur = pred;
     }
@@ -215,6 +244,32 @@ pub fn critical_path(store: &TraceStore, step: u64) -> Option<CriticalPath> {
         n.start = n.start.max(clock);
         clock = n.end;
         nodes.push(n);
+    }
+    // Attribute wait nodes: the producer records explicit `"wait"` barrier
+    // spans carrying a `cause` arg (from the flow-ledger wait attribution);
+    // each synthetic wait adopts the cause of the same-rank explicit wait
+    // span it overlaps most.
+    let explicit: Vec<&Span> = store
+        .spans()
+        .iter()
+        .filter(|s| s.step == step && s.name == "wait")
+        .collect();
+    for n in nodes.iter_mut().filter(|n| n.wait) {
+        let mut best = 0.0;
+        let mut cause = UNATTRIBUTED.to_string();
+        for s in explicit.iter().filter(|s| s.rank == n.rank) {
+            let overlap = (n.end.min(s.end) - n.start.max(s.start)).max(0.0);
+            if overlap > best + EPS {
+                if let Some(c) = s.args.iter().find_map(|(k, v)| match (k, v) {
+                    (&"cause", ArgValue::Str(c)) => Some(c.clone()),
+                    _ => None,
+                }) {
+                    best = overlap;
+                    cause = c;
+                }
+            }
+        }
+        n.cause = cause;
     }
     Some(CriticalPath {
         step,
@@ -315,6 +370,35 @@ mod tests {
     fn empty_step_yields_none() {
         let t = TraceStore::new();
         assert!(critical_path(&t, 7).is_none());
+    }
+
+    #[test]
+    fn wait_nodes_adopt_explicit_span_causes() {
+        let mut t = TraceStore::new();
+        t.span(0, 3, Lane::Gpu, "local", 0.0, 1.0);
+        t.span(1, 3, Lane::Gpu, "lets", 1.4, 2.0);
+        // The producer recorded rank 1's barrier fill with an attribution.
+        let w = t.span(1, 3, Lane::Cpu, "wait", 1.0, 1.4);
+        t.arg_str(w, "cause", "retransmission");
+        let cp = critical_path(&t, 3).unwrap();
+        let wait = cp.nodes.iter().find(|n| n.wait).unwrap();
+        assert_eq!(wait.cause, "retransmission");
+        assert!(cp.nodes.iter().filter(|n| !n.wait).all(|n| n.cause.is_empty()));
+        let by_cause = cp.wait_seconds_by_cause();
+        assert!((by_cause["retransmission"] - 0.4).abs() < 1e-12);
+        let sum: f64 = by_cause.values().sum();
+        assert!((sum - cp.wait_seconds()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unexplained_waits_are_unattributed() {
+        let mut t = TraceStore::new();
+        t.span(0, 3, Lane::Gpu, "local", 0.0, 1.0);
+        t.span(1, 3, Lane::Gpu, "lets", 1.4, 2.0);
+        let cp = critical_path(&t, 3).unwrap();
+        let wait = cp.nodes.iter().find(|n| n.wait).unwrap();
+        assert_eq!(wait.cause, UNATTRIBUTED);
+        assert!(cp.wait_seconds_by_cause().contains_key(UNATTRIBUTED));
     }
 
     #[test]

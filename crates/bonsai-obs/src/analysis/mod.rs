@@ -15,11 +15,20 @@
 //!   gravity-span `flops` annotations.
 //! * [`efficiency`] — weak- and strong-scaling parallel efficiency from a
 //!   series of measured step wall-times.
+//! * [`waits`] — attribute critical-path waits and exposed-communication
+//!   intervals to their causal message flows (late sender, retransmission,
+//!   stall, fabric fallback), with a per-link reliability ledger and a flow
+//!   conservation check.
 
 pub mod critical;
 pub mod efficiency;
 pub mod imbalance;
+pub mod waits;
 
-pub use critical::{critical_path, CriticalPath, PathNode};
+pub use critical::{critical_path, CriticalPath, PathNode, UNATTRIBUTED};
 pub use efficiency::{strong_efficiency, weak_efficiency, ScalingPoint};
 pub use imbalance::{flop_balance, phase_stats, step_wall_time, FlopBalance, PhaseStats};
+pub use waits::{
+    classify, conservation, exposed_comm, link_ledger, ConservationReport, ExposedComm,
+    FlowSummary, LinkStats, WaitCause,
+};

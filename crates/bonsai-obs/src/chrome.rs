@@ -3,14 +3,16 @@
 //! Produces the [Trace Event Format] consumed by Perfetto
 //! (<https://ui.perfetto.dev>) and `chrome://tracing`: one *process* per
 //! rank, one *thread* per lane (GPU / COMM / CPU), complete (`"X"`) events
-//! for spans and instant (`"i"`) events for faults. Timestamps are
-//! microseconds with fixed 3-decimal precision, so identical stores export
-//! byte-identically.
+//! for spans, instant (`"i"`) events for faults, and flow (`"s"`/`"t"`/
+//! `"f"`) events for cross-rank message arrows (Perfetto joins points that
+//! share an id into an arrow binding to the enclosing spans). Timestamps
+//! are microseconds with fixed 3-decimal precision, so identical stores
+//! export byte-identically.
 //!
 //! [Trace Event Format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
 use crate::json::{escape, fmt_f64};
-use crate::span::{ArgValue, Lane, TraceStore};
+use crate::span::{ArgValue, FlowPhase, Lane, TraceStore};
 
 /// Seconds → trace microseconds, fixed precision.
 fn ts(seconds: f64) -> String {
@@ -62,6 +64,13 @@ pub fn chrome_trace_json(store: &TraceStore) -> String {
                     .iter()
                     .filter(|e| e.rank == rank)
                     .map(|e| e.lane),
+            )
+            .chain(
+                store
+                    .flow_points()
+                    .iter()
+                    .filter(|f| f.rank == rank)
+                    .map(|f| f.lane),
             )
             .collect();
         lanes.sort();
@@ -116,6 +125,27 @@ pub fn chrome_trace_json(store: &TraceStore) -> String {
         events.push((e.rank, e.lane.tid(), e.at, 3, ev));
     }
 
+    for f in store.flow_points() {
+        let ph = match f.phase {
+            FlowPhase::Start => "s",
+            FlowPhase::Step => "t",
+            FlowPhase::Finish => "f",
+        };
+        // `"bp":"e"` binds each end to the span *enclosing* the point (the
+        // COMM-lane exchange span) rather than the next slice to start.
+        let ev = format!(
+            "{{\"ph\":\"{ph}\",\"id\":{},\"bp\":\"e\",\"name\":{},\"cat\":{},\
+             \"pid\":{},\"tid\":{},\"ts\":{}}}",
+            f.id,
+            escape(&f.name),
+            escape(&format!("step{}", f.step)),
+            f.rank,
+            f.lane.tid(),
+            ts(f.at),
+        );
+        events.push((f.rank, f.lane.tid(), f.at, 4, ev));
+    }
+
     events.sort_by(|a, b| {
         (a.0, a.1)
             .cmp(&(b.0, b.1))
@@ -145,6 +175,8 @@ mod tests {
         t.span(0, 1, Lane::Comm, "let-comm", 0.2, 0.9);
         t.span(1, 1, Lane::Gpu, "local", 0.0, 1.3);
         t.instant(0, 1, Lane::Comm, "fault:drop", 0.25);
+        t.flow_point(41, 0, 1, Lane::Comm, "flow:Let", 0.3, FlowPhase::Start);
+        t.flow_point(41, 1, 1, Lane::Comm, "flow:Let", 0.6, FlowPhase::Finish);
         t
     }
 
@@ -153,13 +185,30 @@ mod tests {
         let doc = chrome_trace_json(&sample());
         let v = json::parse(&doc).expect("valid JSON");
         let evs = v.get("traceEvents").unwrap().as_arr().unwrap();
-        // 2 process_name + 3 thread_name + 3 spans + 1 instant
-        assert_eq!(evs.len(), 9);
+        // 2 process_name + 4 thread_name + 3 spans + 1 instant + 2 flow ends
+        assert_eq!(evs.len(), 12);
         let phases: Vec<&str> = evs
             .iter()
             .map(|e| e.get("ph").unwrap().as_str().unwrap())
             .collect();
         assert!(phases.contains(&"X") && phases.contains(&"i") && phases.contains(&"M"));
+        assert!(phases.contains(&"s") && phases.contains(&"f"));
+        // Both ends of the arrow share the flow id and sit on COMM lanes.
+        let ends: Vec<_> = evs
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.get("ph").and_then(|p| p.as_str()),
+                    Some("s") | Some("t") | Some("f")
+                )
+            })
+            .collect();
+        assert_eq!(ends.len(), 2);
+        for e in &ends {
+            assert_eq!(e.get("id").unwrap().as_f64(), Some(41.0));
+            assert_eq!(e.get("tid").unwrap().as_f64(), Some(1.0));
+            assert_eq!(e.get("bp").unwrap().as_str(), Some("e"));
+        }
     }
 
     #[test]

@@ -13,16 +13,17 @@
 use crate::chrome::chrome_trace_json;
 use crate::health::AlertEvent;
 use crate::json::fmt_f64;
-use crate::span::{Instant, Span, SpanId, TraceStore};
+use crate::span::{FlowPoint, Instant, Span, SpanId, TraceStore};
 use std::collections::VecDeque;
 
-/// One recorded step: its spans (parents remapped to window-local ids) and
-/// instants.
+/// One recorded step: its spans (parents remapped to window-local ids),
+/// instants, and flow points.
 #[derive(Clone, Debug)]
 struct StepFrame {
     step: u64,
     spans: Vec<Span>,
     instants: Vec<Instant>,
+    flows: Vec<FlowPoint>,
 }
 
 /// Bounded ring of the last K steps of full-fidelity trace data.
@@ -72,10 +73,17 @@ impl FlightRecorder {
             .filter(|i| i.step == step)
             .cloned()
             .collect();
+        let flows: Vec<FlowPoint> = trace
+            .flow_points()
+            .iter()
+            .filter(|f| f.step == step)
+            .cloned()
+            .collect();
         self.frames.push_back(StepFrame {
             step,
             spans,
             instants,
+            flows,
         });
         while self.frames.len() > self.window {
             self.frames.pop_front();
@@ -87,6 +95,7 @@ impl FlightRecorder {
     pub fn window_trace(&self) -> TraceStore {
         let mut spans: Vec<Span> = Vec::new();
         let mut instants: Vec<Instant> = Vec::new();
+        let mut flows: Vec<FlowPoint> = Vec::new();
         for f in &self.frames {
             let base = spans.len();
             for s in &f.spans {
@@ -95,8 +104,9 @@ impl FlightRecorder {
                 spans.push(s);
             }
             instants.extend(f.instants.iter().cloned());
+            flows.extend(f.flows.iter().cloned());
         }
-        TraceStore::from_parts(spans, instants)
+        TraceStore::from_parts(spans, instants, flows)
     }
 
     /// Freeze the ring into an [`Incident`] for the alert that fired at
@@ -169,6 +179,18 @@ impl Incident {
             "makespan: {} s\n",
             fmt_f64(self.trace.makespan())
         ));
+        if let Some(cp) = crate::analysis::critical_path(&self.trace, self.step) {
+            let by_cause = cp.wait_seconds_by_cause();
+            if !by_cause.is_empty() {
+                s.push_str("waits:    ");
+                let parts: Vec<String> = by_cause
+                    .iter()
+                    .map(|(cause, secs)| format!("{cause}={} s", fmt_f64(*secs)))
+                    .collect();
+                s.push_str(&parts.join(", "));
+                s.push('\n');
+            }
+        }
         s
     }
 }

@@ -65,8 +65,10 @@ pub mod span;
 pub mod timeseries;
 
 pub use analysis::{
-    critical_path, flop_balance, phase_stats, step_wall_time, strong_efficiency, weak_efficiency,
-    CriticalPath, FlopBalance, PathNode, PhaseStats, ScalingPoint,
+    classify, conservation, critical_path, exposed_comm, flop_balance, link_ledger, phase_stats,
+    step_wall_time, strong_efficiency, weak_efficiency, ConservationReport, CriticalPath,
+    ExposedComm, FlopBalance, FlowSummary, LinkStats, PathNode, PhaseStats, ScalingPoint,
+    WaitCause, UNATTRIBUTED,
 };
 pub use flight::{FlightRecorder, Incident};
 pub use health::{
@@ -76,5 +78,8 @@ pub use metrics::{LogHistogram, MetricsRegistry};
 pub use profile::{
     folded_profile, roofline, telescoping_error, ProfileRow, RooflinePoint, TermResidual,
 };
-pub use span::{interval_union, overlap_with_union, ArgValue, Instant, Lane, Span, SpanId, TraceStore};
+pub use span::{
+    interval_union, overlap_with_union, ArgValue, FlowPhase, FlowPoint, Instant, Lane, Span,
+    SpanId, TraceStore,
+};
 pub use timeseries::{Bin, Series, SeriesConfig, SeriesStore};

@@ -90,11 +90,46 @@ pub struct Instant {
     pub args: Vec<(&'static str, ArgValue)>,
 }
 
-/// Append-only store of spans and instant events.
+/// Which end of a cross-track flow arrow a [`FlowPoint`] marks
+/// (Chrome-trace `ph` values `s`, `t`, `f`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowPhase {
+    /// The producing end (`ph: "s"`).
+    Start,
+    /// An intermediate hop (`ph: "t"`).
+    Step,
+    /// The consuming end (`ph: "f"`).
+    Finish,
+}
+
+/// One end of a flow arrow: a message leaving or landing on a rank's lane.
+/// Points sharing an `id` are joined by Perfetto into an arrow from the
+/// `Start` point to the `Finish` point, binding to whatever span encloses
+/// each point on its track.
+#[derive(Clone, Debug)]
+pub struct FlowPoint {
+    /// Flow id shared by all points of one arrow (the ledger flow id).
+    pub id: u64,
+    /// Rank (track) this end sits on.
+    pub rank: u32,
+    /// Step the flow belongs to.
+    pub step: u64,
+    /// Lane this end is drawn on.
+    pub lane: Lane,
+    /// Arrow name (e.g. `"flow:Let"`).
+    pub name: String,
+    /// Timestamp, seconds on the global simulated clock.
+    pub at: f64,
+    /// Which end of the arrow this point is.
+    pub phase: FlowPhase,
+}
+
+/// Append-only store of spans, instant events and flow-arrow points.
 #[derive(Clone, Debug, Default)]
 pub struct TraceStore {
     spans: Vec<Span>,
     instants: Vec<Instant>,
+    flows: Vec<FlowPoint>,
 }
 
 impl TraceStore {
@@ -103,19 +138,24 @@ impl TraceStore {
         Self::default()
     }
 
-    /// Rebuild a store from pre-assembled spans and instants (the flight
-    /// recorder uses this to materialise an incident window). Any
-    /// `parent` ids must index into `spans`.
-    pub fn from_parts(spans: Vec<Span>, instants: Vec<Instant>) -> Self {
+    /// Rebuild a store from pre-assembled spans, instants and flow points
+    /// (the flight recorder uses this to materialise an incident window).
+    /// Any `parent` ids must index into `spans`.
+    pub fn from_parts(spans: Vec<Span>, instants: Vec<Instant>, flows: Vec<FlowPoint>) -> Self {
         debug_assert!(spans
             .iter()
             .all(|s| s.parent.map_or(true, |p| p.0 < spans.len())));
-        Self { spans, instants }
+        Self {
+            spans,
+            instants,
+            flows,
+        }
     }
 
-    /// Drop every span and instant with `step < min_step`, remapping parent
-    /// ids (a parent outside the kept window becomes `None`). Long runs use
-    /// this to prune the trace down to the flight-recorder window.
+    /// Drop every span, instant and flow point with `step < min_step`,
+    /// remapping parent ids (a parent outside the kept window becomes
+    /// `None`). Long runs use this to prune the trace down to the
+    /// flight-recorder window.
     pub fn retain_steps(&mut self, min_step: u64) {
         let mut remap: Vec<Option<usize>> = vec![None; self.spans.len()];
         let mut kept: Vec<Span> = Vec::new();
@@ -130,6 +170,7 @@ impl TraceStore {
         }
         self.spans = kept;
         self.instants.retain(|i| i.step >= min_step);
+        self.flows.retain(|f| f.step >= min_step);
     }
 
     /// Record a root span; returns its id for annotation or parenting.
@@ -206,6 +247,29 @@ impl TraceStore {
         self.spans[id.0].args.push((key, ArgValue::Str(v.into())));
     }
 
+    /// Record one end of a flow arrow.
+    #[allow(clippy::too_many_arguments)]
+    pub fn flow_point(
+        &mut self,
+        id: u64,
+        rank: u32,
+        step: u64,
+        lane: Lane,
+        name: impl Into<String>,
+        at: f64,
+        phase: FlowPhase,
+    ) {
+        self.flows.push(FlowPoint {
+            id,
+            rank,
+            step,
+            lane,
+            name: name.into(),
+            at,
+            phase,
+        });
+    }
+
     /// All spans, in record order.
     pub fn spans(&self) -> &[Span] {
         &self.spans
@@ -214,6 +278,11 @@ impl TraceStore {
     /// All instant events, in record order.
     pub fn instants(&self) -> &[Instant] {
         &self.instants
+    }
+
+    /// All flow-arrow points, in record order.
+    pub fn flow_points(&self) -> &[FlowPoint] {
+        &self.flows
     }
 
     /// Spans of one rank × step, in record order.
@@ -241,14 +310,14 @@ impl TraceStore {
         self.spans.iter().map(|s| s.end).fold(0.0, f64::max)
     }
 
-    /// Total spans + instants recorded.
+    /// Total spans + instants + flow points recorded.
     pub fn len(&self) -> usize {
-        self.spans.len() + self.instants.len()
+        self.spans.len() + self.instants.len() + self.flows.len()
     }
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.spans.is_empty() && self.instants.is_empty()
+        self.spans.is_empty() && self.instants.is_empty() && self.flows.is_empty()
     }
 }
 
@@ -317,6 +386,9 @@ mod tests {
         t.spans[orphan.0].parent = Some(old);
         t.instant(0, 1, Lane::Comm, "old-ev", 0.2);
         t.instant(0, 2, Lane::Comm, "keep-ev", 1.2);
+        t.flow_point(7, 0, 1, Lane::Comm, "flow:Let", 0.3, FlowPhase::Start);
+        t.flow_point(9, 0, 2, Lane::Comm, "flow:Let", 1.3, FlowPhase::Start);
+        t.flow_point(9, 1, 2, Lane::Comm, "flow:Let", 1.4, FlowPhase::Finish);
         t.retain_steps(2);
         assert_eq!(t.spans().len(), 3);
         assert_eq!(t.spans()[0].name, "keep");
@@ -324,8 +396,14 @@ mod tests {
         assert_eq!(t.spans()[2].parent, None, "cross-window parent dropped");
         assert_eq!(t.instants().len(), 1);
         assert_eq!(t.instants()[0].name, "keep-ev");
+        assert_eq!(t.flow_points().len(), 2, "out-of-window flow point dropped");
+        assert!(t.flow_points().iter().all(|f| f.id == 9));
         // Round-trip through from_parts preserves everything.
-        let rebuilt = TraceStore::from_parts(t.spans().to_vec(), t.instants().to_vec());
+        let rebuilt = TraceStore::from_parts(
+            t.spans().to_vec(),
+            t.instants().to_vec(),
+            t.flow_points().to_vec(),
+        );
         assert_eq!(rebuilt.len(), t.len());
         assert_eq!(rebuilt.last_step(), Some(2));
     }

@@ -41,9 +41,12 @@ use bonsai_net::fault::{
     FaultEvent, FaultKind, FaultLog, FaultPlan, FaultyEndpoint, RecoveryAction, RecoveryEvent,
     SharedFaultLog,
 };
+use bonsai_net::flow::{FlowConservation, FlowLedger, SharedFlowLedger};
 use bonsai_net::membership::{self, MembershipEvent, MembershipLog, View, ViewChange};
+use bonsai_net::obs::FlowClock;
 use bonsai_net::{Fabric, MachineSpec, MsgKind, NetworkModel, PIZ_DAINT};
-use bonsai_obs::{ArgValue, Lane, MetricsRegistry, TraceStore};
+use bonsai_obs::analysis::waits::{self, FlowSummary};
+use bonsai_obs::{ArgValue, FlowPhase, Lane, MetricsRegistry, TraceStore};
 use bonsai_sfc::{KeyMap, KeyRange};
 use bonsai_tree::build::{Tree, TreeParams};
 use bonsai_tree::stats::record_walk_counts;
@@ -177,6 +180,12 @@ pub struct Cluster {
     endpoints: Vec<FaultyEndpoint>,
     plan: Arc<FaultPlan>,
     fault_log: SharedFaultLog,
+    /// Shared flow ledger: the lifecycle of every envelope sealed on the
+    /// fabric (seal → inject → retransmit → deliver | fallback | dead),
+    /// appended in driver order so it is deterministic per plan.
+    flows: SharedFlowLedger,
+    /// Flow summaries (modeled times) of the most recent recorded epoch.
+    last_flows: Vec<FlowSummary>,
     /// Monotonic gravity-phase counter. Never rewinds — a checkpoint
     /// rollback keeps advancing it, which is what makes stale frames from
     /// failed epochs detectable and scheduled crashes fire exactly once.
@@ -243,9 +252,10 @@ impl Cluster {
         let (ranks, domains) = seed_decomposition(&all, p, &cfg);
         let plan = Arc::new(plan);
         let fault_log = SharedFaultLog::new();
+        let flows = SharedFlowLedger::new();
         let endpoints: Vec<FaultyEndpoint> = Fabric::new(p)
             .into_iter()
-            .map(|ep| FaultyEndpoint::new(ep, plan.clone(), fault_log.clone()))
+            .map(|ep| FaultyEndpoint::new(ep, plan.clone(), fault_log.clone(), flows.clone()))
             .collect();
         let mut cluster = Self {
             cfg,
@@ -261,6 +271,8 @@ impl Cluster {
             endpoints,
             plan,
             fault_log,
+            flows,
+            last_flows: Vec::new(),
             epoch: 0,
             dead: vec![false; p],
             recovery,
@@ -308,9 +320,10 @@ impl Cluster {
         let net = NetworkModel::new(cfg.machine);
         let plan = Arc::new(FaultPlan::new(0));
         let fault_log = SharedFaultLog::new();
+        let flows = SharedFlowLedger::new();
         let endpoints: Vec<FaultyEndpoint> = Fabric::new(p)
             .into_iter()
-            .map(|ep| FaultyEndpoint::new(ep, plan.clone(), fault_log.clone()))
+            .map(|ep| FaultyEndpoint::new(ep, plan.clone(), fault_log.clone(), flows.clone()))
             .collect();
         Self {
             cfg,
@@ -326,6 +339,8 @@ impl Cluster {
             endpoints,
             plan,
             fault_log,
+            flows,
+            last_flows: Vec::new(),
             epoch: 0,
             dead: vec![false; p],
             recovery: None,
@@ -761,6 +776,10 @@ impl Cluster {
     /// re-decomposed over the shrunken world — the run continues with one
     /// rank fewer rather than pretending the node came back.
     fn restore_from_checkpoint(&mut self, dead: usize) {
+        // The aborted epoch's unresolved flows die with the crash: they are
+        // closed here so the flow-conservation invariant (every sealed flow
+        // is delivered, recovered by fallback, or dead) survives rollback.
+        self.flows.close_epoch_dead(self.epoch);
         self.fault_log.record_recovery(RecoveryEvent {
             epoch: self.epoch,
             rank: dead,
@@ -837,6 +856,7 @@ impl Cluster {
             ) {
                 Ok(c) => break c,
                 Err(also) => {
+                    self.flows.close_epoch_dead(self.epoch);
                     self.fault_log.record_recovery(RecoveryEvent {
                         epoch: self.epoch,
                         rank: also,
@@ -907,7 +927,9 @@ impl Cluster {
     fn rebuild_fabric(&mut self, p: usize) {
         self.endpoints = Fabric::new(p)
             .into_iter()
-            .map(|ep| FaultyEndpoint::new(ep, self.plan.clone(), self.fault_log.clone()))
+            .map(|ep| {
+                FaultyEndpoint::new(ep, self.plan.clone(), self.fault_log.clone(), self.flows.clone())
+            })
             .collect();
     }
 
@@ -1511,6 +1533,9 @@ impl Cluster {
             // sender's boundary tree it already holds. Coarser MAC
             // acceptance shows up as forced cuts, which the step counts.
             for &(j, i) in &missing {
+                // The flow resolves as recovered-by-fallback, not dead: the
+                // receiver walks the boundary tree it already holds.
+                self.flows.fallback_pending(epoch, i, j, MsgKind::Let);
                 self.fault_log.record_recovery(RecoveryEvent {
                     epoch,
                     rank: j,
@@ -1629,6 +1654,9 @@ impl Cluster {
         let classify_rate = 130.0e6 * self.cfg.machine.cpu_let_rate;
         let orchestration = crate::breakdown::STEP_LAUNCHES * crate::breakdown::LAUNCH_LATENCY;
         let mut local_starts = vec![0.0; p];
+        // Each rank's modeled LET-exchange window length; the flow anchors
+        // below spread a sender's flows across it.
+        let mut comm_durs = vec![0.0; p];
         // Per-rank busy end (all lanes): where each rank hits the epoch's
         // closing barrier and starts waiting for the straggler.
         let mut rank_end = vec![base; p];
@@ -1685,6 +1713,7 @@ impl Cluster {
                 0
             };
             let comm_dur = self.net.let_exchange_time(nb, per);
+            comm_durs[r] = comm_dur;
             let id = self.trace.span(
                 rank,
                 step,
@@ -1707,15 +1736,114 @@ impl Cluster {
                 self.net.observe_link(&mut self.registry, kind, r, bytes as u64);
             }
         }
+        // Flow lifecycles of this epoch: anchor every sealed envelope's
+        // modeled send/resolve instants inside the step window, emit the
+        // Perfetto arrow points (`s` on the sender's COMM lane, `t` per
+        // retransmission, `f` at the receiver), and record the flow-level
+        // metrics family.
+        let ledger = self.flows.snapshot();
+        let clock = FlowClock::new(&self.net);
+        let mut summaries: Vec<FlowSummary> = Vec::new();
+        // Spread each sender's flows across its exchange window (seal order
+        // = slot order) so the arrows land where the transfer would be in
+        // flight, not stacked at the window's opening instant. Delivery
+        // latency is anchor-invariant: send and resolve shift together.
+        let mut flow_count = vec![0usize; p];
+        for r in ledger.records().iter().filter(|r| r.epoch == step) {
+            if r.from < p {
+                flow_count[r.from] += 1;
+            }
+        }
+        let mut flow_seq = vec![0usize; p];
+        for r in ledger.records().iter().filter(|r| r.epoch == step) {
+            let slot = if r.from < p && flow_count[r.from] > 0 {
+                let i = flow_seq[r.from];
+                flow_seq[r.from] += 1;
+                comm_durs[r.from] * i as f64 / flow_count[r.from] as f64
+            } else {
+                0.0
+            };
+            // `local_starts` is absolute (accumulated from `base`): the
+            // exchange window of each rank opens at its local-gravity start.
+            let base_from = local_starts.get(r.from).copied().unwrap_or(base) + slot;
+            let base_to = local_starts.get(r.to).copied().unwrap_or(base);
+            let send_at = clock.send_at(r, 0, base_from);
+            let resolve_at = clock.resolve_at(r, base_from, base_to);
+            let name = format!("flow:{:?}", r.kind);
+            self.trace
+                .flow_point(r.id, r.from as u32, step, Lane::Comm, name.clone(), send_at, FlowPhase::Start);
+            for a in 1..r.attempts {
+                self.trace.flow_point(
+                    r.id,
+                    r.from as u32,
+                    step,
+                    Lane::Comm,
+                    name.clone(),
+                    clock.send_at(r, a, base_from),
+                    FlowPhase::Step,
+                );
+            }
+            if let Some(at) = resolve_at {
+                self.trace
+                    .flow_point(r.id, r.to as u32, step, Lane::Comm, name, at, FlowPhase::Finish);
+            }
+            let link = format!("{}->{}", r.from, r.to);
+            let outcome = r.outcome.label();
+            if r.attempts > 1 {
+                self.registry.counter_add(
+                    "bonsai_flow_retransmits_total",
+                    &[("link", link.as_str())],
+                    (r.attempts - 1) as u64,
+                );
+            }
+            if let Some(d) = clock.deliver_at(r, base_from) {
+                self.registry
+                    .histogram_observe("bonsai_flow_delivery_seconds", &[], d - send_at);
+            }
+            // Exposed flows: the ones whose cost the overlap window could
+            // not hide (a retransmission or a fallback reroute).
+            if r.attempts > 1 || outcome == "fallback" {
+                self.registry.counter_add(
+                    "bonsai_flow_exposed_total",
+                    &[("kind", &format!("{:?}", r.kind))],
+                    1,
+                );
+            }
+            summaries.push(FlowSummary {
+                id: r.id,
+                step,
+                epoch: r.epoch,
+                from: r.from,
+                to: r.to,
+                kind: format!("{:?}", r.kind),
+                bytes: r.bytes,
+                attempts: r.attempts,
+                faults: r.injected.iter().map(|(_, f)| f.to_string()).collect(),
+                outcome: outcome.to_string(),
+                send_at,
+                resolve_at,
+            });
+        }
+
         // The epoch's closing barrier: every rank that finishes before the
         // straggler records an explicit cross-rank wait span, so the
-        // critical-path analyzer sees slack instead of blank lanes.
+        // critical-path analyzer sees slack instead of blank lanes. The
+        // span carries the wait's *cause*, classified from the flows that
+        // touched the straggler (fallback > stall > retransmission >
+        // late-sender), which is what the critical path harvests into its
+        // by-cause breakdown.
         let mut straggler = 0usize;
         for (r, &e) in rank_end.iter().enumerate() {
             if e > rank_end[straggler] {
                 straggler = r;
             }
         }
+        let cause = waits::classify(
+            summaries
+                .iter()
+                .filter(|f| f.from == straggler || f.to == straggler),
+        )
+        .name();
         let barrier = rank_end[straggler];
         for (r, &e) in rank_end.iter().enumerate() {
             if barrier - e > 1e-15 {
@@ -1723,8 +1851,10 @@ impl Cluster {
                     .trace
                     .span(r as u32, step, Lane::Cpu, "wait", e, barrier);
                 self.trace.arg_u64(id, "waiting_on", straggler as u64);
+                self.trace.arg_str(id, "cause", cause);
             }
         }
+        self.last_flows = summaries;
         let mut makespan = barrier - base;
         // Recovery retransmissions happen after the normal windows close;
         // the traffic is aggregate, so the span lands on rank 0's COMM lane.
@@ -1744,8 +1874,8 @@ impl Cluster {
                 .observe_link(&mut self.registry, "retransmit", 0, meas.retransmit_bytes as u64);
             makespan += breakdown.recovery;
         }
-        bonsai_net::obs::record_fault_log(&meas.faults, &mut self.trace, step, &|rank| {
-            base + local_starts.get(rank).copied().unwrap_or(0.0)
+        bonsai_net::obs::record_fault_log(&meas.faults, &ledger, &self.net, &mut self.trace, step, &|rank| {
+            local_starts.get(rank).copied().unwrap_or(base)
         });
 
         for (phase, secs) in breakdown.phase_times().iter() {
@@ -1902,6 +2032,25 @@ impl Cluster {
         let shares = bonsai_domain::load::weight_shares(&pairs, &ranges);
         bonsai_domain::load::share_imbalance(&shares)
     }
+
+    /// Flow summaries (modeled times) of the most recent recorded epoch —
+    /// the per-step slice the wait-attribution analysis and the flow bench
+    /// consume.
+    pub fn last_flow_summaries(&self) -> &[FlowSummary] {
+        &self.last_flows
+    }
+
+    /// Snapshot of the whole run's flow ledger (every envelope sealed on
+    /// the fabric since construction).
+    pub fn flow_ledger(&self) -> FlowLedger {
+        self.flows.snapshot()
+    }
+
+    /// Conservation totals over every flow sealed so far: in a completed
+    /// run, sealed = delivered + fallback + dead with nothing pending.
+    pub fn flow_conservation(&self) -> FlowConservation {
+        self.flows.conservation()
+    }
 }
 
 /// Initial decomposition: even counts along the SFC (also used to
@@ -2054,7 +2203,13 @@ fn exchange_validated<T>(
                     continue;
                 }
                 match parse(to, from, env.payload) {
-                    Ok(v) => got[to][from] = Some(v),
+                    Ok(v) => {
+                        // Validated arrival closes the flow's lifecycle; the
+                        // id rode inside the envelope, so reordered and
+                        // delayed frames settle their own flow.
+                        endpoints[to].flows().deliver(env.flow, env.seq);
+                        got[to][from] = Some(v);
+                    }
                     Err(why) => discard(RecoveryAction::DiscardCorrupt, Some(from), why),
                 }
             }

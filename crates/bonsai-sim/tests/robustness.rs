@@ -182,6 +182,29 @@ fn chaos_soak_every_fault_kind_recovered() {
     assert!(log.recoveries_of(RecoveryAction::DeclareDead) >= 1);
     assert!(log.recoveries_of(RecoveryAction::RestoreCheckpoint) >= 1);
     assert!(!log.render().is_empty());
+
+    // Flow-ledger conservation: even with every fault kind firing, each
+    // sealed envelope must reach exactly one terminal outcome — nothing
+    // pending, nothing double-counted, nothing vanished.
+    let k = c.flow_conservation();
+    assert!(
+        k.holds(),
+        "flow ledger does not conserve under chaos: {} sealed vs {} delivered \
+         + {} fallback + {} dead (+{} pending)",
+        k.sealed,
+        k.delivered,
+        k.fallback,
+        k.dead,
+        k.pending
+    );
+    assert!(k.fallback + k.dead >= 1, "chaos plan terminated no flow abnormally");
+    let retx: u32 = c
+        .flow_ledger()
+        .records()
+        .iter()
+        .map(|r| r.attempts.saturating_sub(1))
+        .sum();
+    assert!(retx >= 1, "chaos soak recorded no retransmission in the ledger");
 }
 
 #[test]
@@ -203,12 +226,20 @@ fn chaos_identical_seed_identical_log() {
         for _ in 0..10 {
             c.step();
         }
-        (c.fault_log(), c.gather())
+        (c.fault_log(), c.flow_ledger(), c.gather())
     };
-    let (log_a, pa) = run("det_a");
-    let (log_b, pb) = run("det_b");
+    let (log_a, flows_a, pa) = run("det_a");
+    let (log_b, flows_b, pb) = run("det_b");
     assert!(!log_a.is_clean(), "plan injected nothing");
     assert_eq!(log_a, log_b, "same seed produced different fault logs");
+    // The flow ledger is part of the deterministic surface too: same seed,
+    // same envelope lifecycles (ids, attempts, injected faults, outcomes).
+    assert!(!flows_a.records().is_empty(), "run sealed no flows");
+    assert_eq!(
+        flows_a.records(),
+        flows_b.records(),
+        "same seed produced different flow ledgers"
+    );
 
     let sorted = |p: &Particles| {
         let mut v: Vec<(u64, Vec3)> = p.id.iter().copied().zip(p.pos.iter().copied()).collect();

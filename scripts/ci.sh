@@ -19,6 +19,10 @@ cargo test -q -p bonsai-domain --test proptests
 echo "== tier-1.5: observability gate =="
 cargo test -q -p bonsai-obs
 
+echo "== tier-1.5: message-flow tracing gate =="
+CI_PROPTEST_CASES="${CI_PROPTEST_CASES:-32}" cargo test -q -p bonsai-net --test proptests
+CI_PROPTEST_CASES="${CI_PROPTEST_CASES:-32}" cargo test -q -p bonsai-sim --test flow_proptests
+
 echo "== tier-1.5: accuracy conformance suite =="
 # A modest case count keeps the proptest layer fast on PRs; scheduled
 # runs can export CI_PROPTEST_CASES=256 for deeper coverage.
@@ -115,5 +119,29 @@ fi
 # Restore the honest artefact clobbered by the sandbagged run.
 cargo run -q --release -p bonsai-bench --bin obs_profile >/dev/null
 cmp BENCH_profile.json "$scratch/BENCH_profile.1.json"
+
+echo "== flows gate: obs_flows double run + flow-ledger baseline diff =="
+cargo run -q --release -p bonsai-bench --bin obs_flows >/dev/null
+cp BENCH_flows.json "$scratch/BENCH_flows.1.json"
+cp out/flows_report.html "$scratch/flows_report.1.html"
+cargo run -q --release -p bonsai-bench --bin obs_flows >/dev/null
+cmp BENCH_flows.json "$scratch/BENCH_flows.1.json"
+cmp out/flows_report.html "$scratch/flows_report.1.html"
+cargo run -q --release -p bonsai-bench --bin obs_diff -- --against baselines/flows.json
+# The faulty ladder must conserve flows and attribute its waits.
+grep -q '"holds": true' BENCH_flows.json
+
+echo "== gate self-test: masked retransmits must fail the flows diff =="
+# Rewriting every flow to a clean first-attempt delivery simulates a
+# doctored ledger; the diff gate is only trustworthy if it exits 1.
+cargo run -q --release -p bonsai-bench --bin obs_flows -- --mask-retransmits >/dev/null
+if cargo run -q --release -p bonsai-bench --bin obs_diff -- \
+    --against baselines/flows.json >/dev/null 2>&1; then
+  echo "flows diff gate failed to catch masked retransmits" >&2
+  exit 1
+fi
+# Restore the honest artefact clobbered by the masked run.
+cargo run -q --release -p bonsai-bench --bin obs_flows >/dev/null
+cmp BENCH_flows.json "$scratch/BENCH_flows.1.json"
 
 echo "CI line green"
