@@ -141,9 +141,10 @@ mod tests {
                 "membership",
                 "profile",
                 "scaling",
-                "step"
+                "step",
+                "stream"
             ],
-            "expected the seven canonical bench artifacts at the repo root"
+            "expected the eight canonical bench artifacts at the repo root"
         );
     }
 }

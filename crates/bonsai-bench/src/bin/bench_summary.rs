@@ -1,0 +1,162 @@
+//! Consolidated bench summary: one deterministic line per run of the CI
+//! line, mapping every `BENCH_*.json` artifact kind at the repo root to a
+//! headline metric — the longitudinal hook for tracking bench trajectories
+//! across commits (`out/bench_summary.json`).
+//!
+//! The summary is intentionally shallow: one number per artifact, chosen
+//! as the metric a regression in that subsystem would move first. Deeper
+//! comparisons stay with `obs_diff`.
+
+use bonsai_bench::artifact::{load_artifact, BenchArtifact};
+use bonsai_bench::out_dir;
+use bonsai_obs::json::fmt_f64;
+
+/// The headline metric of one artifact kind: `(metric_name, value)`.
+fn headline(a: &BenchArtifact) -> Option<(&'static str, f64)> {
+    let v = &a.value;
+    let num = |path: &[&str]| -> Option<f64> {
+        let mut cur = v;
+        for k in path {
+            cur = cur.get(k)?;
+        }
+        cur.as_f64()
+    };
+    match a.kind.as_str() {
+        "step" => Some(("gpu_gflops", num(&["gpu_gflops"])?)),
+        "longrun" => Some(("final.energy_drift", num(&["final", "energy_drift"])?)),
+        "membership" => Some((
+            "final.lost_particles",
+            num(&["final", "lost_particles"])?,
+        )),
+        "profile" => Some(("step_total_s", num(&["step_total_s"])?)),
+        "flows" => Some(("wait_total_s", num(&["wait_total_s"])?)),
+        "scaling" => {
+            // Weak-scaling efficiency at the largest measured rank count.
+            let eff = v.get("weak")?.get("efficiency")?.as_arr()?;
+            Some(("weak.efficiency.last", eff.last()?.as_f64()?))
+        }
+        "accuracy" => Some((
+            "differential_cases",
+            v.get("differential")?.as_arr()?.len() as f64,
+        )),
+        "stream" => Some((
+            "overhead.max_fraction",
+            num(&["overhead", "max_fraction"])?,
+        )),
+        _ => None,
+    }
+}
+
+fn main() {
+    let mut rows: Vec<(String, String)> = Vec::new();
+    let mut failures = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(".")
+        .expect("read repo root")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| {
+            p.file_name()
+                .map(|n| {
+                    let n = n.to_string_lossy();
+                    n.starts_with("BENCH_") && n.ends_with(".json")
+                })
+                .unwrap_or(false)
+        })
+        .collect();
+    entries.sort();
+    for path in entries {
+        match load_artifact(&path) {
+            Ok(a) => match headline(&a) {
+                Some((metric, value)) => {
+                    println!("  {:<12} {metric} = {}", a.kind, fmt_f64(value));
+                    rows.push((
+                        a.kind.clone(),
+                        format!(
+                            "\"{}\": {{\"schema\": \"{}\", \"metric\": \"{metric}\", \"value\": {}}}",
+                            a.kind,
+                            a.schema,
+                            fmt_f64(value)
+                        ),
+                    ));
+                }
+                None => {
+                    failures += 1;
+                    eprintln!("{}: no headline rule for kind `{}`", path.display(), a.kind);
+                }
+            },
+            Err(e) => {
+                failures += 1;
+                eprintln!("{e}");
+            }
+        }
+    }
+    rows.sort();
+    let json = format!(
+        "{{\"schema\": \"bonsai-bench-summary-v1\", \"artifacts\": {{{}}}}}\n",
+        rows.iter()
+            .map(|(_, r)| r.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let path = out_dir().join("bench_summary.json");
+    std::fs::write(&path, &json).expect("write bench_summary.json");
+    println!("wrote {} ({} artifacts)", path.display(), rows.len());
+    if failures > 0 {
+        eprintln!("{failures} artifact(s) failed to summarize");
+        std::process::exit(1);
+    }
+}
+
+// The headline table lives in the bin (it is presentation, not library
+// policy), so its coverage test lives here too.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bonsai_bench::artifact::parse_artifact;
+
+    #[test]
+    fn every_canonical_kind_has_a_headline_rule() {
+        for (kind, doc) in [
+            ("step", r#"{"schema": "bonsai-step-v1", "gpu_gflops": 5.0}"#.to_string()),
+            (
+                "longrun",
+                r#"{"schema": "bonsai-longrun-v1", "final": {"energy_drift": 0.01}}"#.to_string(),
+            ),
+            (
+                "membership",
+                r#"{"schema": "bonsai-membership-v1", "final": {"lost_particles": 0}}"#.to_string(),
+            ),
+            (
+                "profile",
+                r#"{"schema": "bonsai-profile-v1", "step_total_s": 1.0}"#.to_string(),
+            ),
+            (
+                "flows",
+                r#"{"schema": "bonsai-flows-v1", "wait_total_s": 0.5}"#.to_string(),
+            ),
+            (
+                "scaling",
+                r#"{"schema": "bonsai-scaling-v1", "weak": {"efficiency": [1.0, 0.8]}}"#.to_string(),
+            ),
+            (
+                "accuracy",
+                r#"{"schema": "bonsai-accuracy-v1", "differential": [{"x": 1}]}"#.to_string(),
+            ),
+            (
+                "stream",
+                r#"{"schema": "bonsai-stream-v1", "overhead": {"max_fraction": 0.002}}"#.to_string(),
+            ),
+        ] {
+            let a = parse_artifact(&doc).unwrap();
+            let (metric, value) = headline(&a)
+                .unwrap_or_else(|| panic!("kind {kind} has no headline"));
+            assert!(!metric.is_empty());
+            assert!(value.is_finite());
+        }
+    }
+
+    #[test]
+    fn unknown_kind_yields_none() {
+        let a = parse_artifact(r#"{"schema": "bonsai-mystery-v1"}"#).unwrap();
+        assert!(headline(&a).is_none());
+    }
+}

@@ -1,0 +1,39 @@
+//! Structural smoke-check over every emitted HTML report: each
+//! `out/*_report.html` the bench suite promises must exist, be fully
+//! self-contained (no scripts, stylesheets, images, or external
+//! references), and contain its required section markers. Complements the
+//! CI byte-compares, which prove stability but not shape.
+//!
+//! Exits nonzero listing every violation.
+
+use bonsai_bench::report::{check_report, REPORTS};
+use bonsai_bench::OUT_DIR;
+
+fn main() {
+    let mut failures = 0usize;
+    for spec in &REPORTS {
+        let path = std::path::Path::new(OUT_DIR).join(spec.file);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let violations = check_report(spec, &text);
+                if violations.is_empty() {
+                    println!("ok   {} ({} markers)", path.display(), spec.markers.len());
+                } else {
+                    failures += violations.len();
+                    for v in violations {
+                        eprintln!("FAIL {}: {v}", path.display());
+                    }
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("FAIL {}: unreadable ({e})", path.display());
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} report violation(s)");
+        std::process::exit(1);
+    }
+    println!("all {} reports structurally sound", REPORTS.len());
+}

@@ -58,12 +58,13 @@ fn main() {
     }
     for l in &r.links {
         println!(
-            "  {:<6} {:>4} flows, {:>7} B, retx ratio {:.2}, p50 {:.3} ms, max {:.3} ms",
+            "  {:<6} {:>4} flows, {:>7} B, retx ratio {:.2}, p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
             l.label(),
             l.flows,
             l.bytes,
             l.retransmit_ratio(),
             l.latency_p50 * 1e3,
+            l.latency_p99 * 1e3,
             l.latency_max * 1e3
         );
     }

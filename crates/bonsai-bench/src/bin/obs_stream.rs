@@ -1,0 +1,98 @@
+//! Streaming-telemetry bench: a seeded faulty Milky Way run watched live
+//! through the in-run telemetry bus by a fast and a deliberately slow
+//! subscriber, with mid-run dashboard snapshots. Artifacts, all
+//! byte-deterministic per seed:
+//!
+//! * `BENCH_stream.json` (repo root) — schema `bonsai-stream-v1`: bus
+//!   publish/byte counts, per-subscriber drop/lag accounting, the
+//!   self-metered observability-overhead breakdown, and the gate verdict.
+//! * `out/stream_snapshot_NNNN.html` — the in-run dashboard frozen at each
+//!   configured step (zero-dependency, rendered purely from the frames the
+//!   fast subscriber received).
+//! * `out/stream_report.html` — the final snapshot.
+//!
+//! Exits nonzero when the gate fails: a lost must-deliver frame, an
+//! unbalanced subscriber ledger, or an observability-overhead fraction
+//! over the 3% budget. `--block-on-full` is the CI sabotage self-test —
+//! the bus stalls the hot path instead of dropping, and the overhead gate
+//! must catch it.
+
+use bonsai_bench::stream::{run, stream_json, StreamBenchConfig};
+use bonsai_bench::{arg_usize, has_flag, out_dir};
+
+fn main() {
+    let d = StreamBenchConfig::default();
+    let cfg = StreamBenchConfig {
+        n: arg_usize("--n", d.n),
+        ranks: arg_usize("--ranks", d.ranks),
+        steps: arg_usize("--steps", d.steps),
+        seed: arg_usize("--seed", d.seed as usize) as u64,
+        block_on_full: has_flag("--block-on-full"),
+        ..d
+    };
+    println!(
+        "stream bench: {} particles over {} ranks, {} steps, storm in epochs {}..{}{}",
+        cfg.n,
+        cfg.ranks,
+        cfg.steps,
+        cfg.storm_epochs.0,
+        cfg.storm_epochs.1,
+        if cfg.block_on_full {
+            " [SABOTAGE: bus blocks on full rings]"
+        } else {
+            ""
+        }
+    );
+    let r = run(cfg);
+
+    let bus = r.tap.bus();
+    println!(
+        "  published {} frames ({} B encoded), {} producer stalls",
+        bus.published_total(),
+        bus.bytes_encoded(),
+        bus.stalls()
+    );
+    for s in bus.reports() {
+        println!(
+            "  {:<5} delivered {} dropped {} evicted {} overflow {} max-lag {} must-deliver-lost {}",
+            s.name,
+            s.delivered,
+            s.dropped.values().sum::<u64>(),
+            s.evicted.values().sum::<u64>(),
+            s.overflow,
+            s.max_lag,
+            s.must_deliver_lost()
+        );
+    }
+    println!(
+        "  overhead: mean {:.4}% max {:.4}% of modelled step time (budget {:.0}%)",
+        100.0 * r.tap.meter().mean_fraction(),
+        100.0 * r.tap.meter().max_fraction(),
+        100.0 * bonsai_obs::overhead::OVERHEAD_BUDGET_FRACTION
+    );
+
+    std::fs::write("BENCH_stream.json", stream_json(&r)).expect("write BENCH_stream.json");
+    let mut wrote = vec!["BENCH_stream.json".to_string()];
+    for (step, html) in &r.snapshots {
+        let p = out_dir().join(format!("stream_snapshot_{step:04}.html"));
+        std::fs::write(&p, html).expect("write snapshot");
+        wrote.push(p.display().to_string());
+    }
+    if let Some((_, html)) = r.snapshots.last() {
+        let p = out_dir().join("stream_report.html");
+        std::fs::write(&p, html).expect("write stream_report.html");
+        wrote.push(p.display().to_string());
+    }
+    println!("wrote {}", wrote.join(", "));
+
+    if !r.passed() {
+        eprintln!(
+            "STREAM GATE FAILED: lossless_ok={} accounting_ok={} overhead_ok={}",
+            r.lossless_ok(),
+            r.accounting_ok(),
+            r.overhead_ok()
+        );
+        std::process::exit(1);
+    }
+    println!("stream gate passed");
+}

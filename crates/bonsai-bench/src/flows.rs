@@ -273,7 +273,7 @@ pub fn flows_json(r: &FlowsResult) -> String {
         .iter()
         .map(|l| {
             format!(
-                "    {{\"link\": \"{}\", \"from\": {}, \"to\": {}, \"flows\": {}, \"bytes\": {}, \"attempts\": {}, \"retransmits\": {}, \"retransmit_ratio\": {}, \"delivered\": {}, \"fallback\": {}, \"dead\": {}, \"latency_p50\": {}, \"latency_p90\": {}, \"latency_max\": {}}}",
+                "    {{\"link\": \"{}\", \"from\": {}, \"to\": {}, \"flows\": {}, \"bytes\": {}, \"attempts\": {}, \"retransmits\": {}, \"retransmit_ratio\": {}, \"delivered\": {}, \"fallback\": {}, \"dead\": {}, \"latency_p50\": {}, \"latency_p90\": {}, \"latency_p99\": {}, \"latency_max\": {}}}",
                 l.label(),
                 l.from,
                 l.to,
@@ -287,6 +287,7 @@ pub fn flows_json(r: &FlowsResult) -> String {
                 l.dead,
                 fmt_f64(l.latency_p50),
                 fmt_f64(l.latency_p90),
+                fmt_f64(l.latency_p99),
                 fmt_f64(l.latency_max)
             )
         })
@@ -339,23 +340,23 @@ fn ratio_color(ratio: f64) -> String {
 }
 
 /// A tiny inline-SVG sparkline of a link's delivery-latency percentiles
-/// (p50, p90, max) as bars scaled against the run-wide worst latency.
+/// (p50, p90, p99, max) as bars scaled against the run-wide worst latency.
 fn latency_sparkline(l: &LinkStats, lat_max: f64) -> String {
     const W: f64 = 64.0;
     const H: f64 = 18.0;
     if lat_max <= 0.0 || l.delivered == 0 {
         return String::from("<span style=\"color:#a1a1aa\">—</span>");
     }
-    let bars = [l.latency_p50, l.latency_p90, l.latency_max];
-    let mut s = format!("<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" role=\"img\"><title>p50 {:.2} ms · p90 {:.2} ms · max {:.2} ms</title>", l.latency_p50 * 1e3, l.latency_p90 * 1e3, l.latency_max * 1e3);
+    let bars = [l.latency_p50, l.latency_p90, l.latency_p99, l.latency_max];
+    let mut s = format!("<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" role=\"img\"><title>p50 {:.2} ms · p90 {:.2} ms · p99 {:.2} ms · max {:.2} ms</title>", l.latency_p50 * 1e3, l.latency_p90 * 1e3, l.latency_p99 * 1e3, l.latency_max * 1e3);
     for (i, v) in bars.iter().enumerate() {
         let h = (v / lat_max * (H - 2.0)).max(1.0);
         s.push_str(&format!(
-            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"18\" height=\"{:.1}\" fill=\"#2563eb\" fill-opacity=\"{}\"/>",
-            2.0 + i as f64 * 21.0,
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"13\" height=\"{:.1}\" fill=\"#2563eb\" fill-opacity=\"{}\"/>",
+            2.0 + i as f64 * 16.0,
             H - h,
             h,
-            0.45 + 0.25 * i as f64
+            0.4 + 0.2 * i as f64
         ));
     }
     s.push_str("</svg>");
@@ -463,13 +464,13 @@ pub fn render_html(r: &FlowsResult) -> String {
     s.push_str(
         "<h2>Link ledger</h2>\n<table>\n<tr><th class=\"l\">link</th><th>flows</th>\
          <th>bytes</th><th>attempts</th><th>retx</th><th>delivered</th><th>fallback</th>\
-         <th>dead</th><th>p50 ms</th><th>p90 ms</th><th>max ms</th><th class=\"l\">latency</th></tr>\n",
+         <th>dead</th><th>p50 ms</th><th>p90 ms</th><th>p99 ms</th><th>max ms</th><th class=\"l\">latency</th></tr>\n",
     );
     for l in &r.links {
         s.push_str(&format!(
             "<tr><td class=\"l\">{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
              <td>{}</td><td>{}</td><td>{}</td><td>{:.3}</td><td>{:.3}</td><td>{:.3}</td>\
-             <td class=\"l\">{}</td></tr>\n",
+             <td>{:.3}</td><td class=\"l\">{}</td></tr>\n",
             l.label(),
             l.flows,
             l.bytes,
@@ -480,6 +481,7 @@ pub fn render_html(r: &FlowsResult) -> String {
             l.dead,
             l.latency_p50 * 1e3,
             l.latency_p90 * 1e3,
+            l.latency_p99 * 1e3,
             l.latency_max * 1e3,
             latency_sparkline(l, lat_max)
         ));

@@ -28,7 +28,10 @@ pub mod flows;
 pub mod longrun;
 pub mod membership;
 pub mod profile;
+pub mod report;
 pub mod scaling;
+pub mod stream;
+pub mod stream_dash;
 
 use bonsai_ic::MilkyWayModel;
 use bonsai_tree::Particles;

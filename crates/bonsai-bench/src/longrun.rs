@@ -194,7 +194,7 @@ pub fn longrun_json(r: &LongRunResult) -> String {
         .iter()
         .map(|i| {
             format!(
-                "    {{\"id\": {}, \"rule\": \"{}\", \"severity\": \"{}\", \"step\": {}, \"window\": [{}, {}], \"spans\": {}, \"instants\": {}}}",
+                "    {{\"id\": {}, \"rule\": \"{}\", \"severity\": \"{}\", \"step\": {}, \"window\": [{}, {}], \"spans\": {}, \"instants\": {}, \"flows\": {}}}",
                 i.id,
                 i.rule,
                 i.severity.name(),
@@ -202,7 +202,8 @@ pub fn longrun_json(r: &LongRunResult) -> String {
                 i.window.0,
                 i.window.1,
                 i.trace.spans().len(),
-                i.trace.instants().len()
+                i.trace.instants().len(),
+                i.trace.flow_points().len()
             )
         })
         .collect();
@@ -477,11 +478,11 @@ pub fn render_html(r: &LongRunResult) -> String {
     } else {
         s.push_str(
             "<table>\n<tr><th>id</th><th>rule</th><th>severity</th><th>opened at step</th>\
-             <th>window (epochs)</th><th>spans</th><th>instants</th></tr>\n",
+             <th>window (epochs)</th><th>spans</th><th>instants</th><th>flows</th></tr>\n",
         );
         for i in r.monitor.incidents() {
             s.push_str(&format!(
-                "<tr><td>{}</td><td>{}</td><td><span class=\"sev\" style=\"background:{}\"></span>{}</td><td>{}</td><td>{}–{}</td><td>{}</td><td>{}</td></tr>\n",
+                "<tr><td>{}</td><td>{}</td><td><span class=\"sev\" style=\"background:{}\"></span>{}</td><td>{}</td><td>{}–{}</td><td>{}</td><td>{}</td><td>{}</td></tr>\n",
                 i.id,
                 i.rule,
                 sev_color(i.severity),
@@ -490,7 +491,8 @@ pub fn render_html(r: &LongRunResult) -> String {
                 i.window.0,
                 i.window.1,
                 i.trace.spans().len(),
-                i.trace.instants().len()
+                i.trace.instants().len(),
+                i.trace.flow_points().len()
             ));
         }
         s.push_str("</table>\n");

@@ -1,0 +1,159 @@
+//! Structural checks for the zero-dependency HTML reports.
+//!
+//! Every bench bin writes an `out/*_report.html` dashboard whose contract
+//! is: fully self-contained (no scripts, stylesheets, images, or external
+//! references — the file must render offline from a plain `file://` open)
+//! and carrying its required sections. CI byte-compares the reports across
+//! double runs, but a byte-compare only proves *stability*, not *shape*:
+//! a report that deterministically renders empty passes it. The
+//! [`check_html`] rules plus the per-report [`REPORTS`] markers close that
+//! gap, and the `check_reports` bin runs them as a gate.
+
+/// One report's contract: file name under `out/` and the section markers
+/// it must contain.
+pub struct ReportSpec {
+    /// File name under `out/`.
+    pub file: &'static str,
+    /// Substrings the report must contain.
+    pub markers: &'static [&'static str],
+}
+
+/// Every report the bench suite emits, with its required section markers.
+pub const REPORTS: [ReportSpec; 5] = [
+    ReportSpec {
+        file: "longrun_report.html",
+        markers: &[
+            "<h2>Membership</h2>",
+            "<h2>Incidents</h2>",
+            "<h2>Alert log</h2>",
+            "<h2>Run rollups</h2>",
+            "bonsai_energy_drift",
+        ],
+    },
+    ReportSpec {
+        file: "profile_report.html",
+        markers: &[
+            "<h2>Roofline</h2>",
+            "<h2>Cost-model attribution</h2>",
+            "<h2>Folded span profile</h2>",
+        ],
+    },
+    ReportSpec {
+        file: "flows_report.html",
+        markers: &[
+            "<h2>Conservation</h2>",
+            "<h2>Critical-path wait attribution</h2>",
+            "<h2>Link matrix</h2>",
+            "<h2>Link ledger</h2>",
+            "<h2>Per-step digest</h2>",
+        ],
+    },
+    ReportSpec {
+        file: "scaling_report.html",
+        markers: &[
+            "<h2>Weak sweep (fixed particles per rank)</h2>",
+            "<h2>Strong sweep (fixed total particles)</h2>",
+        ],
+    },
+    ReportSpec {
+        file: "stream_report.html",
+        markers: &[
+            "<h2>Live gauges</h2>",
+            "<h2>Subscribers</h2>",
+            "<h2>Observability overhead</h2>",
+            "<h2>Alerts</h2>",
+        ],
+    },
+];
+
+/// Check one report's structure. Returns every violated rule (empty =
+/// clean): the document must start with an HTML5 doctype, close its
+/// `<html>`, and contain no scripts, external stylesheets, images, or
+/// schemeful URLs.
+pub fn check_html(text: &str) -> Vec<String> {
+    let mut violations = Vec::new();
+    if !text.starts_with("<!DOCTYPE html>") {
+        violations.push("missing <!DOCTYPE html> prologue".to_string());
+    }
+    if !text.contains("</html>") {
+        violations.push("unclosed document (no </html>)".to_string());
+    }
+    for (needle, rule) in [
+        ("<script", "embedded script"),
+        ("<link", "external stylesheet reference"),
+        ("<img", "image reference"),
+        ("<iframe", "embedded frame"),
+        ("http://", "external http reference"),
+        ("https://", "external https reference"),
+    ] {
+        if text.contains(needle) {
+            violations.push(format!("{rule} (`{needle}`)"));
+        }
+    }
+    violations
+}
+
+/// Check one report against its spec: structure plus required markers.
+pub fn check_report(spec: &ReportSpec, text: &str) -> Vec<String> {
+    let mut violations = check_html(text);
+    for marker in spec.markers {
+        if !text.contains(marker) {
+            violations.push(format!("missing required section marker `{marker}`"));
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = "<!DOCTYPE html>\n<html><body><h2>X</h2></body></html>\n";
+
+    #[test]
+    fn clean_document_passes() {
+        assert!(check_html(GOOD).is_empty());
+    }
+
+    #[test]
+    fn structural_violations_are_reported() {
+        assert!(!check_html("<html></html>").is_empty(), "no doctype");
+        assert!(!check_html("<!DOCTYPE html><html>").is_empty(), "unclosed");
+        for bad in [
+            "<script>alert(1)</script>",
+            "<link rel=\"stylesheet\" href=\"x.css\">",
+            "<img src=\"x.png\">",
+            "<iframe></iframe>",
+            "see http://example.com",
+            "see https://example.com",
+        ] {
+            let doc = format!("<!DOCTYPE html>\n<html>{bad}</html>");
+            assert!(!check_html(&doc).is_empty(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn missing_markers_are_reported() {
+        let spec = ReportSpec {
+            file: "x.html",
+            markers: &["<h2>X</h2>", "<h2>Y</h2>"],
+        };
+        let v = check_report(&spec, GOOD);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("<h2>Y</h2>"));
+    }
+
+    #[test]
+    fn specs_cover_every_emitted_report() {
+        let files: Vec<&str> = REPORTS.iter().map(|r| r.file).collect();
+        for f in [
+            "longrun_report.html",
+            "profile_report.html",
+            "flows_report.html",
+            "scaling_report.html",
+            "stream_report.html",
+        ] {
+            assert!(files.contains(&f), "{f} missing from REPORTS");
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! The streaming-telemetry bench: a seeded faulty Milky Way run watched
+//! *live* through the in-run telemetry bus by two subscribers — a fast one
+//! polled every step and a deliberately slow one that must lose only
+//! droppable frames — with deterministic mid-run dashboard snapshots and a
+//! byte-deterministic `BENCH_stream.json` artifact.
+//!
+//! The run gates on the bus's own contract:
+//!
+//! * **losslessness where promised** — alerts and view changes reach every
+//!   subscriber even under backpressure; sample drops are accounted
+//!   exactly (`published == delivered + lost + in-ring` per subscriber);
+//! * **the observability budget** — the self-metered overhead fraction
+//!   stays under 3% of modelled step time.
+//!
+//! `--block-on-full` is the sabotage self-test: the bus stalls the
+//! producer instead of dropping, the stall charges blow the overhead
+//! budget, and the gate must exit nonzero.
+
+use crate::stream_dash as dash;
+use bonsai_ic::MilkyWayModel;
+use bonsai_net::fault::{FaultKind, FaultPlan, Injection};
+use bonsai_obs::json::fmt_f64;
+use bonsai_obs::overhead::OVERHEAD_BUDGET_FRACTION;
+use bonsai_obs::stream::{FrameKind, SubscriberConfig, TelemetryFrame};
+use bonsai_sim::{Cluster, ClusterConfig, LongRunConfig, StreamConfig, StreamTap};
+use bonsai_util::units;
+use std::collections::BTreeMap;
+
+/// The streaming bench configuration.
+#[derive(Clone, Debug)]
+pub struct StreamBenchConfig {
+    /// Total particles of the scaled Milky Way model.
+    pub n: usize,
+    /// Logical ranks.
+    pub ranks: usize,
+    /// Steps to drive.
+    pub steps: usize,
+    /// IC + fault-plan seed.
+    pub seed: u64,
+    /// `[first, last)` gravity epochs of the injected drop storm (makes
+    /// the health rules fire, so alert frames exist to stream).
+    pub storm_epochs: (u64, u64),
+    /// Step after which one rank is admitted (0 = no grow) — exercises a
+    /// must-deliver view-change frame.
+    pub grow_at: usize,
+    /// Step after which one rank is retired (0 = no shrink).
+    pub shrink_at: usize,
+    /// Ring capacity of the fast subscriber (polled every step).
+    pub fast_capacity: usize,
+    /// Ring capacity of the slow subscriber — deliberately tiny, so it
+    /// sheds samples between its sparse polls.
+    pub slow_capacity: usize,
+    /// The slow subscriber drains its ring only every this many steps.
+    pub slow_drain_every: usize,
+    /// Steps at which a dashboard snapshot is rendered.
+    pub snapshots: Vec<usize>,
+    /// Sabotage: make the bus stall the producer on a full ring. The
+    /// overhead gate must catch this.
+    pub block_on_full: bool,
+}
+
+impl Default for StreamBenchConfig {
+    fn default() -> Self {
+        Self {
+            n: 1_500,
+            ranks: 4,
+            steps: 120,
+            seed: 2014,
+            storm_epochs: (41, 61),
+            grow_at: 70,
+            shrink_at: 100,
+            fast_capacity: 64,
+            slow_capacity: 8,
+            slow_drain_every: 16,
+            snapshots: vec![40, 80, 120],
+            block_on_full: false,
+        }
+    }
+}
+
+/// Everything the exporters need from one completed streamed run.
+pub struct StreamResult {
+    /// The configuration that produced it.
+    pub config: StreamBenchConfig,
+    /// The detached tap (bus accounting, overhead meter, budget health).
+    pub tap: StreamTap,
+    /// Every frame the fast subscriber received, in delivery order.
+    pub fast_frames: Vec<TelemetryFrame>,
+    /// Frames the slow subscriber received, by kind name.
+    pub slow_received: BTreeMap<&'static str, u64>,
+    /// `(step, html)` dashboard snapshots, in step order.
+    pub snapshots: Vec<(u64, String)>,
+    /// Final simulated time in Gyr.
+    pub time_gyr: f64,
+}
+
+impl StreamResult {
+    /// Losslessness gate: no subscriber lost a must-deliver frame, the
+    /// fast subscriber lost nothing at all, and the slow subscriber
+    /// received every published alert and view change.
+    pub fn lossless_ok(&self) -> bool {
+        let reports = self.tap.bus().reports();
+        let fast_clean = reports[0].lost_total() == 0;
+        let no_md_loss = reports.iter().all(|r| r.must_deliver_lost() == 0);
+        let slow_got_all = FrameKind::ALL.iter().filter(|k| !k.droppable()).all(|k| {
+            self.slow_received.get(k.name()).copied().unwrap_or(0)
+                == self.tap.bus().published().get(k.name()).copied().unwrap_or(0)
+        });
+        fast_clean && no_md_loss && slow_got_all
+    }
+
+    /// Accounting gate: every subscriber's ledger balances exactly.
+    pub fn accounting_ok(&self) -> bool {
+        self.tap.bus().accounting_violation().is_none()
+    }
+
+    /// Overhead gate: worst per-step observability fraction under budget.
+    pub fn overhead_ok(&self) -> bool {
+        self.tap.meter().max_fraction() < OVERHEAD_BUDGET_FRACTION
+    }
+
+    /// The whole gate.
+    pub fn passed(&self) -> bool {
+        self.lossless_ok() && self.accounting_ok() && self.overhead_ok()
+    }
+}
+
+/// Drive the run: scaled Milky Way over `ranks` ranks with long-run
+/// monitoring and streaming enabled, the drop storm injected over
+/// `storm_epochs`, and scripted grow/shrink churn.
+pub fn run(cfg: StreamBenchConfig) -> StreamResult {
+    let ic = MilkyWayModel::paper().generate(cfg.n, cfg.seed);
+    let mut ccfg = ClusterConfig::default();
+    ccfg.g = units::G;
+    ccfg.eps = 0.1 * (2.0e5_f64 / cfg.n as f64).powf(1.0 / 3.0);
+    ccfg.dt = units::myr_to_internal(3.0);
+    let mut plan = FaultPlan::new(cfg.seed);
+    for epoch in cfg.storm_epochs.0..cfg.storm_epochs.1 {
+        plan = plan.with_injection(Injection {
+            epoch,
+            from: None,
+            to: None,
+            kind: None,
+            fault: FaultKind::Drop,
+        });
+    }
+    let mut cluster = Cluster::with_faults(ic, cfg.ranks, ccfg, plan, None);
+    cluster.enable_longrun(LongRunConfig::default());
+    cluster.enable_streaming(StreamConfig {
+        subscribers: vec![
+            SubscriberConfig::new("fast", cfg.fast_capacity),
+            SubscriberConfig::new("slow", cfg.slow_capacity),
+        ],
+        block_on_full: cfg.block_on_full,
+        ..StreamConfig::default()
+    });
+
+    let mut fast_frames: Vec<TelemetryFrame> = Vec::new();
+    let mut slow_received: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut snapshots: Vec<(u64, String)> = Vec::new();
+    let tally_slow = |frames: &[TelemetryFrame],
+                          slow_received: &mut BTreeMap<&'static str, u64>| {
+        for f in frames {
+            *slow_received.entry(f.kind.name()).or_insert(0) += 1;
+        }
+    };
+    for step in 1..=cfg.steps {
+        cluster.step();
+        if cfg.grow_at > 0 && step == cfg.grow_at {
+            cluster.admit_ranks(1);
+        }
+        if cfg.shrink_at > 0 && step == cfg.shrink_at {
+            cluster.retire_ranks(1);
+        }
+        // The fast subscriber keeps up: fully drained every step. The slow
+        // one only wakes every `slow_drain_every` steps and sheds samples
+        // in between — the backpressure policy under test.
+        let tap = cluster.stream_mut().expect("streaming enabled");
+        fast_frames.extend(tap.bus_mut().poll(0, usize::MAX));
+        if step % cfg.slow_drain_every == 0 {
+            let drained = tap.bus_mut().poll(1, usize::MAX);
+            tally_slow(&drained, &mut slow_received);
+        }
+        if cfg.snapshots.contains(&step) {
+            let tap = cluster.stream().expect("streaming enabled");
+            snapshots.push((
+                step as u64,
+                dash::render_snapshot(&cfg, step as u64, &fast_frames, tap),
+            ));
+        }
+    }
+    // Final drain: both rings empty, so the accounting identity reduces to
+    // published == delivered + lost for every subscriber.
+    let mut tap = cluster.take_stream().expect("streaming enabled");
+    fast_frames.extend(tap.bus_mut().poll(0, usize::MAX));
+    let drained = tap.bus_mut().poll(1, usize::MAX);
+    tally_slow(&drained, &mut slow_received);
+    StreamResult {
+        config: cfg,
+        tap,
+        fast_frames,
+        slow_received,
+        snapshots,
+        time_gyr: units::internal_to_gyr(cluster.time()),
+    }
+}
+
+fn kind_counts_json(m: &BTreeMap<&'static str, u64>) -> String {
+    let fields: Vec<String> = FrameKind::ALL
+        .iter()
+        .map(|k| format!("\"{}\": {}", k.name(), m.get(k.name()).copied().unwrap_or(0)))
+        .collect();
+    format!("{{{}}}", fields.join(", "))
+}
+
+/// `BENCH_stream.json`: schema `bonsai-stream-v1`, byte-deterministic.
+pub fn stream_json(r: &StreamResult) -> String {
+    let c = &r.config;
+    let bus = r.tap.bus();
+    let subscribers: Vec<String> = bus
+        .reports()
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"name\": \"{}\", \"capacity\": {}, \"delivered\": {}, \"dropped\": {}, \"evicted\": {}, \"overflow\": {}, \"in_ring\": {}, \"max_lag\": {}, \"must_deliver_lost\": {}}}",
+                s.name,
+                s.capacity,
+                s.delivered,
+                kind_counts_json(&s.dropped),
+                kind_counts_json(&s.evicted),
+                s.overflow,
+                s.in_ring,
+                s.max_lag,
+                s.must_deliver_lost()
+            )
+        })
+        .collect();
+    let categories: Vec<String> = r
+        .tap
+        .meter()
+        .totals()
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {}", fmt_f64(*v)))
+        .collect();
+    let alerts: Vec<String> = r
+        .tap
+        .health()
+        .events()
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"step\": {}, \"rule\": \"{}\", \"metric\": \"{}\", \"severity\": \"{}\", \"kind\": \"{}\", \"value\": {}}}",
+                e.step,
+                e.rule,
+                e.metric,
+                e.severity.name(),
+                e.kind.name(),
+                fmt_f64(e.value)
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"bonsai-stream-v1\",\n  \"config\": {{\"n\": {}, \"ranks\": {}, \"steps\": {}, \"seed\": {}, \"storm_epochs\": [{}, {}], \"grow_at\": {}, \"shrink_at\": {}, \"fast_capacity\": {}, \"slow_capacity\": {}, \"slow_drain_every\": {}, \"block_on_full\": {}}},\n  \"final\": {{\"time_gyr\": {}, \"fast_frames\": {}, \"snapshots\": {}}},\n  \"bus\": {{\"published\": {}, \"published_total\": {}, \"bytes_encoded\": {}, \"stalls\": {}}},\n  \"subscribers\": [\n{}\n  ],\n  \"overhead\": {{\"categories\": {{{}}}, \"total_s\": {}, \"mean_fraction\": {}, \"max_fraction\": {}, \"budget_fraction\": {}}},\n  \"alerts\": [\n{}\n  ],\n  \"gate\": {{\"lossless_ok\": {}, \"accounting_ok\": {}, \"overhead_ok\": {}, \"passed\": {}}}\n}}\n",
+        c.n,
+        c.ranks,
+        c.steps,
+        c.seed,
+        c.storm_epochs.0,
+        c.storm_epochs.1,
+        c.grow_at,
+        c.shrink_at,
+        c.fast_capacity,
+        c.slow_capacity,
+        c.slow_drain_every,
+        c.block_on_full,
+        fmt_f64(r.time_gyr),
+        r.fast_frames.len(),
+        r.snapshots.len(),
+        kind_counts_json(bus.published()),
+        bus.published_total(),
+        bus.bytes_encoded(),
+        bus.stalls(),
+        subscribers.join(",\n"),
+        categories.join(", "),
+        fmt_f64(r.tap.meter().total_s()),
+        fmt_f64(r.tap.meter().mean_fraction()),
+        fmt_f64(r.tap.meter().max_fraction()),
+        fmt_f64(OVERHEAD_BUDGET_FRACTION),
+        alerts.join(",\n"),
+        r.lossless_ok(),
+        r.accounting_ok(),
+        r.overhead_ok(),
+        r.passed()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn tiny() -> StreamBenchConfig {
+        StreamBenchConfig {
+            n: 600,
+            ranks: 4,
+            steps: 40,
+            seed: 7,
+            storm_epochs: (11, 16),
+            grow_at: 22,
+            shrink_at: 33,
+            fast_capacity: 64,
+            slow_capacity: 4,
+            slow_drain_every: 8,
+            snapshots: vec![20, 40],
+            block_on_full: false,
+        }
+    }
+
+    #[test]
+    fn slow_subscriber_loses_only_droppable_frames() {
+        let r = run(tiny());
+        let reports = r.tap.bus().reports();
+        let slow = &reports[1];
+        assert!(slow.lost_total() > 0, "the tiny ring must shed samples");
+        assert_eq!(slow.must_deliver_lost(), 0);
+        // The storm fired alerts and the churn produced view changes, so
+        // the lossless check is exercised, not vacuous.
+        let p = r.tap.bus().published();
+        assert!(p.get("alert").copied().unwrap_or(0) > 0, "{p:?}");
+        assert!(p.get("view-change").copied().unwrap_or(0) >= 2, "{p:?}");
+        assert!(r.lossless_ok());
+        assert!(r.accounting_ok());
+    }
+
+    #[test]
+    fn honest_run_passes_the_gate_and_meters_overhead() {
+        let r = run(tiny());
+        assert!(r.passed());
+        assert!(r.tap.meter().max_fraction() > 0.0);
+        assert!(r.tap.meter().max_fraction() < OVERHEAD_BUDGET_FRACTION);
+        // The fast subscriber saw the full frame set.
+        assert!(r.fast_frames.iter().any(|f| f.kind == FrameKind::StepHeader));
+        assert!(r.fast_frames.iter().any(|f| f.kind == FrameKind::Alert));
+        assert!(r.fast_frames.iter().any(|f| f.kind == FrameKind::ViewChange));
+    }
+
+    #[test]
+    fn block_on_full_sabotage_fails_the_gate() {
+        let r = run(StreamBenchConfig {
+            block_on_full: true,
+            ..tiny()
+        });
+        assert!(r.tap.bus().stalls() > 0);
+        assert!(!r.overhead_ok(), "stall charges must blow the budget");
+        assert!(!r.passed());
+        assert!(stream_json(&r).contains("\"passed\": false"));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = run(tiny());
+        let b = run(tiny());
+        assert_eq!(stream_json(&a), stream_json(&b));
+        assert_eq!(a.snapshots.len(), b.snapshots.len());
+        for ((sa, ha), (sb, hb)) in a.snapshots.iter().zip(&b.snapshots) {
+            assert_eq!(sa, sb);
+            assert_eq!(ha, hb, "snapshot at step {sa} differs");
+        }
+        let json = stream_json(&a);
+        let v = bonsai_obs::json::parse(&json).expect("valid JSON");
+        assert_eq!(v.get("schema").unwrap().as_str(), Some("bonsai-stream-v1"));
+        assert!(json.contains("\"passed\": true"));
+    }
+}

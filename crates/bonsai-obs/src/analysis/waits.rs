@@ -184,6 +184,9 @@ pub struct LinkStats {
     pub latency_p50: f64,
     /// 90th-percentile modeled delivery latency.
     pub latency_p90: f64,
+    /// 99th-percentile modeled delivery latency — the tail a few
+    /// retransmitted or stalled flows drag out while p50/p90 look clean.
+    pub latency_p99: f64,
     /// Worst modeled delivery latency.
     pub latency_max: f64,
 }
@@ -239,6 +242,7 @@ pub fn link_ledger(flows: &[FlowSummary]) -> Vec<LinkStats> {
                 dead: fs.iter().filter(|f| f.outcome == "dead").count(),
                 latency_p50: percentile(&lat, 0.5),
                 latency_p90: percentile(&lat, 0.9),
+                latency_p99: percentile(&lat, 0.99),
                 latency_max: lat.last().copied().unwrap_or(0.0),
             }
         })
@@ -479,11 +483,34 @@ mod tests {
         // Latencies of the two delivered flows: 0.05 and 0.15; nearest-rank
         // p50 over two samples rounds up to the later one.
         assert!((l01.latency_p50 - 0.15).abs() < 1e-12);
+        assert!((l01.latency_p99 - 0.15).abs() < 1e-12);
         assert!((l01.latency_max - 0.15).abs() < 1e-12);
         let l10 = &links[1];
         assert_eq!((l10.from, l10.to), (1, 0));
         assert_eq!(l10.fallback, 1);
         assert_eq!(l10.latency_max, 0.0); // fallback has no delivery latency
+    }
+
+    #[test]
+    fn latency_percentiles_are_monotone() {
+        // 100 delivered flows with distinct latencies on one link: the
+        // percentile ladder must be ordered and p99 must sit in the tail.
+        let flows: Vec<FlowSummary> = (1..=100)
+            .map(|i| {
+                let mut f = flow(i, 0, 1, 1, "delivered");
+                f.send_at = 0.0;
+                f.resolve_at = Some(i as f64 * 1e-3);
+                f
+            })
+            .collect();
+        let links = link_ledger(&flows);
+        assert_eq!(links.len(), 1);
+        let l = &links[0];
+        assert!(l.latency_p50 <= l.latency_p90);
+        assert!(l.latency_p90 <= l.latency_p99);
+        assert!(l.latency_p99 <= l.latency_max);
+        assert!((l.latency_p99 - 0.099).abs() < 1e-12);
+        assert!((l.latency_max - 0.100).abs() < 1e-12);
     }
 
     #[test]

@@ -169,11 +169,12 @@ impl Incident {
         s.push_str(&format!("metric:   {} = {}\n", self.metric, fmt_f64(self.value)));
         s.push_str(&format!("step:     {}\n", self.step));
         s.push_str(&format!(
-            "window:   steps {}..={} ({} spans, {} instants)\n",
+            "window:   steps {}..={} ({} spans, {} instants, {} flow points)\n",
             self.window.0,
             self.window.1,
             self.trace.spans().len(),
-            self.trace.instants().len()
+            self.trace.instants().len(),
+            self.trace.flow_points().len()
         ));
         s.push_str(&format!(
             "makespan: {} s\n",
@@ -199,7 +200,7 @@ impl Incident {
 mod tests {
     use super::*;
     use crate::health::{AlertKind, Severity};
-    use crate::span::Lane;
+    use crate::span::{FlowPhase, Lane};
 
     fn alert(step: u64) -> AlertEvent {
         AlertEvent {
@@ -221,6 +222,11 @@ mod tests {
             t.child_span(root, "local", base, base + 0.3);
             t.span(1, step, Lane::Comm, "let-comm", base, base + 0.2);
             t.instant(1, step, Lane::Comm, "fault:drop", base + 0.1);
+            // One complete flow arrow per step: sent on rank 1, stepped and
+            // finished on rank 0 — the causal links an incident must keep.
+            t.flow_point(step, 1, step, Lane::Comm, "flow:Let", base, FlowPhase::Start);
+            t.flow_point(step, 0, step, Lane::Comm, "flow:Let", base + 0.1, FlowPhase::Step);
+            t.flow_point(step, 0, step, Lane::Comm, "flow:Let", base + 0.2, FlowPhase::Finish);
         }
         t
     }
@@ -236,6 +242,7 @@ mod tests {
         let w = fr.window_trace();
         assert_eq!(w.spans().len(), 9); // 3 steps × 3 spans
         assert_eq!(w.instants().len(), 3);
+        assert_eq!(w.flow_points().len(), 9); // 3 steps × 3 flow points
         assert_eq!(w.last_step(), Some(10));
         // Parent links survive the per-frame remap + concatenation.
         let children: Vec<_> = w.spans().iter().filter(|s| s.parent.is_some()).collect();
@@ -270,6 +277,26 @@ mod tests {
         let again = fr.freeze(0, &alert(6));
         assert_eq!(inc.trace_json(), again.trace_json());
         assert_eq!(inc.report(), again.report());
+    }
+
+    #[test]
+    fn frozen_incident_keeps_flow_arrows() {
+        // The regression this guards: an incident trace that drops its flow
+        // points still loads in Perfetto but loses the causal arrows — the
+        // exact thing one opens an incident to follow.
+        let t = store_with_steps(6);
+        let mut fr = FlightRecorder::new(4);
+        for step in 1..=6 {
+            fr.record_step(&t, step);
+        }
+        let inc = fr.freeze(0, &alert(6));
+        let json = inc.trace_json();
+        for ph in ["\"ph\":\"s\"", "\"ph\":\"t\"", "\"ph\":\"f\""] {
+            assert!(json.contains(ph), "frozen trace lost {ph} events");
+        }
+        // Only window steps 3..=6 survive: 4 steps × 3 points.
+        assert_eq!(inc.trace.flow_points().len(), 12);
+        assert!(inc.report().contains("12 flow points"));
     }
 
     #[test]

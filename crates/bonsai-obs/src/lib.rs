@@ -27,6 +27,14 @@
 //! * [`flight`] — a ring-buffer flight recorder keeping the last K steps of
 //!   full-fidelity spans; on alert firing it freezes the window into a
 //!   Perfetto-loadable incident trace plus a structured report.
+//! * [`stream`] — the in-run telemetry bus: versioned frames (step header,
+//!   phase sample, gauges, flow digest, alerts, view changes) pushed through
+//!   bounded per-subscriber rings with an explicit backpressure policy
+//!   (lossy-tail for samples, must-deliver for alerts) and exact drop/lag
+//!   accounting.
+//! * [`overhead`] — observability self-metering: op counts priced by a
+//!   modelled cost model reduce to a per-step overhead fraction, budgeted
+//!   by a health rule (≤ 3% of modelled step time).
 //! * [`chrome`] — Chrome trace-event JSON export, loadable in Perfetto or
 //!   `chrome://tracing` (one process per rank, one thread per lane).
 //! * [`folded`] — folded-stacks text for flamegraph tooling.
@@ -59,9 +67,11 @@ pub mod folded;
 pub mod health;
 pub mod json;
 pub mod metrics;
+pub mod overhead;
 pub mod profile;
 pub mod prom;
 pub mod span;
+pub mod stream;
 pub mod timeseries;
 
 pub use analysis::{
@@ -74,12 +84,20 @@ pub use flight::{FlightRecorder, Incident};
 pub use health::{
     default_rules, AlertEvent, AlertKind, Condition, HealthMonitor, Rule, Severity,
 };
-pub use metrics::{LogHistogram, MetricsRegistry};
+pub use metrics::{LogHistogram, MetricsRegistry, EXPORT_QUANTILES};
+pub use overhead::{
+    overhead_rule, ObsCostModel, OverheadMeter, OverheadSample, OVERHEAD_BUDGET_FRACTION,
+    OVERHEAD_GAUGE,
+};
 pub use profile::{
     folded_profile, roofline, telescoping_error, ProfileRow, RooflinePoint, TermResidual,
 };
 pub use span::{
     interval_union, overlap_with_union, ArgValue, FlowPhase, FlowPoint, Instant, Lane, Span,
     SpanId, TraceStore,
+};
+pub use stream::{
+    FrameKind, FrameValue, SubscriberConfig, SubscriberReport, TelemetryBus, TelemetryFrame,
+    FRAME_VERSION,
 };
 pub use timeseries::{Bin, Series, SeriesConfig, SeriesStore};

@@ -150,6 +150,16 @@ impl LogHistogram {
         Some(self.max)
     }
 
+    /// The exported quantile ladder: `(q, value)` for each of
+    /// [`EXPORT_QUANTILES`] (p50, p90, p99). Empty for an empty histogram.
+    /// Values are non-decreasing in `q` and bracketed by `[min, max]`.
+    pub fn export_quantiles(&self) -> Vec<(f64, f64)> {
+        EXPORT_QUANTILES
+            .iter()
+            .filter_map(|&q| self.percentile(q).map(|v| (q, v)))
+            .collect()
+    }
+
     /// `(bucket_upper_bound, cumulative_count)` pairs for text exposition.
     pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
         let mut out = Vec::with_capacity(self.buckets.len());
@@ -166,6 +176,11 @@ impl LogHistogram {
         out
     }
 }
+
+/// Quantiles every histogram exports (text exposition, bench ledgers):
+/// the median, the bulk tail, and the p99 stragglers that dominate a
+/// bulk-synchronous step.
+pub const EXPORT_QUANTILES: [f64; 3] = [0.5, 0.9, 0.99];
 
 /// The registry: every metric of a run, deterministically ordered.
 #[derive(Clone, Debug, Default)]
@@ -407,6 +422,25 @@ mod tests {
         // Out-of-range q clamps to the extremes rather than panicking.
         assert_eq!(h.percentile(-0.5), h.percentile(0.0));
         assert_eq!(h.percentile(7.0), h.percentile(1.0));
+    }
+
+    #[test]
+    fn export_quantile_ladder_is_ordered() {
+        let mut h = LogHistogram::new();
+        for i in 1..=500 {
+            h.observe(i as f64);
+        }
+        let ladder = h.export_quantiles();
+        assert_eq!(ladder.len(), 3);
+        assert_eq!(
+            ladder.iter().map(|&(q, _)| q).collect::<Vec<_>>(),
+            EXPORT_QUANTILES.to_vec()
+        );
+        let (p50, p90, p99) = (ladder[0].1, ladder[1].1, ladder[2].1);
+        assert!(p50 <= p90, "p50 {p50} > p90 {p90}");
+        assert!(p90 <= p99, "p90 {p90} > p99 {p99}");
+        assert!(p99 <= h.max().unwrap(), "p99 {p99} above max");
+        assert!(LogHistogram::new().export_quantiles().is_empty());
     }
 
     #[test]

@@ -46,6 +46,20 @@ pub fn prometheus_text(reg: &MetricsRegistry) -> String {
                 inner.join(",")
             ));
         }
+        for (q, v) in h.export_quantiles() {
+            let mut labels = k.labels.clone();
+            labels.push(("quantile".to_string(), fmt_f64(q)));
+            let inner: Vec<String> = labels
+                .iter()
+                .map(|(lk, lv)| format!("{lk}=\"{lv}\""))
+                .collect();
+            out.push_str(&format!(
+                "{}{{{}}} {}\n",
+                k.name,
+                inner.join(","),
+                fmt_f64(v)
+            ));
+        }
         let suffix = |tail: &str| {
             if k.labels.is_empty() {
                 format!("{}_{tail}", k.name)
@@ -81,8 +95,30 @@ mod tests {
         assert!(text.contains("bonsai_phase_seconds{phase=\"sort\"} 0.1"));
         assert!(text.contains("# TYPE bonsai_walk_pp histogram"));
         assert!(text.contains("bonsai_walk_pp_bucket{rank=\"0\",le="));
+        assert!(text.contains("bonsai_walk_pp{rank=\"0\",quantile=\"0.5\"} 1716"));
+        assert!(text.contains("bonsai_walk_pp{rank=\"0\",quantile=\"0.9\"} 1716"));
+        assert!(text.contains("bonsai_walk_pp{rank=\"0\",quantile=\"0.99\"} 1716"));
         assert!(text.contains("bonsai_walk_pp_sum{rank=\"0\"} 1716"));
         assert!(text.contains("bonsai_walk_pp_count{rank=\"0\"} 1"));
+    }
+
+    #[test]
+    fn quantile_lines_are_ordered_and_bracketed() {
+        let mut r = MetricsRegistry::new();
+        for i in 1..=200 {
+            r.histogram_observe("lat", &[], i as f64);
+        }
+        let text = prometheus_text(&r);
+        let q = |tag: &str| -> f64 {
+            text.lines()
+                .find(|l| l.starts_with(&format!("lat{{quantile=\"{tag}\"}}")))
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("missing quantile {tag} in:\n{text}"))
+        };
+        let (p50, p90, p99) = (q("0.5"), q("0.9"), q("0.99"));
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
+        assert!(p99 <= 200.0 + 1e-9);
     }
 
     #[test]

@@ -218,6 +218,10 @@ pub struct Cluster {
     /// [`Cluster::enable_autoscale`]; consulted after every step's
     /// long-run observation.
     autoscale: Option<crate::autoscale::AutoscalePolicy>,
+    /// In-run telemetry streaming tap, enabled via
+    /// [`Cluster::enable_streaming`]; publishes each step's frames and
+    /// self-meters the observability overhead.
+    stream: Option<crate::stream::StreamTap>,
     /// Validation self-test hook: when true, view-change migrations
     /// silently discard every outbound migrant instead of shipping it —
     /// the sabotage the CI membership gate must catch through its particle
@@ -285,6 +289,7 @@ impl Cluster {
             membership: MembershipLog::new(),
             elastic: false,
             autoscale: None,
+            stream: None,
             drop_migrants: false,
         };
         // Checkpoint the initial conditions *before* the first force
@@ -353,6 +358,7 @@ impl Cluster {
             membership: MembershipLog::new(),
             elastic: false,
             autoscale: None,
+            stream: None,
             drop_migrants: false,
         }
     }
@@ -522,6 +528,30 @@ impl Cluster {
         self.longrun.take()
     }
 
+    /// Enable in-run telemetry streaming: each subsequent
+    /// [`Cluster::step`] publishes versioned frames (step header, phase
+    /// sample, gauges, flow digest, alerts, view changes) to the
+    /// configured subscribers and meters the observability overhead
+    /// against the 3% budget. Re-enabling replaces the previous tap.
+    pub fn enable_streaming(&mut self, cfg: crate::stream::StreamConfig) {
+        self.stream = Some(crate::stream::StreamTap::new(cfg));
+    }
+
+    /// The streaming tap, if enabled (bus accounting, overhead meter).
+    pub fn stream(&self) -> Option<&crate::stream::StreamTap> {
+        self.stream.as_ref()
+    }
+
+    /// Mutable tap access — subscribers poll their rings through this.
+    pub fn stream_mut(&mut self) -> Option<&mut crate::stream::StreamTap> {
+        self.stream.as_mut()
+    }
+
+    /// Detach and return the streaming tap (export at end of run).
+    pub fn take_stream(&mut self) -> Option<crate::stream::StreamTap> {
+        self.stream.take()
+    }
+
     /// Mutable registry access for the long-run monitor's derived gauges.
     pub(crate) fn registry_mut(&mut self) -> &mut MetricsRegistry {
         &mut self.registry
@@ -577,6 +607,12 @@ impl Cluster {
             &[],
             change.migrated_bytes as u64,
         );
+        // View changes are must-deliver telemetry: every subscriber sees
+        // them even when it is dropping samples under backpressure.
+        if let Some(mut tap) = self.stream.take() {
+            tap.publish_view_change(self, change);
+            self.stream = Some(tap);
+        }
     }
 
     /// An autoscale decision's observability surface: an instant marking
@@ -689,12 +725,13 @@ impl Cluster {
             // borrow the cluster freely), then the scaling policy: health
             // alerts opening this step may grow the world, sustained idle
             // may shrink it.
+            let mut fired: Vec<bonsai_obs::health::AlertEvent> = Vec::new();
             if let Some(mut lr) = self.longrun.take() {
-                let alerts = lr.observe(self, &breakdown);
+                fired = lr.observe(self, &breakdown);
                 self.longrun = Some(lr);
                 if let Some(mut policy) = self.autoscale.take() {
                     let mean = self.total_particles() as f64 / self.rank_count() as f64;
-                    match policy.decide(self.steps, self.rank_count(), mean, &alerts) {
+                    match policy.decide(self.steps, self.rank_count(), mean, &fired) {
                         crate::autoscale::ScaleDecision::Grow(k) => {
                             self.record_autoscale_decision("grow", k);
                             self.admit_ranks(k)
@@ -707,6 +744,13 @@ impl Cluster {
                     }
                     self.autoscale = Some(policy);
                 }
+            }
+            // The streaming tap runs last (same take/put-back pattern) so
+            // its frames describe the step's final state, including any
+            // autoscale-driven view change published above.
+            if let Some(mut tap) = self.stream.take() {
+                tap.observe(self, &breakdown, &fired);
+                self.stream = Some(tap);
             }
             return breakdown;
         }

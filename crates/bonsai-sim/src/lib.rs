@@ -50,6 +50,7 @@ pub mod live;
 pub mod longrun;
 pub mod model;
 pub mod profile;
+pub mod stream;
 pub mod trace;
 
 pub use autoscale::{AutoscaleConfig, AutoscalePolicy, ScaleDecision};
@@ -59,3 +60,4 @@ pub use cluster::{Cluster, ClusterConfig, RecoveryConfig};
 pub use longrun::{LongRunConfig, LongRunMonitor};
 pub use model::ScalingModel;
 pub use profile::cost_model_attribution;
+pub use stream::{StreamConfig, StreamTap};

@@ -35,8 +35,10 @@ trap 'rm -rf "$scratch"' EXIT
 echo "== determinism: obs_trace double run =="
 cargo run -q --release -p bonsai-bench --bin obs_trace >/dev/null
 cp out/trace_step.json "$scratch/trace_step.1.json"
+cp BENCH_step.json "$scratch/BENCH_step.1.json"
 cargo run -q --release -p bonsai-bench --bin obs_trace >/dev/null
 cmp out/trace_step.json "$scratch/trace_step.1.json"
+cmp BENCH_step.json "$scratch/BENCH_step.1.json"
 
 echo "== determinism: obs_scaling double run =="
 cargo run -q --release -p bonsai-bench --bin obs_scaling >/dev/null
@@ -143,5 +145,45 @@ fi
 # Restore the honest artefact clobbered by the masked run.
 cargo run -q --release -p bonsai-bench --bin obs_flows >/dev/null
 cmp BENCH_flows.json "$scratch/BENCH_flows.1.json"
+
+echo "== stream gate: obs_stream double run + dashboard determinism =="
+cargo run -q --release -p bonsai-bench --bin obs_stream >/dev/null
+cp BENCH_stream.json "$scratch/BENCH_stream.1.json"
+cp out/stream_report.html "$scratch/stream_report.1.html"
+cp out/stream_snapshot_0080.html "$scratch/stream_snapshot_0080.1.html"
+cargo run -q --release -p bonsai-bench --bin obs_stream >/dev/null
+cmp BENCH_stream.json "$scratch/BENCH_stream.1.json"
+cmp out/stream_report.html "$scratch/stream_report.1.html"
+cmp out/stream_snapshot_0080.html "$scratch/stream_snapshot_0080.1.html"
+# The slow subscriber must lose only droppable frames, with exact books,
+# and the run's self-metered overhead must sit inside the 3% budget.
+grep -q '"lossless_ok": true' BENCH_stream.json
+grep -q '"accounting_ok": true' BENCH_stream.json
+grep -q '"overhead_ok": true' BENCH_stream.json
+
+echo "== gate self-test: a blocking bus must fail the stream gate =="
+# --block-on-full makes the publisher stall on a full ring; the priced
+# stalls must blow the overhead budget, and the gate must exit 1.
+if cargo run -q --release -p bonsai-bench --bin obs_stream -- \
+    --block-on-full >/dev/null 2>&1; then
+  echo "stream gate failed to catch a blocking bus" >&2
+  exit 1
+fi
+# Restore the honest artefact clobbered by the sabotaged run.
+cargo run -q --release -p bonsai-bench --bin obs_stream >/dev/null
+cmp BENCH_stream.json "$scratch/BENCH_stream.1.json"
+
+echo "== baseline sweep: obs_diff against every checked-in baseline =="
+# Every BENCH_*.json kind has a baseline; a silent drift in any artifact
+# fails here with a ranked attribution instead of a bare cmp.
+for baseline in baselines/*.json; do
+  cargo run -q --release -p bonsai-bench --bin obs_diff -- --against "$baseline"
+done
+
+echo "== report smoke: every emitted HTML report is self-contained =="
+cargo run -q --release -p bonsai-bench --bin check_reports
+
+echo "== bench summary: one-line rollup of every artifact =="
+cargo run -q --release -p bonsai-bench --bin bench_summary
 
 echo "CI line green"
