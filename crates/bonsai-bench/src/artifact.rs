@@ -139,12 +139,13 @@ mod tests {
                 "flows",
                 "longrun",
                 "membership",
+                "parallel",
                 "profile",
                 "scaling",
                 "step",
                 "stream"
             ],
-            "expected the eight canonical bench artifacts at the repo root"
+            "expected the nine canonical bench artifacts at the repo root"
         );
     }
 }

@@ -28,6 +28,9 @@ fn headline(a: &BenchArtifact) -> Option<(&'static str, f64)> {
             "final.lost_particles",
             num(&["final", "lost_particles"])?,
         )),
+        // 1 ⇔ every lane count hashed to the same force bits; a
+        // nondeterminism regression moves this before anything else.
+        "parallel" => Some(("distinct_digests", num(&["distinct_digests"])?)),
         "profile" => Some(("step_total_s", num(&["step_total_s"])?)),
         "flows" => Some(("wait_total_s", num(&["wait_total_s"])?)),
         "scaling" => {
@@ -124,6 +127,10 @@ mod tests {
             (
                 "membership",
                 r#"{"schema": "bonsai-membership-v1", "final": {"lost_particles": 0}}"#.to_string(),
+            ),
+            (
+                "parallel",
+                r#"{"schema": "bonsai-parallel-v1", "distinct_digests": 1}"#.to_string(),
             ),
             (
                 "profile",

@@ -27,6 +27,7 @@ pub mod diff;
 pub mod flows;
 pub mod longrun;
 pub mod membership;
+pub mod parallel;
 pub mod profile;
 pub mod report;
 pub mod scaling;

@@ -1,0 +1,353 @@
+//! Thread-sweep bench: the observable proof that `bonsai-par` delivers
+//! real parallelism *and* bit-determinism at the same time.
+//!
+//! The sweep runs the hot pipeline (tree build → group walk → direct
+//! summation) on a Milky Way snapshot under dedicated pools of 1, 2, 4 and
+//! 8 lanes, hashing every force buffer and every multipole. Two artifacts
+//! come out of one run, split by determinism class:
+//!
+//! * `BENCH_parallel.json` — schema `bonsai-parallel-v1`, **byte-
+//!   deterministic** on every machine and at every thread count: per-lane
+//!   force/tree digests, interaction counts and the three gate verdicts.
+//!   Wall-clock numbers are deliberately excluded so the artifact can sit
+//!   under the CI double-run `cmp` gate.
+//! * `out/parallel_timings.json` — the wall-clock speedup curve and
+//!   efficiency per lane count. Machine-dependent, never byte-compared.
+//!
+//! The `speedup_ok` verdict scales its threshold by the machine's
+//! available parallelism: on a ≥4-core host the issue's "≥ 2× at 4
+//! threads" gate applies literally; on a 1-core CI container the pool
+//! cannot beat the inline path, so the gate degrades to "no pathological
+//! slowdown" instead of producing a vacuous failure.
+
+use crate::milky_way_snapshot;
+use bonsai_obs::json::fmt_f64;
+use bonsai_tree::build::{Tree, TreeParams};
+use bonsai_tree::direct::direct_self_forces;
+use bonsai_tree::walk::{self, WalkParams};
+use bonsai_tree::{Forces, Particles};
+use rayon::ThreadPool;
+use std::time::Instant;
+
+/// Sweep configuration.
+#[derive(Clone, Debug)]
+pub struct ParallelBenchConfig {
+    /// Particle count of the Milky Way snapshot.
+    pub n: usize,
+    /// Timed repetitions per lane count (best-of wall-clock is kept).
+    pub reps: usize,
+    /// IC seed.
+    pub seed: u64,
+    /// Lane counts to sweep.
+    pub threads: Vec<usize>,
+    /// Sabotage: build every pool with one lane regardless of the
+    /// requested width. The structural `workers_ok` gate must then fail —
+    /// this is the CI self-test proving the gate can fire.
+    pub pin_one_thread: bool,
+}
+
+impl Default for ParallelBenchConfig {
+    fn default() -> Self {
+        Self {
+            n: 4096,
+            reps: 3,
+            seed: 2014,
+            threads: vec![1, 2, 4, 8],
+            pin_one_thread: false,
+        }
+    }
+}
+
+/// One lane count's outcome, split into deterministic fields (digests,
+/// counts, worker census) and the machine-dependent wall-clock.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Requested lane count.
+    pub threads: usize,
+    /// Worker threads the pool actually spawned (lanes − 1 when honest).
+    pub workers: usize,
+    /// FNV-1a digest over walk forces, direct forces and tree multipoles.
+    pub digest: u64,
+    /// Particle-particle interactions of the walk.
+    pub pp: u64,
+    /// Particle-cell interactions of the walk.
+    pub pc: u64,
+    /// Traversal stack pops of the walk.
+    pub nodes_visited: u64,
+    /// Best-of-`reps` wall-clock for the full pipeline (seconds).
+    pub wall_s: f64,
+}
+
+/// The sweep outcome plus the three gate verdicts.
+#[derive(Clone, Debug)]
+pub struct ParallelResult {
+    /// One point per requested lane count, in sweep order.
+    pub points: Vec<SweepPoint>,
+    /// `std::thread::available_parallelism()` at run time.
+    pub available_parallelism: usize,
+    /// Number of distinct digests across the sweep (1 ⇔ deterministic).
+    pub distinct_digests: usize,
+    /// Every lane count produced the 1-lane bit pattern and stats.
+    pub deterministic: bool,
+    /// Every pool spawned exactly `threads − 1` workers.
+    pub workers_ok: bool,
+    /// Wall-clock speedup at the widest measured lane count cleared the
+    /// machine-scaled threshold.
+    pub speedup_ok: bool,
+    /// The threshold `speedup_ok` was judged against.
+    pub required_speedup: f64,
+    /// Measured speedup of the widest lane count over 1 lane.
+    pub measured_speedup: f64,
+    /// The configuration that produced this result.
+    pub config: ParallelBenchConfig,
+}
+
+impl ParallelResult {
+    /// All three gates green.
+    pub fn passed(&self) -> bool {
+        self.deterministic && self.workers_ok && self.speedup_ok
+    }
+}
+
+/// FNV-1a over a stream of u64 words.
+fn fnv1a(words: impl Iterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+fn force_words(f: &Forces) -> impl Iterator<Item = u64> + '_ {
+    f.acc
+        .iter()
+        .zip(&f.pot)
+        .flat_map(|(a, &p)| [a.x.to_bits(), a.y.to_bits(), a.z.to_bits(), p.to_bits()])
+}
+
+struct PipelineOutcome {
+    digest: u64,
+    pp: u64,
+    pc: u64,
+    nodes_visited: u64,
+}
+
+/// The timed hot pipeline: build, walk, direct — exactly the three paths
+/// the pool was wired through.
+fn pipeline(ic: &Particles) -> PipelineOutcome {
+    let tree = Tree::build(ic.clone(), TreeParams::default());
+    let (walk_forces, stats) = walk::self_gravity(&tree, &WalkParams::new(0.4, 0.01));
+    let (direct_forces, _) = direct_self_forces(&tree.particles, 0.01, 1.0);
+    let tree_words = tree.nodes.iter().flat_map(|n| {
+        [
+            n.com.x.to_bits(),
+            n.com.y.to_bits(),
+            n.com.z.to_bits(),
+            n.mass.to_bits(),
+        ]
+        .into_iter()
+        .chain(n.quad.m.iter().map(|q| q.to_bits()))
+    });
+    let digest = fnv1a(
+        force_words(&walk_forces)
+            .chain(force_words(&direct_forces))
+            .chain(tree_words),
+    );
+    PipelineOutcome {
+        digest,
+        pp: stats.counts.pp,
+        pc: stats.counts.pc,
+        nodes_visited: stats.nodes_visited,
+    }
+}
+
+/// Run the sweep.
+pub fn run(cfg: ParallelBenchConfig) -> ParallelResult {
+    assert!(!cfg.threads.is_empty(), "sweep needs at least one lane count");
+    let ic = milky_way_snapshot(cfg.n, cfg.seed);
+    let avail = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let mut points = Vec::with_capacity(cfg.threads.len());
+    for &t in &cfg.threads {
+        let lanes = if cfg.pin_one_thread { 1 } else { t };
+        let pool = ThreadPool::new(lanes);
+        let workers = pool.workers();
+        let mut best = f64::INFINITY;
+        let mut outcome = None;
+        for _ in 0..cfg.reps.max(1) {
+            let t0 = Instant::now();
+            let o = pool.install(|| pipeline(&ic));
+            best = best.min(t0.elapsed().as_secs_f64());
+            outcome = Some(o);
+        }
+        let o = outcome.expect("at least one rep");
+        points.push(SweepPoint {
+            threads: t,
+            workers,
+            digest: o.digest,
+            pp: o.pp,
+            pc: o.pc,
+            nodes_visited: o.nodes_visited,
+            wall_s: best,
+        });
+    }
+
+    let base = &points[0];
+    let mut digests: Vec<u64> = points.iter().map(|p| p.digest).collect();
+    digests.sort_unstable();
+    digests.dedup();
+    let deterministic = digests.len() == 1
+        && points
+            .iter()
+            .all(|p| (p.pp, p.pc, p.nodes_visited) == (base.pp, base.pc, base.nodes_visited));
+    let workers_ok = points.iter().all(|p| p.workers == p.threads - 1);
+
+    // Speedup gate at the widest lane count, threshold scaled to the
+    // machine: ≥ 0.5 × min(threads, cores) — the issue's 2× at 4 threads
+    // on a ≥4-core host, "don't be slower than inline" on a 1-core one.
+    let widest = points.iter().max_by_key(|p| p.threads).expect("non-empty");
+    let measured_speedup = if widest.wall_s > 0.0 {
+        base.wall_s / widest.wall_s
+    } else {
+        0.0
+    };
+    let required_speedup = 0.5 * widest.threads.min(avail) as f64;
+    let speedup_ok = measured_speedup >= required_speedup;
+
+    ParallelResult {
+        distinct_digests: digests.len(),
+        points,
+        available_parallelism: avail,
+        deterministic,
+        workers_ok,
+        speedup_ok,
+        required_speedup,
+        measured_speedup,
+        config: cfg,
+    }
+}
+
+/// `BENCH_parallel.json`: schema `bonsai-parallel-v1`. Deterministic
+/// content only — no wall-clock fields — so the document is byte-identical
+/// across runs, machines and thread counts.
+pub fn parallel_json(r: &ParallelResult) -> String {
+    let c = &r.config;
+    let threads: Vec<String> = c.threads.iter().map(|t| t.to_string()).collect();
+    let sweep: Vec<String> = r
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "    {{\"threads\": {}, \"workers\": {}, \"force_digest\": \"{:016x}\", \"pp\": {}, \"pc\": {}, \"nodes_visited\": {}}}",
+                p.threads, p.workers, p.digest, p.pp, p.pc, p.nodes_visited
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"bonsai-parallel-v1\",\n  \"config\": {{\"n\": {}, \"reps\": {}, \"seed\": {}, \"threads\": [{}], \"pin_one_thread\": {}}},\n  \"sweep\": [\n{}\n  ],\n  \"distinct_digests\": {},\n  \"gate\": {{\"deterministic\": {}, \"workers_ok\": {}, \"passed\": {}}}\n}}\n",
+        c.n,
+        c.reps,
+        c.seed,
+        threads.join(", "),
+        c.pin_one_thread,
+        sweep.join(",\n"),
+        r.distinct_digests,
+        r.deterministic,
+        r.workers_ok,
+        r.deterministic && r.workers_ok
+    )
+}
+
+/// `out/parallel_timings.json`: the machine-dependent half — wall-clock
+/// curve, speedup, efficiency and the scaled speedup gate. Never
+/// byte-compared by CI.
+pub fn timings_json(r: &ParallelResult) -> String {
+    let base_wall = r.points[0].wall_s;
+    let rows: Vec<String> = r
+        .points
+        .iter()
+        .map(|p| {
+            let speedup = if p.wall_s > 0.0 { base_wall / p.wall_s } else { 0.0 };
+            format!(
+                "    {{\"threads\": {}, \"wall_s\": {}, \"speedup\": {}, \"efficiency\": {}}}",
+                p.threads,
+                fmt_f64(p.wall_s),
+                fmt_f64(speedup),
+                fmt_f64(speedup / p.threads as f64)
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"bonsai-parallel-timings-v1\",\n  \"available_parallelism\": {},\n  \"curve\": [\n{}\n  ],\n  \"speedup\": {{\"measured\": {}, \"required\": {}, \"ok\": {}}}\n}}\n",
+        r.available_parallelism,
+        rows.join(",\n"),
+        fmt_f64(r.measured_speedup),
+        fmt_f64(r.required_speedup),
+        r.speedup_ok
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::parse_artifact;
+
+    fn tiny() -> ParallelBenchConfig {
+        ParallelBenchConfig {
+            n: 400,
+            reps: 1,
+            seed: 7,
+            threads: vec![1, 2, 4],
+            pin_one_thread: false,
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_fully_staffed() {
+        let r = run(tiny());
+        assert!(r.deterministic, "digests diverged: {:#?}", r.points);
+        assert!(r.workers_ok);
+        assert_eq!(r.distinct_digests, 1);
+        for (p, &t) in r.points.iter().zip(&[1usize, 2, 4]) {
+            assert_eq!(p.threads, t);
+            assert_eq!(p.workers, t - 1);
+            assert!(p.pp > 0 && p.pc > 0);
+        }
+    }
+
+    #[test]
+    fn artifact_is_byte_identical_across_runs() {
+        let a = parallel_json(&run(tiny()));
+        let b = parallel_json(&run(tiny()));
+        assert_eq!(a, b, "BENCH_parallel.json must be byte-deterministic");
+        let art = parse_artifact(&a).unwrap();
+        assert_eq!(art.kind, "parallel");
+        assert_eq!(art.version, 1);
+    }
+
+    #[test]
+    fn pin_one_thread_sabotage_trips_the_workers_gate() {
+        let cfg = ParallelBenchConfig {
+            pin_one_thread: true,
+            ..tiny()
+        };
+        let r = run(cfg);
+        assert!(!r.workers_ok, "sabotaged pools must fail the census");
+        assert!(!r.passed());
+        // The physics stays right even when sabotaged — only width is lost.
+        assert!(r.deterministic);
+    }
+
+    #[test]
+    fn timings_json_parses_and_reports_the_curve() {
+        let r = run(tiny());
+        let t = timings_json(&r);
+        let v = bonsai_obs::json::parse(&t).unwrap();
+        let curve = v.get("curve").unwrap().as_arr().unwrap();
+        assert_eq!(curve.len(), 3);
+        assert!(v.get("speedup").unwrap().get("required").unwrap().as_f64().unwrap() > 0.0);
+    }
+}

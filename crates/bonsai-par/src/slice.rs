@@ -1,0 +1,58 @@
+//! `par_chunks` / `par_chunks_mut` extension traits for slices.
+//!
+//! Chunk *sizes here are caller-chosen* (they define the work items, e.g.
+//! one tile of targets per chunk); determinism still holds because the
+//! chunk list is a pure function of the slice length and the requested
+//! size, and the engine underneath assigns results to indexed slots.
+
+use crate::iter::{IntoParallelIterator, Par};
+
+/// Adds [`par_chunks`](ParChunks::par_chunks) to slices.
+pub trait ParChunks<T> {
+    /// Parallel iterator over `size`-sized sub-slices (last may be short).
+    fn par_chunks(&self, size: usize) -> Par<&[T]>;
+}
+
+impl<T> ParChunks<T> for [T] {
+    fn par_chunks(&self, size: usize) -> Par<&[T]> {
+        self.chunks(size).collect::<Vec<_>>().into_par_iter()
+    }
+}
+
+/// Adds [`par_chunks_mut`](ParChunksMut::par_chunks_mut) to slices.
+pub trait ParChunksMut<T> {
+    /// Parallel iterator over exclusive `size`-sized sub-slices.
+    fn par_chunks_mut(&mut self, size: usize) -> Par<&mut [T]>;
+}
+
+impl<T> ParChunksMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> Par<&mut [T]> {
+        self.chunks_mut(size).collect::<Vec<_>>().into_par_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadPool;
+
+    #[test]
+    fn chunked_writes_cover_the_slice() {
+        let pool = ThreadPool::new(4);
+        let mut v = vec![0u32; 103];
+        pool.install(|| {
+            v.par_chunks_mut(10)
+                .enumerate()
+                .for_each(|(j, chunk)| chunk.iter_mut().for_each(|x| *x = j as u32));
+        });
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i / 10) as u32);
+        }
+        let sums: Vec<u32> = pool.install(|| {
+            v.par_chunks(10).map(|c| c.iter().sum::<u32>()).collect()
+        });
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums[0], 0);
+        assert_eq!(sums[10], 3 * 10);
+    }
+}

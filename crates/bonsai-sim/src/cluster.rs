@@ -90,6 +90,13 @@ pub struct ClusterConfig {
     pub sample_s2: usize,
     /// Particle-count cap relative to mean (paper: 1.3).
     pub cap: f64,
+    /// Execution lanes for the in-process thread pool the gravity phases
+    /// run on. `None` uses the process-global pool (sized by the
+    /// `BONSAI_THREADS` environment variable, falling back to the
+    /// machine's available parallelism). Results are bit-identical for
+    /// every setting — the pool's deterministic-reduction contract — so
+    /// this only trades wall-clock time.
+    pub threads: Option<usize>,
 }
 
 impl Default for ClusterConfig {
@@ -104,6 +111,7 @@ impl Default for ClusterConfig {
             sample_s1: 16,
             sample_s2: 64,
             cap: 1.3,
+            threads: None,
         }
     }
 }
@@ -227,6 +235,10 @@ pub struct Cluster {
     /// the sabotage the CI membership gate must catch through its particle
     /// conservation check. Never set in real runs.
     drop_migrants: bool,
+    /// Dedicated thread pool when `cfg.threads` is set; `None` defers to
+    /// the process-global pool. Shared via `Arc` so `step` can install it
+    /// while mutably borrowing the rest of the cluster.
+    pool: Option<Arc<rayon::ThreadPool>>,
 }
 
 impl Cluster {
@@ -251,6 +263,7 @@ impl Cluster {
         recovery: Option<RecoveryConfig>,
     ) -> Self {
         assert!(p > 0 && !all.is_empty());
+        let pool = cfg.threads.map(|t| Arc::new(rayon::ThreadPool::new(t)));
         let gpu = GpuModel::new(K20X, KernelVariant::TreeKeplerTuned);
         let net = NetworkModel::new(cfg.machine);
         let (ranks, domains) = seed_decomposition(&all, p, &cfg);
@@ -291,13 +304,14 @@ impl Cluster {
             autoscale: None,
             stream: None,
             drop_migrants: false,
+            pool,
         };
         // Checkpoint the initial conditions *before* the first force
         // computation: a rank can die (or be falsely declared dead under
         // extreme fault rates) in the very first gravity epoch, and
         // recovery needs something to roll back to.
         cluster.write_recovery_checkpoint();
-        cluster.compute_forces_with_recovery();
+        cluster.on_pool(Self::compute_forces_with_recovery);
         cluster
     }
 
@@ -321,6 +335,7 @@ impl Cluster {
         let p = ranks.len();
         assert!(p > 0, "exact resume needs at least one rank");
         assert!(acc.len() == p && pot.len() == p && domains.len() == p && weights.len() == p);
+        let cfg_threads = cfg.threads;
         let gpu = GpuModel::new(K20X, KernelVariant::TreeKeplerTuned);
         let net = NetworkModel::new(cfg.machine);
         let plan = Arc::new(FaultPlan::new(0));
@@ -360,6 +375,7 @@ impl Cluster {
             autoscale: None,
             stream: None,
             drop_migrants: false,
+            pool: cfg_threads.map(|t| Arc::new(rayon::ThreadPool::new(t))),
         }
     }
 
@@ -693,6 +709,19 @@ impl Cluster {
     /// checkpoint and the whole step is re-executed from the restored
     /// state, so a returned breakdown always describes a completed step.
     pub fn step(&mut self) -> StepBreakdown {
+        self.on_pool(Self::step_inner)
+    }
+
+    /// Run `f` with the cluster's dedicated pool installed as the current
+    /// thread pool (no-op indirection when `cfg.threads` is unset).
+    fn on_pool<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        match self.pool.clone() {
+            Some(pool) => pool.install(|| f(self)),
+            None => f(self),
+        }
+    }
+
+    fn step_inner(&mut self) -> StepBreakdown {
         let half = 0.5 * self.cfg.dt;
         let dt = self.cfg.dt;
         loop {

@@ -14,10 +14,11 @@
 //! boundary trees as LETs and process remote LETs without merging.
 
 use crate::node::{Group, Node, NodeKind, TreeView};
-use crate::particles::Particles;
+use crate::particles::{Particles, PosSoa};
 use crate::NLEAF;
 use bonsai_sfc::{Curve, KeyMap, MAX_LEVEL};
 use bonsai_util::{Aabb, Sym3, Vec3};
+use rayon::prelude::*;
 
 /// Construction parameters.
 #[derive(Clone, Copy, Debug)]
@@ -57,6 +58,10 @@ pub struct Tree {
     pub origin: Vec<u32>,
     /// Walk groups tiling `0..n` in sorted order.
     pub groups: Vec<Group>,
+    /// SoA copy of the sorted positions for the batched leaf kernel. Kept
+    /// coherent with `particles.pos` by construction; `check_invariants`
+    /// verifies the two stay bitwise equal.
+    pub soa: PosSoa,
 }
 
 impl Tree {
@@ -78,7 +83,7 @@ impl Tree {
         let n = particles.len();
 
         // --- SFC sort -----------------------------------------------------
-        let raw_keys: Vec<u64> = particles.pos.iter().map(|&p| keymap.key_of(p)).collect();
+        let raw_keys: Vec<u64> = particles.pos.par_iter().map(|&p| keymap.key_of(p)).collect();
         let mut perm: Vec<u32> = (0..n as u32).collect();
         perm.sort_unstable_by_key(|&i| raw_keys[i as usize]);
         particles.permute(&perm);
@@ -135,6 +140,7 @@ impl Tree {
         // --- walk groups ----------------------------------------------------
         let groups = Self::compute_groups(&nodes, &particles, params.group_size);
 
+        let soa = PosSoa::from_pos(&particles.pos);
         Tree {
             params,
             keymap,
@@ -143,6 +149,7 @@ impl Tree {
             keys,
             origin: perm,
             groups,
+            soa,
         }
     }
 
@@ -164,58 +171,85 @@ impl Tree {
 
     /// Upward passes: (mass, COM, tight box) then quadrupoles about own COM.
     ///
-    /// BFS order means children always follow parents, so a reverse sweep is
-    /// a valid upward pass.
+    /// BFS order makes every level a contiguous node range with children of
+    /// level-L nodes living strictly after the level's end, so the pass runs
+    /// level-synchronized from the deepest level up: nodes *within* a level
+    /// have no dependencies on each other and are processed in parallel.
+    /// Each node's arithmetic is identical to the old sequential reverse
+    /// sweep, so the resulting moments are bit-identical at any thread count.
     fn compute_moments(nodes: &mut [Node], particles: &Particles) {
-        for i in (0..nodes.len()).rev() {
-            let node = nodes[i];
-            match node.kind {
-                NodeKind::Leaf => {
-                    let (b, e) = (node.first as usize, (node.first + node.count) as usize);
-                    let mut mass = 0.0;
-                    let mut com = Vec3::zero();
-                    let mut bbox = Aabb::empty();
-                    for j in b..e {
-                        mass += particles.mass[j];
-                        com += particles.pos[j] * particles.mass[j];
-                        bbox.grow(particles.pos[j]);
-                    }
-                    com /= mass.max(f64::MIN_POSITIVE);
-                    let mut quad = Sym3::zero();
-                    for j in b..e {
-                        quad += Sym3::outer(particles.pos[j] - com, particles.mass[j]);
-                    }
-                    nodes[i].mass = mass;
-                    nodes[i].com = com;
-                    nodes[i].bbox = bbox;
-                    nodes[i].quad = quad;
-                }
-                NodeKind::Internal => {
-                    let (b, e) = (node.first as usize, (node.first + node.count) as usize);
-                    let mut mass = 0.0;
-                    let mut com = Vec3::zero();
-                    let mut bbox = Aabb::empty();
-                    for c in b..e {
-                        mass += nodes[c].mass;
-                        com += nodes[c].com * nodes[c].mass;
-                        bbox.merge(&nodes[c].bbox);
-                    }
-                    com /= mass.max(f64::MIN_POSITIVE);
-                    // Parallel axis theorem: shift each child quadrupole from
-                    // the child COM to this node's COM.
-                    let mut quad = Sym3::zero();
-                    for c in b..e {
-                        let d = nodes[c].com - com;
-                        quad += nodes[c].quad + Sym3::outer(d, nodes[c].mass);
-                    }
-                    nodes[i].mass = mass;
-                    nodes[i].com = com;
-                    nodes[i].bbox = bbox;
-                    nodes[i].quad = quad;
-                }
-                NodeKind::Cut => unreachable!("local trees have no Cut nodes"),
+        // Level ranges (BFS appends children in nondecreasing level order).
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        let mut start = 0usize;
+        for i in 1..=nodes.len() {
+            if i == nodes.len() || nodes[i].level != nodes[start].level {
+                ranges.push((start, i));
+                start = i;
             }
         }
+        for &(b, e) in ranges.iter().rev() {
+            // Children of this level sit at indices >= e: borrow them
+            // immutably while the level itself is mutated in parallel.
+            let (head, deeper) = nodes.split_at_mut(e);
+            let level_nodes = &mut head[b..e];
+            let deeper = &*deeper;
+            level_nodes.par_iter_mut().for_each(|node| match node.kind {
+                NodeKind::Leaf => Self::leaf_moments(node, particles),
+                NodeKind::Internal => {
+                    debug_assert!(node.first as usize >= e, "child before level end");
+                    Self::internal_moments(node, deeper, e);
+                }
+                NodeKind::Cut => unreachable!("local trees have no Cut nodes"),
+            });
+        }
+    }
+
+    /// Moments of a leaf from its particle range.
+    fn leaf_moments(node: &mut Node, particles: &Particles) {
+        let (b, e) = (node.first as usize, (node.first + node.count) as usize);
+        let mut mass = 0.0;
+        let mut com = Vec3::zero();
+        let mut bbox = Aabb::empty();
+        for j in b..e {
+            mass += particles.mass[j];
+            com += particles.pos[j] * particles.mass[j];
+            bbox.grow(particles.pos[j]);
+        }
+        com /= mass.max(f64::MIN_POSITIVE);
+        let mut quad = Sym3::zero();
+        for j in b..e {
+            quad += Sym3::outer(particles.pos[j] - com, particles.mass[j]);
+        }
+        node.mass = mass;
+        node.com = com;
+        node.bbox = bbox;
+        node.quad = quad;
+    }
+
+    /// Moments of an internal node from its (already finished) children,
+    /// which live in `deeper` at indices offset by `base`.
+    fn internal_moments(node: &mut Node, deeper: &[Node], base: usize) {
+        let (b, e) = (node.first as usize - base, (node.first + node.count) as usize - base);
+        let mut mass = 0.0;
+        let mut com = Vec3::zero();
+        let mut bbox = Aabb::empty();
+        for c in b..e {
+            mass += deeper[c].mass;
+            com += deeper[c].com * deeper[c].mass;
+            bbox.merge(&deeper[c].bbox);
+        }
+        com /= mass.max(f64::MIN_POSITIVE);
+        // Parallel axis theorem: shift each child quadrupole from the child
+        // COM to this node's COM.
+        let mut quad = Sym3::zero();
+        for c in b..e {
+            let d = deeper[c].com - com;
+            quad += deeper[c].quad + Sym3::outer(d, deeper[c].mass);
+        }
+        node.mass = mass;
+        node.com = com;
+        node.bbox = bbox;
+        node.quad = quad;
     }
 
     /// Merge consecutive leaves into walk groups of at most `group_size`
@@ -227,21 +261,25 @@ impl Tree {
             .map(|n| (n.first, n.first + n.count))
             .collect();
         leaves.sort_unstable();
-        let mut groups = Vec::new();
+        let mut ranges: Vec<(u32, u32)> = Vec::new();
         let mut begin = 0u32;
         let mut end = 0u32;
         for (b, e) in leaves {
             debug_assert_eq!(b, end, "leaves must tile the particle range");
             if (e - begin) as usize > group_size && end > begin {
-                groups.push(Self::make_group(particles, begin, end));
+                ranges.push((begin, end));
                 begin = b;
             }
             end = e;
         }
         if end > begin {
-            groups.push(Self::make_group(particles, begin, end));
+            ranges.push((begin, end));
         }
-        groups
+        // Tight boxes touch every particle once — fan the groups out.
+        ranges
+            .par_iter()
+            .map(|&(b, e)| Self::make_group(particles, b, e))
+            .collect()
     }
 
     fn make_group(particles: &Particles, begin: u32, end: u32) -> Group {
@@ -268,6 +306,7 @@ impl Tree {
             nodes: &self.nodes,
             pos: &self.particles.pos,
             mass: &self.particles.mass,
+            soa: Some(&self.soa),
         }
     }
 
@@ -293,6 +332,10 @@ impl Tree {
         // keys sorted
         if !self.keys.windows(2).all(|w| w[0] <= w[1]) {
             return Err("keys not sorted".into());
+        }
+        // SoA cache coherent with the sorted positions
+        if !self.soa.matches(&self.particles.pos) {
+            return Err("SoA position cache out of sync with particles.pos".into());
         }
         // leaves tile 0..n exactly
         let mut leaves: Vec<(u32, u32)> = self

@@ -3,9 +3,12 @@
 //! The Barnes–Hut octree engine at the heart of the reproduction: everything
 //! the paper's GPU executes (§III-A) — SFC sort, tree construction, multipole
 //! computation, and the fused tree-walk + force kernel — implemented as a
-//! data-parallel CPU library with exact interaction accounting so the
-//! device-model crate (`bonsai-gpu`) can convert the same operation counts the
-//! paper reports into simulated device time.
+//! multithreaded CPU library (key mapping, the multipole pass, the walk's
+//! group fan-out and direct summation all run on the `bonsai-par`
+//! work-stealing pool, with deterministic reductions keeping every result
+//! bit-identical at any thread count) with exact interaction accounting so
+//! the device-model crate (`bonsai-gpu`) can convert the same operation
+//! counts the paper reports into simulated device time.
 //!
 //! Pipeline (mirroring Bonsai's GPU stages):
 //!

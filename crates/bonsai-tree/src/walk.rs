@@ -4,8 +4,11 @@
 //! (§III-A): interaction lists are never written to memory; each accepted
 //! cell or opened leaf is consumed immediately, and the only outputs are the
 //! accumulated `(φ, a)` per target plus the interaction counts that feed the
-//! performance model. Work is parallelized over target groups with Rayon —
-//! the role the GPU's warps play in the paper.
+//! performance model. Work fans out over target groups onto the `bonsai-par`
+//! work-stealing pool — the role the GPU's warps play in the paper — with
+//! each group owning a disjoint output window, so results are bit-identical
+//! at any thread count (see the `bonsai-par` crate docs for the
+//! deterministic-reduction contract the stats reduction relies on).
 //!
 //! The walk takes *any* [`TreeView`] as the source: a rank's own local tree,
 //! or a received Local Essential Tree. Summing the resulting [`Forces`] over
@@ -13,7 +16,7 @@
 //! correctness property the integration tests assert.
 
 use crate::forces::{Forces, InteractionCounts};
-use crate::kernels::{p_c, p_p};
+use crate::kernels::{p_c, p_p, p_p_batch};
 use crate::mac::OpeningCriterion;
 use crate::node::{Group, NodeKind, TreeView};
 use bonsai_util::Vec3;
@@ -188,15 +191,38 @@ fn walk_group(
             }
             NodeKind::Leaf => {
                 let (b, e) = (node.first as usize, (node.first + node.count) as usize);
-                for (i, &t) in targets.iter().enumerate() {
-                    let (mut dphi, mut da) = (0.0, Vec3::zero());
-                    for j in b..e {
-                        let (p, a) = p_p(t, src.pos[j], src.mass[j], eps2);
-                        dphi += p;
-                        da += a;
+                match src.soa {
+                    // SoA source store: evaluate the whole leaf batch per
+                    // target with the vectorizable kernel. Same per-source
+                    // operations in the same order as the scalar loop, so
+                    // the accumulated values are bit-identical to it.
+                    Some(soa) => {
+                        let masses = &src.mass[b..e];
+                        for (i, &t) in targets.iter().enumerate() {
+                            let (dphi, da) = p_p_batch(
+                                t,
+                                &soa.x[b..e],
+                                &soa.y[b..e],
+                                &soa.z[b..e],
+                                masses,
+                                eps2,
+                            );
+                            pot[i] += dphi;
+                            acc[i] += da;
+                        }
                     }
-                    pot[i] += dphi;
-                    acc[i] += da;
+                    None => {
+                        for (i, &t) in targets.iter().enumerate() {
+                            let (mut dphi, mut da) = (0.0, Vec3::zero());
+                            for j in b..e {
+                                let (p, a) = p_p(t, src.pos[j], src.mass[j], eps2);
+                                dphi += p;
+                                da += a;
+                            }
+                            pot[i] += dphi;
+                            acc[i] += da;
+                        }
+                    }
                 }
                 stats.counts.pp += (targets.len() * (e - b)) as u64;
             }

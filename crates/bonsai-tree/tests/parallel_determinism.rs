@@ -1,0 +1,160 @@
+//! Thread-sweep conformance suite: the whole point of `bonsai-par`'s
+//! deterministic reductions is that thread count is *invisible* to the
+//! physics. Build + walk + direct on three IC families at 1, 2, 4 and 8
+//! threads must produce bit-identical `Forces` buffers and identical walk
+//! `WalkStats` — not "close", identical to the last mantissa bit.
+//!
+//! Set `PAR_STRESS_ITERS=<n>` to repeat the whole sweep n times (the CI
+//! race-stress stanza uses this when ThreadSanitizer is unavailable);
+//! scheduling nondeterminism then gets n chances to leak into the results.
+
+use bonsai_ic::{make_merger, plummer_sphere, MergerOrbit, MilkyWayModel};
+use bonsai_tree::build::{Tree, TreeParams};
+use bonsai_tree::direct::direct_self_forces;
+use bonsai_tree::walk::{self, WalkParams, WalkStats};
+use bonsai_tree::{Forces, Particles};
+use rayon::ThreadPool;
+
+const N: usize = 1200;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The three IC families: a relaxed sphere, the paper's Milky Way model
+/// (disk + bulge + halo), and a two-body merger — different density
+/// contrasts, so different tree shapes and chunk workloads.
+fn ic_families() -> Vec<(&'static str, Particles)> {
+    let plummer = plummer_sphere(N, 11);
+    let milky_way = MilkyWayModel::paper().generate(N, 12);
+    let merger = make_merger(
+        &plummer_sphere(N / 2, 13),
+        &plummer_sphere(N / 2, 14),
+        MergerOrbit::head_on(3.0, 1.0, 1.0),
+        N as u64,
+    );
+    vec![("plummer", plummer), ("milky-way", milky_way), ("merger", merger)]
+}
+
+/// Everything a sweep run produces, reduced to exact (hashable) form.
+struct RunResult {
+    tree_bits: Vec<u64>,
+    walk_bits: Vec<u64>,
+    walk_stats: WalkStats,
+    direct_bits: Vec<u64>,
+}
+
+fn force_bits(f: &Forces) -> Vec<u64> {
+    let mut bits = Vec::with_capacity(4 * f.len());
+    for (a, &p) in f.acc.iter().zip(&f.pot) {
+        bits.extend_from_slice(&[
+            a.x.to_bits(),
+            a.y.to_bits(),
+            a.z.to_bits(),
+            p.to_bits(),
+        ]);
+    }
+    bits
+}
+
+/// Multipole bits of every node: catches nondeterminism in the parallel
+/// moment pass even where it would be invisible after the walk's MAC.
+fn tree_bits(tree: &Tree) -> Vec<u64> {
+    let mut bits = Vec::with_capacity(10 * tree.nodes.len());
+    for n in &tree.nodes {
+        bits.extend_from_slice(&[
+            n.com.x.to_bits(),
+            n.com.y.to_bits(),
+            n.com.z.to_bits(),
+            n.mass.to_bits(),
+        ]);
+        bits.extend(n.quad.m.iter().map(|q| q.to_bits()));
+    }
+    bits
+}
+
+fn run_pipeline(ic: &Particles) -> RunResult {
+    let tree = Tree::build(ic.clone(), TreeParams::default());
+    let params = WalkParams::new(0.4, 0.01);
+    let (walk_forces, walk_stats) = walk::self_gravity(&tree, &params);
+    let (direct_forces, _) = direct_self_forces(&tree.particles, 0.01, 1.0);
+    RunResult {
+        tree_bits: tree_bits(&tree),
+        walk_bits: force_bits(&walk_forces),
+        walk_stats,
+        direct_bits: force_bits(&direct_forces),
+    }
+}
+
+fn assert_stats_eq(name: &str, t: usize, a: &WalkStats, b: &WalkStats) {
+    assert_eq!(a.counts, b.counts, "{name}: interaction counts differ at t={t}");
+    assert_eq!(
+        a.nodes_visited, b.nodes_visited,
+        "{name}: nodes_visited differs at t={t}"
+    );
+    assert_eq!(a.forced_cuts, b.forced_cuts, "{name}: forced_cuts differs at t={t}");
+}
+
+fn stress_iters() -> usize {
+    std::env::var("PAR_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
+#[test]
+fn forces_and_stats_bit_identical_across_thread_sweep() {
+    for iter in 0..stress_iters() {
+        for (name, ic) in ic_families() {
+            let baseline = ThreadPool::new(1).install(|| run_pipeline(&ic));
+            for t in THREADS {
+                let run = ThreadPool::new(t).install(|| run_pipeline(&ic));
+                assert_eq!(
+                    run.tree_bits, baseline.tree_bits,
+                    "{name}: tree moments not bit-identical at t={t} (iter {iter})"
+                );
+                assert_eq!(
+                    run.walk_bits, baseline.walk_bits,
+                    "{name}: walk forces not bit-identical at t={t} (iter {iter})"
+                );
+                assert_eq!(
+                    run.direct_bits, baseline.direct_bits,
+                    "{name}: direct forces not bit-identical at t={t} (iter {iter})"
+                );
+                assert_stats_eq(name, t, &run.walk_stats, &baseline.walk_stats);
+            }
+        }
+    }
+}
+
+#[test]
+fn thread_count_does_not_leak_into_tree_topology() {
+    // Cheap structural cross-check: same node count, same leaf layout, same
+    // sorted key order at every thread count (the key map runs in parallel).
+    let ic = plummer_sphere(N, 15);
+    let reference = ThreadPool::new(1).install(|| Tree::build(ic.clone(), TreeParams::default()));
+    for t in THREADS {
+        let tree = ThreadPool::new(t).install(|| Tree::build(ic.clone(), TreeParams::default()));
+        assert_eq!(tree.nodes.len(), reference.nodes.len(), "node count at t={t}");
+        assert_eq!(tree.keys, reference.keys, "sorted keys at t={t}");
+        assert_eq!(
+            tree.particles.id, reference.particles.id,
+            "particle order at t={t}"
+        );
+        tree.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn pool_install_nests_and_restores() {
+    // A sweep harness installs pools back to back; an inner install must not
+    // poison the outer one's results.
+    let ic = plummer_sphere(300, 16);
+    let outer = ThreadPool::new(4);
+    let baseline = run_pipeline(&ic);
+    let nested = outer.install(|| {
+        let inner = ThreadPool::new(2).install(|| run_pipeline(&ic));
+        let after = run_pipeline(&ic); // back on the 4-lane pool
+        (inner, after)
+    });
+    assert_eq!(nested.0.walk_bits, baseline.walk_bits);
+    assert_eq!(nested.1.walk_bits, baseline.walk_bits);
+}

@@ -89,3 +89,37 @@ fn boundary_fallback_degrades_gracefully() {
         rep.diff.max
     );
 }
+
+#[test]
+fn cluster_steps_bit_equal_across_thread_counts() {
+    // The threading rung of the equivalence ladder: decomposing the *work*
+    // across threads (on top of decomposing the *domain* across ranks) must
+    // be invisible to round-off. Two full steps at 4 ranks, threads swept
+    // 1/2/4/8 — every accepted acceleration bit-identical to the 1-thread run.
+    use bonsai_sim::Cluster;
+
+    let ic = plummer_sphere(N, IC_SEED);
+    let run = |threads: usize| {
+        let cfg = ClusterConfig {
+            threads: Some(threads),
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::new(ic.clone(), 4, cfg);
+        cluster.step();
+        cluster.step();
+        cluster.accelerations_by_id()
+    };
+    let reference = run(1);
+    for t in [2usize, 4, 8] {
+        let acc = run(t);
+        assert_eq!(acc.len(), reference.len(), "particle count at threads={t}");
+        for (id, a) in &acc {
+            let r = reference[id];
+            assert_eq!(
+                (a.x.to_bits(), a.y.to_bits(), a.z.to_bits()),
+                (r.x.to_bits(), r.y.to_bits(), r.z.to_bits()),
+                "particle {id} acceleration differs at threads={t}"
+            );
+        }
+    }
+}

@@ -173,6 +173,52 @@ fi
 cargo run -q --release -p bonsai-bench --bin obs_stream >/dev/null
 cmp BENCH_stream.json "$scratch/BENCH_stream.1.json"
 
+echo "== parallel gate: obs_parallel double run + thread-sweep determinism =="
+cargo run -q --release -p bonsai-bench --bin obs_parallel >/dev/null
+cp BENCH_parallel.json "$scratch/BENCH_parallel.1.json"
+cargo run -q --release -p bonsai-bench --bin obs_parallel >/dev/null
+cmp BENCH_parallel.json "$scratch/BENCH_parallel.1.json"
+# Every lane count hashed to the same force bits, every pool fully staffed.
+# (out/parallel_timings.json carries the wall-clock curve and is machine-
+# dependent, so it is deliberately NOT byte-compared.)
+grep -q '"deterministic": true' BENCH_parallel.json
+grep -q '"workers_ok": true' BENCH_parallel.json
+
+echo "== gate self-test: pinned pools must fail the parallel gate =="
+# --pin-one-thread builds every pool with one lane regardless of the
+# requested width; the worker-census gate is only trustworthy if it exits 1.
+if cargo run -q --release -p bonsai-bench --bin obs_parallel -- \
+    --pin-one-thread >/dev/null 2>&1; then
+  echo "parallel gate failed to catch pinned pools" >&2
+  exit 1
+fi
+# Restore the honest artefact clobbered by the sabotaged run.
+cargo run -q --release -p bonsai-bench --bin obs_parallel >/dev/null
+cmp BENCH_parallel.json "$scratch/BENCH_parallel.1.json"
+
+echo "== thread invariance: step artefacts identical under BONSAI_THREADS=3 =="
+# The global pool picks up BONSAI_THREADS; an asymmetric lane count is the
+# nastiest case for chunk-boundary bugs, and the artefacts must not move
+# by a byte.
+BONSAI_THREADS=3 cargo run -q --release -p bonsai-bench --bin obs_trace >/dev/null
+cmp BENCH_step.json "$scratch/BENCH_step.1.json"
+cmp out/trace_step.json "$scratch/trace_step.1.json"
+
+echo "== race stress: thread-sweep conformance under load =="
+# ThreadSanitizer needs nightly + rust-src (-Zbuild-std); offline images
+# without it fall back to a stress loop — the conformance sweep repeated
+# with the test harness's own threads left on, giving scheduling noise
+# many chances to surface a race as a bit difference.
+if cargo +nightly -V >/dev/null 2>&1 \
+    && rustup component list --toolchain nightly 2>/dev/null | grep -q 'rust-src (installed)'; then
+  RUSTFLAGS="-Zsanitizer=thread" RUSTDOCFLAGS="-Zsanitizer=thread" \
+    cargo +nightly test -Zbuild-std --target x86_64-unknown-linux-gnu \
+    -q -p bonsai-par -p bonsai-tree --test parallel_determinism
+else
+  PAR_STRESS_ITERS="${PAR_STRESS_ITERS:-200}" \
+    cargo test -q -p bonsai-tree --test parallel_determinism
+fi
+
 echo "== baseline sweep: obs_diff against every checked-in baseline =="
 # Every BENCH_*.json kind has a baseline; a silent drift in any artifact
 # fails here with a ranked attribution instead of a bare cmp.

@@ -1,130 +1,29 @@
-//! Offline shim for [rayon](https://crates.io/crates/rayon).
+//! Offline shim for [rayon](https://crates.io/crates/rayon), backed by the
+//! in-tree [`bonsai_par`] work-stealing pool.
 //!
-//! The build container has no access to crates.io, so this workspace vendors
-//! a minimal, *sequential* implementation of the rayon API subset it uses:
-//! `par_iter` / `par_iter_mut` / `into_par_iter` with `map`, `zip`,
-//! `enumerate`, `for_each`, `collect`, `reduce`, plus `rayon::join`.
+//! The build container has no access to crates.io, so this facade maps the
+//! rayon API subset the workspace uses onto `bonsai-par`: `par_iter` /
+//! `par_iter_mut` / `into_par_iter` / `par_chunks` with `map`, `zip`,
+//! `enumerate`, `filter`, `for_each`, `collect`, `reduce`, `sum`, plus
+//! `rayon::join` — all executing on worker threads of the current pool
+//! (sized by `BONSAI_THREADS`, overridable with
+//! [`bonsai_par::ThreadPool::install`]).
 //!
-//! Everything runs on the calling thread. Results are bit-identical to the
-//! parallel execution for the patterns used here (disjoint outputs, order-
-//! preserving collects), which is exactly what the deterministic tests want.
+//! Unlike upstream rayon, reductions here are **deterministic**: chunk
+//! boundaries derive from input length only and partials combine along a
+//! fixed-shape binary tree, so results are bit-identical at every thread
+//! count. See the `bonsai-par` crate docs for the contract.
 
-/// A "parallel" iterator: a newtype over a standard iterator so that
-/// rayon-specific method signatures (`reduce` with an identity, `zip` taking
-/// another parallel iterator) resolve without clashing with `std::iter`.
-pub struct Par<I>(pub I);
-
-impl<I: Iterator> Par<I> {
-    /// Map each item.
-    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> Par<std::iter::Map<I, F>> {
-        Par(self.0.map(f))
-    }
-
-    /// Zip with another parallel iterator.
-    pub fn zip<J: Iterator>(self, other: Par<J>) -> Par<std::iter::Zip<I, J>> {
-        Par(self.0.zip(other.0))
-    }
-
-    /// Enumerate items.
-    pub fn enumerate(self) -> Par<std::iter::Enumerate<I>> {
-        Par(self.0.enumerate())
-    }
-
-    /// Filter items.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<std::iter::Filter<I, F>> {
-        Par(self.0.filter(f))
-    }
-
-    /// Consume with a side effect.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
-    }
-
-    /// Collect into a container.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
-    }
-
-    /// Rayon-style reduce: fold from an identity with an associative op.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
-    where
-        ID: Fn() -> I::Item,
-        OP: FnMut(I::Item, I::Item) -> I::Item,
-    {
-        self.0.fold(identity(), op)
-    }
-
-    /// Sum the items.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-}
-
-/// Conversion of owned collections into a parallel iterator.
-pub trait IntoParallelIterator {
-    /// Underlying sequential iterator.
-    type Iter: Iterator;
-    /// Convert into a parallel iterator.
-    fn into_par_iter(self) -> Par<Self::Iter>;
-}
-
-impl<T: IntoIterator> IntoParallelIterator for T {
-    type Iter = T::IntoIter;
-    fn into_par_iter(self) -> Par<Self::Iter> {
-        Par(self.into_iter())
-    }
-}
-
-/// `par_iter` on shared references.
-pub trait IntoParallelRefIterator<'a> {
-    /// Underlying sequential iterator.
-    type Iter: Iterator;
-    /// Borrowing parallel iterator.
-    fn par_iter(&'a self) -> Par<Self::Iter>;
-}
-
-impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
-where
-    &'a C: IntoIterator,
-{
-    type Iter = <&'a C as IntoIterator>::IntoIter;
-    fn par_iter(&'a self) -> Par<Self::Iter> {
-        Par(self.into_iter())
-    }
-}
-
-/// `par_iter_mut` on exclusive references.
-pub trait IntoParallelRefMutIterator<'a> {
-    /// Underlying sequential iterator.
-    type Iter: Iterator;
-    /// Mutably borrowing parallel iterator.
-    fn par_iter_mut(&'a mut self) -> Par<Self::Iter>;
-}
-
-impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
-where
-    &'a mut C: IntoIterator,
-{
-    type Iter = <&'a mut C as IntoIterator>::IntoIter;
-    fn par_iter_mut(&'a mut self) -> Par<Self::Iter> {
-        Par(self.into_iter())
-    }
-}
-
-/// Run two closures "in parallel" (sequentially here) and return both results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
-}
+pub use bonsai_par::iter::{
+    IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, Par, ParMap,
+};
+pub use bonsai_par::pool::{threads_from_env, ThreadPool};
+pub use bonsai_par::slice::{ParChunks, ParChunksMut};
+pub use bonsai_par::{join, MAX_CHUNKS};
 
 /// The rayon prelude: traits that add the `par_*` methods.
 pub mod prelude {
-    pub use crate::{
-        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, Par,
-    };
+    pub use bonsai_par::prelude::*;
 }
 
 #[cfg(test)]
@@ -159,5 +58,26 @@ mod tests {
     #[test]
     fn join_returns_both() {
         assert_eq!(super::join(|| 1, || "x"), (1, "x"));
+    }
+
+    #[test]
+    fn runs_on_a_real_pool() {
+        let pool = super::ThreadPool::new(4);
+        assert_eq!(pool.workers(), 3);
+        let ids: Vec<std::thread::ThreadId> = pool.install(|| {
+            (0..64usize)
+                .into_par_iter()
+                .map(|i| {
+                    // Enough work per item that workers actually pick up chunks.
+                    let mut acc = i as u64;
+                    for _ in 0..10_000 {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                    let _ = acc;
+                    std::thread::current().id()
+                })
+                .collect()
+        });
+        assert_eq!(ids.len(), 64);
     }
 }
